@@ -1,0 +1,168 @@
+// Ablation: cost of the extension features beyond the paper —
+//  (a) secure argmax output vs revealing the logits,
+//  (b) CNN layers (conv via local im2col, fused ReLU+maxpool),
+//  (c) the generic Algorithm-2 sigmoid vs ReLU,
+//  (d) random-oracle instantiation (SHA-256 vs fixed-key AES) on the
+//      offline triplet generation — the ABY-style speed/assumption knob.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/inference.h"
+#include "core/triplet_gen.h"
+
+namespace abnn2 {
+namespace {
+
+using bench::RunCost;
+
+RunCost run_fig4(core::Reveal reveal, std::size_t batch) {
+  const ss::Ring ring(32);
+  const auto model =
+      nn::fig4_model(ring, nn::FragScheme::parse("(2,2)"), Block{1, 1});
+  const auto x = nn::synthetic_images(784, batch, 16, ring, Block{2, 2});
+  core::InferenceConfig cfg(ring);
+  cfg.reveal = reveal;
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x).cols();
+      });
+  return bench::summarize(res, kWanQuotient);
+}
+
+RunCost run_cnn(bool pooled, std::size_t batch) {
+  const ss::Ring ring(32);
+  const auto scheme = nn::FragScheme::parse("s(2,2)");
+  const auto model = pooled ? nn::pooled_cnn_model(ring, scheme, Block{3, 3})
+                            : nn::small_cnn_model(ring, scheme, Block{3, 3});
+  const auto x = nn::synthetic_images(model.input_dim(), batch, 12, ring,
+                                      Block{4, 4});
+  core::InferenceConfig cfg(ring);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x).cols();
+      });
+  return bench::summarize(res, kWanQuotient);
+}
+
+RunCost run_nonlinear(bool sigmoid, std::size_t n) {
+  const ss::Ring ring(32);
+  Prg dprg(Block{5, n});
+  std::vector<u64> y0(n), y1(n), z1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y1[i] = ring.random(dprg);
+    y0[i] = ring.sub(ring.from_signed(
+                         static_cast<i64>(dprg.next_below(4096)) - 2048),
+                     y1[i]);
+    z1[i] = ring.random(dprg);
+  }
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{6, 1});
+        if (sigmoid) {
+          gc::GcEvaluator gce;
+          return core::sigmoid_server(ch, gce, ring, 8, y0, prg).size();
+        }
+        core::ReluServer srv(ring, core::ReluMode::kGeneric);
+        return srv.run(ch, y0, prg).size();
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{6, 2});
+        if (sigmoid) {
+          gc::GcGarbler gcg;
+          core::sigmoid_client(ch, gcg, ring, 8, y1, z1, prg);
+        } else {
+          core::ReluClient cli(ring, core::ReluMode::kGeneric);
+          cli.run(ch, y1, z1, prg);
+        }
+        return 0;
+      });
+  return bench::summarize(res, kWanQuotient);
+}
+
+RunCost run_triplets_ro(RoMode mode) {
+  set_ro_mode(mode);
+  const ss::Ring ring(32);
+  const auto scheme = nn::FragScheme::parse("(2,2,2,2)");
+  Prg dprg(Block{7, 7});
+  nn::MatU64 codes(128, 784);
+  for (auto& c : codes.data()) c = dprg.next_below(scheme.code_space());
+  nn::MatU64 r = nn::random_mat(784, 8, 32, dprg);
+  core::TripletConfig cfg(ring);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{8, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_server(ch, ot, codes, scheme, 8, cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{8, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_client(ch, ot, r, scheme, 128, cfg, prg);
+      });
+  set_ro_mode(RoMode::kFixedKeyAes);
+  return bench::summarize(res, kWanQuotient);
+}
+
+}  // namespace
+}  // namespace abnn2
+
+int main() {
+  using namespace abnn2;
+  bench::setup_bench_env();
+  const std::size_t batch = bench::fast_mode() ? 2 : 8;
+
+  bench::print_header("Ablation: reveal logits vs secure argmax (Fig-4 net)");
+  std::printf("%-16s | %8s %10s %8s\n", "reveal", "LAN(s)", "comm(MB)",
+              "rounds");
+  for (auto [name, mode] :
+       {std::pair{"logits", core::Reveal::kLogits},
+        std::pair{"argmax (GC)", core::Reveal::kArgmax}}) {
+    const auto c = run_fig4(mode, batch);
+    std::printf("%-16s | %8.2f %10.2f %8llu\n", name, c.lan_s, c.comm_mb,
+                static_cast<unsigned long long>(c.rounds));
+  }
+
+  bench::print_header("Ablation: CNN layers (conv + fused ReLU/maxpool)");
+  std::printf("%-16s | %8s %10s\n", "model", "LAN(s)", "comm(MB)");
+  for (bool pooled : {false, true}) {
+    const auto c = run_cnn(pooled, batch);
+    std::printf("%-16s | %8.2f %10.2f\n",
+                pooled ? "conv+pool+fc" : "conv+relu+fc", c.lan_s, c.comm_mb);
+  }
+
+  bench::print_header("Ablation: Algorithm-2 f = ReLU vs piecewise sigmoid");
+  const std::size_t n = bench::fast_mode() ? 2048 : 16384;
+  std::printf("%zu neurons, l=32\n", n);
+  for (bool sigmoid : {false, true}) {
+    const auto c = run_nonlinear(sigmoid, n);
+    std::printf("%-16s | LAN %6.2f s, comm %8.2f MB\n",
+                sigmoid ? "sigmoid" : "ReLU (generic)", c.lan_s, c.comm_mb);
+  }
+
+  bench::print_header("Ablation: random-oracle instantiation (triplet gen)");
+  for (auto [name, mode] : {std::pair{"SHA-256", RoMode::kSha256},
+                            std::pair{"fixed-key AES", RoMode::kFixedKeyAes}}) {
+    const auto c = run_triplets_ro(mode);
+    std::printf("%-16s | compute %6.2f s (comm identical: %.2f MB)\n", name,
+                c.compute_s, c.comm_mb);
+  }
+  return 0;
+}

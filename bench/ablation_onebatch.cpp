@@ -1,0 +1,76 @@
+// Ablation: the one-batch C-OT optimization (paper 4.1.3) vs plain
+// multi-batch messaging at o = 1, and the N / gamma trade-off of eq. (2) for
+// 8-bit weights ("among all possible combinations of protocol parameters N
+// and gamma, we give the optimal parameter values").
+//
+// Expected: at o = 1 the C-OT variant sends l*(N-1) bits per OT vs l*N, and
+// for eta = 8 the (2,2,2,2) split minimizes batch-1 communication, matching
+// Table 2's observation that 2-bit fragments are the sweet spot.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/complexity.h"
+#include "core/triplet_gen.h"
+#include "nn/model.h"
+
+namespace abnn2 {
+namespace {
+
+bench::RunCost run_mode(const nn::FragScheme& scheme, core::BatchMode mode) {
+  const ss::Ring ring(32);
+  Prg dprg(Block{1, 1});
+  nn::MatU64 codes(128, 784);
+  for (auto& c : codes.data()) c = dprg.next_below(scheme.code_space());
+  nn::MatU64 r = nn::random_mat(784, 1, 32, dprg);
+  core::TripletConfig cfg(ring);
+  cfg.mode = mode;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_server(ch, ot, codes, scheme, 1, cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_client(ch, ot, r, scheme, 128, cfg, prg);
+      });
+  return bench::summarize(res, kWanTable3);
+}
+
+}  // namespace
+}  // namespace abnn2
+
+int main() {
+  using namespace abnn2;
+  bench::setup_bench_env();
+
+  bench::print_header(
+      "Ablation A: one-batch C-OT (4.1.3) vs multi-batch messages at o=1");
+  std::printf("128x784 matrix, l=32\n");
+  std::printf("%-14s | %10s %10s | %10s %10s\n", "fragments", "1B comm",
+              "1B LAN(s)", "MB comm", "MB LAN(s)");
+  for (const char* spec : {"(2,2,2,2)", "(4,4)", "ternary", "binary"}) {
+    const auto scheme = nn::FragScheme::parse(spec);
+    const auto ob = run_mode(scheme, core::BatchMode::kOneBatchCot);
+    const auto mb = run_mode(scheme, core::BatchMode::kMultiBatch);
+    std::printf("%-14s | %9.2fM %10.2f | %9.2fM %10.2f\n", spec, ob.comm_mb,
+                ob.lan_s, mb.comm_mb, mb.lan_s);
+  }
+
+  bench::print_header("Ablation B: N/gamma sweep for eta=8, o=1");
+  std::printf("%-20s | %6s %4s | %10s %10s %10s\n", "fragments", "gamma",
+              "Nmax", "comm (MB)", "LAN (s)", "WAN (s)");
+  for (const char* spec :
+       {"(1,1,1,1,1,1,1,1)", "(2,2,2,2)", "(3,3,2)", "(4,4)", "(5,3)",
+        "(6,2)", "(7,1)", "(8)"}) {
+    const auto scheme = nn::FragScheme::parse(spec);
+    const auto c = run_mode(scheme, core::BatchMode::kOneBatchCot);
+    std::printf("%-20s | %6zu %4u | %10.2f %10.2f %10.2f\n", spec,
+                scheme.gamma(), scheme.max_n(), c.comm_mb, c.lan_s, c.wan_s);
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Shared helpers for the table-reproduction benchmarks.
+//
+// Conventions (see DESIGN.md substitution #2):
+//  - both parties run as threads over a MemChannel; the reported LAN/WAN
+//    times are compute wall-clock plus the NetworkModel's transfer and
+//    round-trip costs for the metered traffic;
+//  - the OT-extension random oracle runs in fixed-key-AES mode, matching
+//    what ABY (the paper's crypto library) uses;
+//  - ABNN2_BENCH_FAST=1 shrinks sweeps for quick smoke runs.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "crypto/ro.h"
+#include "net/party_runner.h"
+
+namespace abnn2::bench {
+
+inline bool fast_mode() {
+  const char* v = std::getenv("ABNN2_BENCH_FAST");
+  return v != nullptr && v[0] == '1';
+}
+
+inline void setup_bench_env() { set_ro_mode(RoMode::kFixedKeyAes); }
+
+inline double mb(double bytes) { return bytes / 1.0e6; }
+
+/// Timing/communication summary of one protocol execution.
+struct RunCost {
+  double compute_s = 0;
+  double comm_mb = 0;
+  double lan_s = 0;
+  double wan_s = 0;
+  u64 rounds = 0;
+};
+
+template <class R0, class R1>
+RunCost summarize(const TwoPartyResult<R0, R1>& res, const NetworkModel& wan) {
+  RunCost c;
+  c.compute_s = res.wall_seconds;
+  c.comm_mb = mb(static_cast<double>(res.total_comm_bytes()));
+  c.lan_s = res.simulated_seconds(kLan);
+  c.wan_s = res.simulated_seconds(wan);
+  c.rounds = res.stats0.rounds + res.stats1.rounds;
+  return c;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n==== %s ====\n", title);
+}
+
+}  // namespace abnn2::bench

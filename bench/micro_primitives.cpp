@@ -1,0 +1,169 @@
+// Google-benchmark microbenchmarks of the cryptographic substrates: AES /
+// SHA-256 / PRG throughput, bit-matrix transpose, field and curve
+// operations, NTT, garbling, and OT-extension pad derivation. These are the
+// knobs behind every table; regressions here show up everywhere.
+#include <benchmark/benchmark.h>
+
+#include "common/bitmatrix.h"
+#include "crypto/aes.h"
+#include "crypto/prg.h"
+#include "crypto/ro.h"
+#include "crypto/sha256.h"
+#include "ec/ed25519.h"
+#include "gc/garble.h"
+#include "he/bfv.h"
+#include "nn/model.h"
+#include "ot/wh_code.h"
+
+namespace abnn2 {
+namespace {
+
+void BM_AesEncryptBlocks(benchmark::State& state) {
+  Aes128 aes(Block{1, 2});
+  std::vector<Block> buf(1024);
+  for (auto _ : state) {
+    aes.encrypt_blocks(buf.data(), buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * 16 * 1024);
+}
+BENCHMARK(BM_AesEncryptBlocks);
+
+void BM_Sha256(benchmark::State& state) {
+  std::vector<u8> data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto d = Sha256::hash(data.data(), data.size());
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(40)->Arg(1024);
+
+void BM_PrgBytes(benchmark::State& state) {
+  Prg prg(Block{3, 3});
+  std::vector<u8> buf(1 << 16);
+  for (auto _ : state) {
+    prg.bytes(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<i64>(state.iterations()) * (1 << 16));
+}
+BENCHMARK(BM_PrgBytes);
+
+void BM_RoHash(benchmark::State& state) {
+  set_ro_mode(state.range(0) ? RoMode::kFixedKeyAes : RoMode::kSha256);
+  u8 q[32] = {1, 2, 3};
+  for (auto _ : state) {
+    auto d = ro_hash(1, 2, q);
+    benchmark::DoNotOptimize(d);
+  }
+  set_ro_mode(RoMode::kSha256);
+}
+BENCHMARK(BM_RoHash)->Arg(0)->Arg(1);  // 0 = SHA-256, 1 = fixed-key AES
+
+void BM_BitMatrixTranspose(benchmark::State& state) {
+  const std::size_t rows = static_cast<std::size_t>(state.range(0));
+  BitMatrix m(rows, 256);
+  Prg prg(Block{4, 4});
+  prg.bytes(m.data(), m.size_bytes());
+  for (auto _ : state) {
+    auto t = m.transpose();
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_BitMatrixTranspose)->Arg(1024)->Arg(8192);
+
+void BM_Ed25519ScalarMult(benchmark::State& state) {
+  Prg prg(Block{5, 5});
+  ec::Scalar k;
+  prg.bytes(k.data(), k.size());
+  for (auto _ : state) {
+    auto p = ec::Point::base().mul(k);
+    benchmark::DoNotOptimize(p);
+  }
+}
+BENCHMARK(BM_Ed25519ScalarMult);
+
+void BM_GarbleReluCircuit(benchmark::State& state) {
+  // Gates/second of the Alg-2 ReLU circuit (l = 32).
+  gc::Builder b;
+  auto y1 = b.garbler_inputs(32);
+  auto z1 = b.garbler_inputs(32);
+  auto y0 = b.evaluator_inputs(32);
+  auto sum = b.add_mod(y0, y1);
+  auto relu = b.and_bit(b.NOT(sum[31]), sum);
+  b.mark_outputs(b.sub_mod(relu, z1));
+  const gc::Circuit c = b.build();
+  Prg prg(Block{6, 6});
+  for (auto _ : state) {
+    gc::Garbler g(c, 16, 0, prg);
+    benchmark::DoNotOptimize(g.batch().tables.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * 16 *
+                          static_cast<i64>(c.and_count()));
+}
+BENCHMARK(BM_GarbleReluCircuit);
+
+void BM_NttForward(benchmark::State& state) {
+  const he::BfvParams params(32, 4096);
+  Prg prg(Block{7, 7});
+  std::vector<u64> a(4096);
+  for (auto& v : a) v = prg.next_below(params.prime(0));
+  for (auto _ : state) {
+    params.ntt(0).forward(a.data());
+    benchmark::DoNotOptimize(a.data());
+  }
+}
+BENCHMARK(BM_NttForward);
+
+void BM_BfvEncrypt(benchmark::State& state) {
+  const he::BfvParams params(32, 4096);
+  Prg prg(Block{8, 8});
+  he::SecretKey sk(params, prg);
+  std::vector<u64> pt(4096, 12345);
+  for (auto _ : state) {
+    auto ct = sk.encrypt(params, pt, prg);
+    benchmark::DoNotOptimize(ct);
+  }
+}
+BENCHMARK(BM_BfvEncrypt);
+
+void BM_BfvDecrypt(benchmark::State& state) {
+  const he::BfvParams params(32, 4096);
+  Prg prg(Block{9, 9});
+  he::SecretKey sk(params, prg);
+  std::vector<u64> pt(4096, 999);
+  const auto ct = sk.encrypt(params, pt, prg);
+  for (auto _ : state) {
+    auto m = sk.decrypt(params, ct);
+    benchmark::DoNotOptimize(m.data());
+  }
+}
+BENCHMARK(BM_BfvDecrypt);
+
+void BM_PlaintextInferFig4(benchmark::State& state) {
+  const ss::Ring ring(32);
+  const auto model =
+      nn::fig4_model(ring, nn::FragScheme::parse("(2,2,2,2)"), Block{10, 10});
+  const auto x = nn::synthetic_images(784, 1, 16, ring, Block{11, 11});
+  for (auto _ : state) {
+    auto y = nn::infer_plain(model, x);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_PlaintextInferFig4);
+
+void BM_WhCodeword(benchmark::State& state) {
+  u32 v = 0;
+  for (auto _ : state) {
+    auto c = wh_codeword(v++ & 0xff);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_WhCodeword);
+
+}  // namespace
+}  // namespace abnn2
+
+BENCHMARK_MAIN();

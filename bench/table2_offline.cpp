@@ -1,0 +1,108 @@
+// Reproduces Table 2: offline dot-product-triplet generation for the Fig-4
+// 3-layer network (784 -> 128 -> 128 -> 10) over the ring Z_2^32, for every
+// weight bitwidth / fragment tuple the paper lists and batch sizes
+// {1, 32, 64, 128}. Reports run time (LAN-simulated seconds) and
+// communication (MB).
+//
+// Expected shape (paper): 2-bit fragments minimize batch-128 communication
+// within each eta; larger-N tuples win on time at large batches; ternary and
+// binary are cheapest; amortized per-prediction cost falls with batch size.
+#include <cstring>
+#include <vector>
+
+#include "bench_util.h"
+#include "core/triplet_gen.h"
+#include "nn/model.h"
+
+namespace abnn2 {
+namespace {
+
+using bench::RunCost;
+using core::BatchMode;
+using core::TripletConfig;
+using nn::FragScheme;
+using nn::MatU64;
+using ss::Ring;
+
+// One Table-2 row cell: generate triplets for all three Fig-4 layers.
+RunCost run_cell(const FragScheme& scheme, std::size_t batch,
+                 const Ring& ring) {
+  const auto model = nn::fig4_model(ring, scheme, Block{0xF16, 4});
+  TripletConfig cfg(ring);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{1, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        std::vector<MatU64> u;
+        for (const auto& layer : model.layers)
+          u.push_back(core::triplet_gen_server(ch, ot, layer.codes,
+                                               layer.scheme, batch, cfg));
+        return u.size();
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{1, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        std::size_t count = 0;
+        for (std::size_t li = 0; li < model.layers.size(); ++li) {
+          const auto& layer = model.layers[li];
+          MatU64 r = nn::random_mat(layer.in_dim(), batch, ring.bits(), prg);
+          core::triplet_gen_client(ch, ot, r, layer.scheme, layer.out_dim(),
+                                   cfg, prg);
+          ++count;
+        }
+        return count;
+      });
+  return bench::summarize(res, kWanTable3);
+}
+
+}  // namespace
+}  // namespace abnn2
+
+int main() {
+  using namespace abnn2;
+  bench::setup_bench_env();
+  const ss::Ring ring(32);
+
+  struct Row {
+    int eta;            // 0 for ternary/binary rows
+    const char* tuple;
+  };
+  const std::vector<Row> rows = {
+      {8, "(1,1,1,1,1,1,1,1)"}, {8, "(2,2,2,2)"}, {8, "(3,3,2)"}, {8, "(4,4)"},
+      {6, "(1,1,1,1,1,1)"},     {6, "(2,2,2)"},   {6, "(3,3)"},
+      {4, "(1,1,1,1)"},         {4, "(2,2)"},     {4, "(4)"},
+      {3, "(1,1,1)"},           {3, "(2,1)"},     {3, "(3)"},
+      {0, "ternary"},           {0, "binary"}};
+  std::vector<std::size_t> batches = {1, 32, 64, 128};
+  if (bench::fast_mode()) batches = {1, 32};
+
+  bench::print_header(
+      "Table 2: offline triplet generation, Fig-4 net, l=32, LAN");
+  std::printf("%-4s %-20s | %-38s | %s\n", "eta", "fragments",
+              "run time (s) per batch", "communication (MB) per batch");
+  std::printf("%-4s %-20s |", "", "");
+  for (auto b : batches) std::printf(" %8zu", b);
+  std::printf("  |");
+  for (auto b : batches) std::printf(" %9zu", b);
+  std::printf("\n");
+
+  for (const auto& row : rows) {
+    const auto scheme = nn::FragScheme::parse(row.tuple);
+    std::vector<bench::RunCost> cells;
+    for (auto b : batches) cells.push_back(run_cell(scheme, b, ring));
+    if (row.eta > 0)
+      std::printf("%-4d %-20s |", row.eta, row.tuple);
+    else
+      std::printf("%-4s %-20s |", "-", row.tuple);
+    for (const auto& c : cells) std::printf(" %8.2f", c.lan_s);
+    std::printf("  |");
+    for (const auto& c : cells) std::printf(" %9.2f", c.comm_mb);
+    std::printf("\n");
+  }
+  std::printf(
+      "\n(run time = compute + simulated LAN transfer; see DESIGN.md #2)\n");
+  return 0;
+}

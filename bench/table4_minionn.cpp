@@ -1,0 +1,97 @@
+// Reproduces Table 4: end-to-end secure prediction (offline + online) on the
+// Fig-4 network vs MiniONN, batch sizes {1, 128}, rings Z_2^32 and Z_2^64,
+// WAN = 24.3 MB/s with 40 ms RTT. Our rows cover the paper's quantization
+// configurations 4(2,2), 3(2,1), ternary and binary.
+//
+// Expected shape (paper): at batch 128 ABNN2 is ~3-7x faster than MiniONN in
+// LAN and ~1.4-4.5x in WAN, with ~1.1-4.5x less communication; MiniONN
+// amortizes Enc(W)... (here: per-batch ciphertexts) better at batch 1.
+#include <vector>
+
+#include "bench_util.h"
+#include "core/inference.h"
+
+namespace abnn2 {
+namespace {
+
+using bench::RunCost;
+using core::Backend;
+
+RunCost run_e2e(Backend backend, const std::string& spec, std::size_t l,
+                std::size_t batch) {
+  const ss::Ring ring(l);
+  const auto scheme = nn::FragScheme::parse(spec);
+  const auto model = nn::fig4_model(ring, scheme, Block{0xF16, l});
+  const auto x = nn::synthetic_images(784, batch, l / 2, ring, Block{7, batch});
+
+  core::InferenceConfig cfg(ring);
+  cfg.backend = backend;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x).rows();
+      });
+  return bench::summarize(res, kWanQuotient);
+}
+
+}  // namespace
+}  // namespace abnn2
+
+int main() {
+  using namespace abnn2;
+  bench::setup_bench_env();
+
+  std::vector<std::size_t> batches = {1, 128};
+  if (bench::fast_mode()) batches = {1, 8};
+
+  bench::print_header(
+      "Table 4: end-to-end prediction vs MiniONN, Fig-4 net, WAN 24.3MB/s "
+      "40ms");
+  std::printf("%-8s %-10s | ", "l", "config");
+  for (auto b : batches) std::printf("LAN(s)@%-4zu ", b);
+  std::printf("| ");
+  for (auto b : batches) std::printf("WAN(s)@%-4zu ", b);
+  std::printf("| ");
+  for (auto b : batches) std::printf("Comm(MB)@%-4zu ", b);
+  std::printf("\n");
+
+  auto print_row = [&](const char* lname, const char* cfgname,
+                       const std::vector<bench::RunCost>& cells) {
+    std::printf("%-8s %-10s | ", lname, cfgname);
+    for (const auto& c : cells) std::printf("%11.2f ", c.lan_s);
+    std::printf("| ");
+    for (const auto& c : cells) std::printf("%11.2f ", c.wan_s);
+    std::printf("| ");
+    for (const auto& c : cells) std::printf("%13.2f ", c.comm_mb);
+    std::printf("\n");
+  };
+
+  for (std::size_t l : {std::size_t{32}, std::size_t{64}}) {
+    // MiniONN baseline (one row per ring, quantization does not change its
+    // cost model — it multiplies full-width plaintexts).
+    {
+      std::vector<bench::RunCost> cells;
+      for (auto b : batches)
+        cells.push_back(run_e2e(core::Backend::kMiniONN, "(2,2)", l, b));
+      print_row(l == 32 ? "l=32" : "l=64", "MiniONN", cells);
+    }
+    for (const char* spec : {"(2,2)", "(2,1)", "ternary", "binary"}) {
+      std::vector<bench::RunCost> cells;
+      for (auto b : batches)
+        cells.push_back(run_e2e(core::Backend::kAbnn2, spec, l, b));
+      print_row(l == 32 ? "l=32" : "l=64", spec, cells);
+    }
+  }
+  std::printf(
+      "\n(MiniONN baseline = RLWE-AHE offline + identical shares/GC online;\n"
+      " see DESIGN.md substitution #4)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// MNIST-style batch prediction with a float model, end to end:
+//
+//   float weights --quantize--> codes --secure inference--> logits
+//
+// Demonstrates the full user workflow of the paper's setting: the server
+// trains a model offline (here: a synthetic float model standing in for a
+// trained one — the paper never measures accuracy, see DESIGN.md #3),
+// quantizes it at a chosen bitwidth, and serves predictions; the client
+// fixed-point-encodes pixels and decodes class scores.
+//
+//   ./build/examples/mnist_inference [eta_spec] [batch]
+//   e.g. ./build/examples/mnist_inference "s(3,3,2)" 8
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/inference.h"
+#include "net/party_runner.h"
+
+using namespace abnn2;
+
+namespace {
+
+// A deterministic "trained" float model: structured weights so that
+// quantization at different bitwidths gives visibly different logits.
+nn::MatF make_float_layer(std::size_t out, std::size_t in, u64 seed) {
+  nn::MatF w(out, in);
+  Prg prg(Block{seed, 99});
+  for (std::size_t i = 0; i < out; ++i)
+    for (std::size_t j = 0; j < in; ++j) {
+      const double base = std::sin(0.1 * static_cast<double>(i * in + j));
+      const double noise =
+          (static_cast<double>(prg.next_below(1000)) - 500.0) / 2500.0;
+      w.at(i, j) = 0.5 * base + noise;
+    }
+  return w;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string spec = argc > 1 ? argv[1] : "s(2,2,2,2)";
+  const std::size_t batch =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
+
+  const ss::Ring ring(32);
+  const auto scheme = nn::FragScheme::parse(spec);
+  std::printf("quantization: %s (eta=%zu, gamma=%zu, N<=%u)\n", spec.c_str(),
+              scheme.eta(), scheme.gamma(), scheme.max_n());
+
+  // ---- server: quantize the float model --------------------------------
+  const std::vector<std::size_t> dims = {784, 128, 128, 10};
+  nn::Model model(ring);
+  double max_scale = 0;
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    const nn::MatF wf = make_float_layer(dims[i + 1], dims[i], 1000 + i);
+    const nn::Quantized q = nn::quantize(wf, scheme);
+    max_scale = std::max(max_scale, q.scale);
+    model.layers.push_back({q.codes, {}, scheme, {}, {}});
+  }
+  model.validate();
+  std::printf("model: 784->128->128->10, %zu weights, max quant step %.4f\n",
+              model.num_weights(), max_scale);
+
+  // ---- client: fixed-point pixels ---------------------------------------
+  const std::size_t frac = 12;
+  const nn::MatU64 x = nn::synthetic_images(784, batch, frac, ring,
+                                            Block{7, 7});
+
+  core::InferenceConfig cfg(ring);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x);
+      });
+
+  const auto cls = nn::argmax_logits(ring, res.party1);
+  const auto expect_cls = nn::argmax_logits(ring, nn::infer_plain(model, x));
+  std::printf("\n%-8s %-10s %-10s\n", "input", "secure", "plaintext");
+  for (std::size_t k = 0; k < batch; ++k)
+    std::printf("%-8zu %-10zu %-10zu\n", k, cls[k], expect_cls[k]);
+  std::printf("\ntotal communication %.2f MB, wall %.2f s (batch %zu)\n",
+              static_cast<double>(res.total_comm_bytes()) / 1e6,
+              res.wall_seconds, batch);
+  return cls == expect_cls ? 0 : 1;
+}

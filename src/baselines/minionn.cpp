@@ -1,0 +1,104 @@
+#include "baselines/minionn.h"
+
+namespace abnn2::baselines {
+namespace {
+
+using nn::MatU64;
+using ss::Ring;
+
+}  // namespace
+
+MatU64 MinionnServer::triplet_gen(Channel& ch, const nn::Matrix<i64>& w,
+                                  std::size_t o, const Ring& ring, Prg& prg) {
+  const std::size_t m = w.rows(), n_in = w.cols();
+  const std::size_t nr = params_.n();
+  ABNN2_CHECK_ARG(n_in <= nr, "layer wider than the HE ring");
+  ABNN2_CHECK_ARG(ring.bits() <= params_.t_bits(), "ring exceeds plaintext modulus");
+  const std::size_t rows_per_ct = nr / n_in;
+  const std::size_t blocks = ceil_div(m, rows_per_ct);
+
+  // Prepare the weight-block polynomials once (reused for all o columns):
+  // block b holds rows b*rows_per_ct .. ; row slot t contributes
+  // x^{t*n_in} * reverse(w_row).
+  std::vector<he::PlainNtt> wblocks;
+  wblocks.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    std::vector<i64> poly(nr, 0);
+    for (std::size_t t = 0; t < rows_per_ct; ++t) {
+      const std::size_t row = b * rows_per_ct + t;
+      if (row >= m) break;
+      for (std::size_t j = 0; j < n_in; ++j)
+        poly[t * n_in + (n_in - 1 - j)] = w.at(row, j);
+    }
+    wblocks.push_back(he::prepare_plain(params_, poly));
+  }
+
+  MatU64 u(m, o);
+  for (std::size_t k = 0; k < o; ++k) {
+    // Receive Enc(r_k).
+    const std::vector<u8> msg = ch.recv_msg();
+    Reader rd(msg);
+    const he::Ciphertext enc_r = he::Ciphertext::deserialize(rd, params_);
+    const he::CiphertextNtt enc_r_ntt = he::to_ntt(params_, enc_r);
+
+    Writer wr;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      he::Ciphertext prod = he::mul_prepared(params_, enc_r_ntt, wblocks[b]);
+      // Blind every coefficient; keep the blinds at the dot-product
+      // coefficients as this party's share U.
+      std::vector<u64> blind(nr);
+      for (auto& v : blind) v = prg.next_bits(params_.t_bits());
+      for (std::size_t t = 0; t < rows_per_ct; ++t) {
+        const std::size_t row = b * rows_per_ct + t;
+        if (row >= m) break;
+        // (w*r - blind) mod 2^l reconstructs with u = blind mod 2^l because
+        // 2^l divides the plaintext modulus.
+        u.at(row, k) = ring.reduce(blind[t * n_in + n_in - 1]);
+      }
+      // Subtract the blind: add (t - blind) mod t.
+      std::vector<u64> neg_blind(nr);
+      for (std::size_t j = 0; j < nr; ++j)
+        neg_blind[j] = (0 - blind[j]) & mask_l(params_.t_bits());
+      he::add_plain_inplace(params_, prod, neg_blind);
+      he::flood_noise_inplace(params_, prod, prg);
+      prod.serialize(wr);
+    }
+    ch.send_msg(wr);
+  }
+  return u;
+}
+
+MatU64 MinionnClient::triplet_gen(Channel& ch, const MatU64& r, std::size_t m,
+                                  const Ring& ring, Prg& prg) {
+  const std::size_t n_in = r.rows(), o = r.cols();
+  const std::size_t nr = params_.n();
+  ABNN2_CHECK_ARG(n_in <= nr, "layer wider than the HE ring");
+  const std::size_t rows_per_ct = nr / n_in;
+  const std::size_t blocks = ceil_div(m, rows_per_ct);
+
+  MatU64 v(m, o);
+  for (std::size_t k = 0; k < o; ++k) {
+    std::vector<u64> rpoly(n_in);
+    for (std::size_t j = 0; j < n_in; ++j) rpoly[j] = r.at(j, k);
+    const he::Ciphertext enc_r = sk_.encrypt(params_, rpoly, prg);
+    Writer wr;
+    enc_r.serialize(wr);
+    ch.send_msg(wr);
+
+    const std::vector<u8> reply = ch.recv_msg();
+    Reader rd(reply);
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const he::Ciphertext ct = he::Ciphertext::deserialize(rd, params_);
+      const std::vector<u64> pt = sk_.decrypt(params_, ct);
+      for (std::size_t t = 0; t < rows_per_ct; ++t) {
+        const std::size_t row = b * rows_per_ct + t;
+        if (row >= m) break;
+        v.at(row, k) = ring.reduce(pt[t * n_in + n_in - 1]);
+      }
+    }
+    ABNN2_CHECK(rd.done(), "trailing bytes in MiniONN reply");
+  }
+  return v;
+}
+
+}  // namespace abnn2::baselines

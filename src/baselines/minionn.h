@@ -1,0 +1,58 @@
+// MiniONN-style offline triplet generation (Liu et al., CCS'17) on the RLWE
+// additively-homomorphic substrate (see DESIGN.md substitution #4).
+//
+// The client encrypts each column r_k of its random matrix R as a
+// polynomial; the server multiplies by weight-block polynomials (several
+// output rows packed per ciphertext via the dot-product-in-a-coefficient
+// trick of the MiniONN transformations), blinds every coefficient with a
+// fresh random plaintext, floods the noise, and returns the ciphertexts.
+// The client decrypts and reads its share V at the packed dot-product
+// coefficients; the server's blinds at those coefficients form U. As in
+// MiniONN, the SIMD-style packing amortizes one ciphertext across
+// floor(n_ring / n_in) output rows.
+//
+// The online phase is identical in structure to ABNN2's (shares + GC ReLU),
+// which is also how MiniONN operates, so end-to-end comparisons swap only
+// the offline backend.
+#pragma once
+
+#include "he/bfv.h"
+#include "nn/tensor.h"
+#include "ss/additive.h"
+
+namespace abnn2::baselines {
+
+/// Per-connection MiniONN state (deterministic public parameters, client
+/// secret key).
+class MinionnServer {
+ public:
+  MinionnServer(std::size_t t_bits, std::size_t ring_n = 4096)
+      : params_(t_bits, ring_n) {}
+
+  /// Weights are SIGNED values (|w| <= 2^20). Returns U (m x o).
+  nn::MatU64 triplet_gen(Channel& ch, const nn::Matrix<i64>& w, std::size_t o,
+                         const ss::Ring& ring, Prg& prg);
+
+  const he::BfvParams& params() const { return params_; }
+
+ private:
+  he::BfvParams params_;
+};
+
+class MinionnClient {
+ public:
+  MinionnClient(std::size_t t_bits, Prg& prg, std::size_t ring_n = 4096)
+      : params_(t_bits, ring_n), sk_(params_, prg) {}
+
+  /// Returns V (m x o) for its random R (n x o).
+  nn::MatU64 triplet_gen(Channel& ch, const nn::MatU64& r, std::size_t m,
+                         const ss::Ring& ring, Prg& prg);
+
+  const he::BfvParams& params() const { return params_; }
+
+ private:
+  he::BfvParams params_;
+  he::SecretKey sk_;
+};
+
+}  // namespace abnn2::baselines

@@ -1,0 +1,103 @@
+#include "baselines/quotient.h"
+
+#include "common/packing.h"
+
+namespace abnn2::baselines {
+namespace {
+
+using nn::MatU64;
+using ss::Ring;
+
+struct WeightIter {
+  std::size_t n;
+  std::size_t i(std::size_t t) const { return t / n; }
+  std::size_t j(std::size_t t) const { return t % n; }
+};
+
+}  // namespace
+
+MatU64 quotient_triplet_server(Channel& ch, IknpReceiver& ot,
+                               const MatU64& ternary_codes, std::size_t o,
+                               const Ring& ring, std::size_t chunk_weights) {
+  const std::size_t l = ring.bits();
+  const std::size_t m = ternary_codes.rows(), n = ternary_codes.cols();
+  const std::size_t total = m * n;
+  const WeightIter it{n};
+
+  MatU64 u(m, o);
+  std::vector<u64> pad(o);
+  std::size_t t0 = 0;
+  while (t0 < total) {
+    const std::size_t count = std::min(chunk_weights, total - t0);
+    // Two OT instances per weight: [+] then [-].
+    BitVec choices(2 * count);
+    for (std::size_t c = 0; c < count; ++c) {
+      const u64 code = ternary_codes.at(it.i(t0 + c), it.j(t0 + c));
+      ABNN2_CHECK_ARG(code <= 2, "not a ternary code");
+      choices.set(2 * c, code == 2);      // w_plus
+      choices.set(2 * c + 1, code == 0);  // w_minus
+    }
+    ot.extend(ch, choices);
+
+    const std::vector<u8> blob = ch.recv_msg();
+    const std::vector<u64> vals = unpack_bits(blob, l, 2 * count * o);
+    for (std::size_t c = 0; c < count; ++c) {
+      u64* urow = u.row(it.i(t0 + c));
+      for (int half = 0; half < 2; ++half) {
+        const std::size_t inst = 2 * c + static_cast<std::size_t>(half);
+        ro_expand_u64(ot.pad(inst), l, pad.data(), o);
+        const bool bit = choices[inst];
+        for (std::size_t k = 0; k < o; ++k) {
+          // C-OT convention: choice 0 -> -pad0; choice 1 -> unmask message.
+          const u64 contrib =
+              bit ? ring.reduce(vals[inst * o + k] ^ pad[k])
+                  : ring.neg(pad[k]);
+          urow[k] = ring.add(urow[k], contrib);
+        }
+      }
+    }
+    t0 += count;
+  }
+  return u;
+}
+
+MatU64 quotient_triplet_client(Channel& ch, IknpSender& ot, const MatU64& r,
+                               std::size_t m, const Ring& ring,
+                               std::size_t chunk_weights) {
+  const std::size_t l = ring.bits();
+  const std::size_t n = r.rows(), o = r.cols();
+  const std::size_t total = m * n;
+  const WeightIter it{n};
+
+  MatU64 v(m, o);
+  std::vector<u64> pad0(o), pad1(o);
+  std::size_t t0 = 0;
+  while (t0 < total) {
+    const std::size_t count = std::min(chunk_weights, total - t0);
+    ot.extend(ch, 2 * count);
+
+    std::vector<u64> fields(2 * count * o);
+    for (std::size_t c = 0; c < count; ++c) {
+      const u64* rrow = r.row(it.j(t0 + c));
+      u64* vrow = v.row(it.i(t0 + c));
+      for (int half = 0; half < 2; ++half) {
+        const std::size_t inst = 2 * c + static_cast<std::size_t>(half);
+        const i64 sign = half == 0 ? 1 : -1;
+        ro_expand_u64(ot.pad(inst, false), l, pad0.data(), o);
+        ro_expand_u64(ot.pad(inst, true), l, pad1.data(), o);
+        for (std::size_t k = 0; k < o; ++k) {
+          // Share s = pad0; message for choice 1 is sign*r - s.
+          const u64 target =
+              sign > 0 ? rrow[k] : ring.neg(rrow[k]);
+          fields[inst * o + k] = ring.sub(target, pad0[k]) ^ pad1[k];
+          vrow[k] = ring.add(vrow[k], pad0[k]);
+        }
+      }
+    }
+    ch.send_msg(pack_bits(fields, l));
+    t0 += count;
+  }
+  return v;
+}
+
+}  // namespace abnn2::baselines

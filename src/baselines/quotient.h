@@ -1,0 +1,29 @@
+// QUOTIENT-style ternary triplet generation (Agrawal et al., CCS'19): each
+// ternary weight w in {-1,0,+1} is written w = w_plus - w_minus with
+// w_plus, w_minus in {0,1}, and each binary multiplication is one correlated
+// 1-out-of-2 OT ("the author converted the ternary multiplication into two
+// binary multiplications, which is completed based on 1-out-of-2 OT").
+//
+// Batch columns share the OT instance like ABNN2's multi-batch scheme; the
+// single correlated message carries o packed l-bit elements.
+#pragma once
+
+#include "nn/tensor.h"
+#include "ot/iknp.h"
+#include "ss/additive.h"
+
+namespace abnn2::baselines {
+
+/// Server: ternary codes (0,1,2 -> -1,0,+1), m x n. Returns U (m x o).
+nn::MatU64 quotient_triplet_server(Channel& ch, IknpReceiver& ot,
+                                   const nn::MatU64& ternary_codes,
+                                   std::size_t o, const ss::Ring& ring,
+                                   std::size_t chunk_weights = 4096);
+
+/// Client: R (n x o). Returns V (m x o).
+nn::MatU64 quotient_triplet_client(Channel& ch, IknpSender& ot,
+                                   const nn::MatU64& r, std::size_t m,
+                                   const ss::Ring& ring,
+                                   std::size_t chunk_weights = 4096);
+
+}  // namespace abnn2::baselines

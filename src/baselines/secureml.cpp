@@ -1,0 +1,98 @@
+#include "baselines/secureml.h"
+
+#include "common/packing.h"
+
+namespace abnn2::baselines {
+namespace {
+
+using nn::MatU64;
+using ss::Ring;
+
+// Product p <-> (i, j, k) with k fastest: p = (i*n + j)*o + k.
+struct ProductIter {
+  std::size_t n, o;
+  std::size_t i(std::size_t p) const { return p / (n * o); }
+  std::size_t j(std::size_t p) const { return (p / o) % n; }
+  std::size_t k(std::size_t p) const { return p % o; }
+};
+
+}  // namespace
+
+MatU64 secureml_triplet_server(Channel& ch, IknpReceiver& ot, const MatU64& w,
+                               std::size_t o, const Ring& ring,
+                               std::size_t chunk_products) {
+  const std::size_t l = ring.bits();
+  const std::size_t m = w.rows(), n = w.cols();
+  const std::size_t total = m * n * o;
+  const ProductIter it{n, o};
+
+  MatU64 u(m, o);
+  std::size_t p0 = 0;
+  while (p0 < total) {
+    const std::size_t count = std::min(chunk_products, total - p0);
+    // Choice bits: per product, the l bits of the weight, LSB first.
+    BitVec choices(count * l);
+    for (std::size_t c = 0; c < count; ++c) {
+      const u64 wij = w.at(it.i(p0 + c), it.j(p0 + c));
+      for (std::size_t b = 0; b < l; ++b)
+        choices.set(c * l + b, (wij >> b) & 1);
+    }
+    ot.extend(ch, choices);
+
+    const std::vector<u8> blob = ch.recv_msg();
+    BitReader rd(blob);
+    for (std::size_t c = 0; c < count; ++c) {
+      const std::size_t p = p0 + c;
+      u64 acc = 0;
+      for (std::size_t b = 0; b < l; ++b) {
+        const std::size_t width = l - b;
+        const u64 adj = rd.read(width);
+        const u64 pad = ot.pad(c * l + b).low_bits(width);
+        const u64 out_b =
+            (choices[c * l + b] ? adj + pad : pad) & mask_l(width);
+        acc = ring.add(acc, ring.reduce(out_b << b));
+      }
+      u.at(it.i(p), it.k(p)) = ring.add(u.at(it.i(p), it.k(p)), acc);
+    }
+    p0 += count;
+  }
+  return u;
+}
+
+MatU64 secureml_triplet_client(Channel& ch, IknpSender& ot, const MatU64& r,
+                               std::size_t m, const Ring& ring, Prg& prg,
+                               std::size_t chunk_products) {
+  (void)prg;  // shares are derived from the COT pads; kept for API symmetry
+  const std::size_t l = ring.bits();
+  const std::size_t n = r.rows(), o = r.cols();
+  const std::size_t total = m * n * o;
+  const ProductIter it{n, o};
+
+  MatU64 v(m, o);
+  std::size_t p0 = 0;
+  while (p0 < total) {
+    const std::size_t count = std::min(chunk_products, total - p0);
+    ot.extend(ch, count * l);
+
+    BitWriter wr;
+    for (std::size_t c = 0; c < count; ++c) {
+      const std::size_t p = p0 + c;
+      const u64 rjk = r.at(it.j(p), it.k(p));
+      u64 share = 0;
+      for (std::size_t b = 0; b < l; ++b) {
+        const std::size_t width = l - b;
+        const u64 wmask = mask_l(width);
+        const u64 h0 = ot.pad(c * l + b, false).low_bits(width);
+        const u64 h1 = ot.pad(c * l + b, true).low_bits(width);
+        wr.write((rjk + h0 - h1) & wmask, width);
+        share = ring.add(share, ring.reduce((h0 & wmask) << b));
+      }
+      v.at(it.i(p), it.k(p)) = ring.sub(v.at(it.i(p), it.k(p)), share);
+    }
+    ch.send_msg(wr.take());
+    p0 += count;
+  }
+  return v;
+}
+
+}  // namespace abnn2::baselines

@@ -1,0 +1,36 @@
+// SecureML-style OT-based offline triplet generation (Mohassel-Zhang,
+// S&P'17), the baseline of the paper's Table 3 and the "(1,...,1)" rows of
+// Table 2 in spirit: multiplication of an l-bit secret by a bit-decomposed
+// operand via l correlated OTs per product (Gilboa multiplication).
+//
+// Server holds W as plain ring values (m x n), client holds R (n x o);
+// output shares satisfy U + V = W * R like the ABNN2 triplet generator, so
+// the two are drop-in comparable. The bit-decomposed operand is the WEIGHT
+// (server side), so the server acts as the COT receiver with choice bits =
+// bits of w, mirroring how SecureML generates matmul triplets for a known
+// model.
+//
+// Message i of the COT for bit i of w carries only the top l-i bits that
+// still matter (SecureML's length optimization), which is where the
+// l(l+1)/2 bits -> /128 RO-packing accounting of Table 1 comes from.
+#pragma once
+
+#include "nn/tensor.h"
+#include "ot/iknp.h"
+#include "ss/additive.h"
+
+namespace abnn2::baselines {
+
+/// Server: holds the weight VALUES (ring elements, m x n). Returns U (m x o).
+nn::MatU64 secureml_triplet_server(Channel& ch, IknpReceiver& ot,
+                                   const nn::MatU64& w, std::size_t o,
+                                   const ss::Ring& ring,
+                                   std::size_t chunk_products = 2048);
+
+/// Client: holds R (n x o). Returns V (m x o).
+nn::MatU64 secureml_triplet_client(Channel& ch, IknpSender& ot,
+                                   const nn::MatU64& r, std::size_t m,
+                                   const ss::Ring& ring, Prg& prg,
+                                   std::size_t chunk_products = 2048);
+
+}  // namespace abnn2::baselines

@@ -1,0 +1,55 @@
+// Packed bit matrix with a fast transpose, the workhorse of IKNP/KK13 OT
+// extension (column-major PRG expansion -> row-major hashing).
+#pragma once
+
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/defines.h"
+
+namespace abnn2 {
+
+/// Row-major packed bit matrix. Each row occupies row_bytes() bytes
+/// (bit j of row i = byte j/8, bit j%8, LSB-first).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), stride_(bytes_for_bits(cols)),
+        data_(rows * stride_, 0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t row_bytes() const { return stride_; }
+
+  u8* row(std::size_t i) { return data_.data() + i * stride_; }
+  const u8* row(std::size_t i) const { return data_.data() + i * stride_; }
+
+  bool get(std::size_t i, std::size_t j) const {
+    return (row(i)[j >> 3] >> (j & 7)) & 1;
+  }
+  void set(std::size_t i, std::size_t j, bool v) {
+    const u8 m = static_cast<u8>(1u << (j & 7));
+    if (v) row(i)[j >> 3] |= m; else row(i)[j >> 3] &= static_cast<u8>(~m);
+  }
+
+  void xor_row(std::size_t i, const u8* src) {
+    u8* r = row(i);
+    for (std::size_t b = 0; b < stride_; ++b) r[b] ^= src[b];
+  }
+
+  u8* data() { return data_.data(); }
+  const u8* data() const { return data_.data(); }
+  std::size_t size_bytes() const { return data_.size(); }
+
+  friend bool operator==(const BitMatrix& a, const BitMatrix& b) = default;
+
+  /// Returns the cols() x rows() transpose.
+  BitMatrix transpose() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0, stride_ = 0;
+  std::vector<u8> data_;
+};
+
+}  // namespace abnn2

@@ -1,0 +1,79 @@
+// Dynamic bit vector backed by 64-bit words. Used for OT choice vectors,
+// codeword rows and GC input encodings.
+#pragma once
+
+#include <vector>
+
+#include "common/defines.h"
+
+namespace abnn2 {
+
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t nbits) : nbits_(nbits), words_(ceil_div(nbits, 64), 0) {}
+
+  std::size_t size() const { return nbits_; }
+  bool empty() const { return nbits_ == 0; }
+
+  bool get(std::size_t i) const {
+    ABNN2_CHECK_ARG(i < nbits_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void set(std::size_t i, bool v) {
+    ABNN2_CHECK_ARG(i < nbits_, "bit index out of range");
+    const u64 m = u64{1} << (i & 63);
+    if (v) words_[i >> 6] |= m; else words_[i >> 6] &= ~m;
+  }
+  bool operator[](std::size_t i) const { return get(i); }
+
+  void resize(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.resize(ceil_div(nbits, 64), 0);
+    clear_tail();
+  }
+
+  BitVec& operator^=(const BitVec& o) {
+    ABNN2_CHECK_ARG(nbits_ == o.nbits_, "size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+    return *this;
+  }
+  BitVec& operator&=(const BitVec& o) {
+    ABNN2_CHECK_ARG(nbits_ == o.nbits_, "size mismatch");
+    for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+    return *this;
+  }
+  friend BitVec operator^(BitVec a, const BitVec& b) { a ^= b; return a; }
+  friend BitVec operator&(BitVec a, const BitVec& b) { a &= b; return a; }
+  friend bool operator==(const BitVec& a, const BitVec& b) = default;
+
+  std::size_t popcount() const {
+    std::size_t c = 0;
+    for (u64 w : words_) c += static_cast<std::size_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  const u64* words() const { return words_.data(); }
+  u64* words() { return words_.data(); }
+  std::size_t num_words() const { return words_.size(); }
+  std::size_t num_bytes() const { return bytes_for_bits(nbits_); }
+
+  void from_bytes(const u8* p, std::size_t nbits) {
+    resize(nbits);
+    std::memcpy(words_.data(), p, num_bytes());
+    clear_tail();
+  }
+  void to_bytes(u8* p) const { std::memcpy(p, words_.data(), num_bytes()); }
+
+ private:
+  // Keep bits past nbits_ zero so popcount/equality stay well-defined.
+  void clear_tail() {
+    if (nbits_ % 64 != 0 && !words_.empty())
+      words_.back() &= mask_l(nbits_ % 64);
+  }
+
+  std::size_t nbits_ = 0;
+  std::vector<u64> words_;
+};
+
+}  // namespace abnn2

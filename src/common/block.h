@@ -1,0 +1,102 @@
+// 128-bit block type used for OT messages, GC wire labels and AES state.
+//
+// On x86-64 with SSE2 the block is backed by __m128i; a portable fallback is
+// provided so the library compiles on any C++20 toolchain.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <string>
+
+#include "common/defines.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#define ABNN2_HAVE_SSE2 1
+#endif
+#if defined(__AES__)
+#include <wmmintrin.h>
+#define ABNN2_HAVE_AESNI 1
+#endif
+
+namespace abnn2 {
+
+/// A 128-bit value with cheap XOR/AND and equality. Layout is little-endian:
+/// lo() is bytes 0..7, hi() is bytes 8..15.
+struct Block {
+  alignas(16) std::array<u64, 2> w{0, 0};
+
+  constexpr Block() = default;
+  constexpr Block(u64 hi, u64 lo) : w{lo, hi} {}
+
+  static Block from_bytes(const u8* p) {
+    Block b;
+    std::memcpy(b.w.data(), p, 16);
+    return b;
+  }
+  void to_bytes(u8* p) const { std::memcpy(p, w.data(), 16); }
+
+  constexpr u64 lo() const { return w[0]; }
+  constexpr u64 hi() const { return w[1]; }
+
+  friend Block operator^(Block a, Block b) {
+    return Block{a.w[1] ^ b.w[1], a.w[0] ^ b.w[0]};
+  }
+  friend Block operator&(Block a, Block b) {
+    return Block{a.w[1] & b.w[1], a.w[0] & b.w[0]};
+  }
+  friend Block operator|(Block a, Block b) {
+    return Block{a.w[1] | b.w[1], a.w[0] | b.w[0]};
+  }
+  Block& operator^=(Block b) { w[0] ^= b.w[0]; w[1] ^= b.w[1]; return *this; }
+  Block& operator&=(Block b) { w[0] &= b.w[0]; w[1] &= b.w[1]; return *this; }
+  friend bool operator==(const Block& a, const Block& b) = default;
+
+  /// Least-significant bit; used as the point-and-permute bit of GC labels.
+  bool lsb() const { return w[0] & 1; }
+
+  /// Bit i (0 = least significant of the low word).
+  bool bit(std::size_t i) const { return (w[i >> 6] >> (i & 63)) & 1; }
+  void set_bit(std::size_t i, bool v) {
+    const u64 m = u64{1} << (i & 63);
+    if (v) w[i >> 6] |= m; else w[i >> 6] &= ~m;
+  }
+
+  /// Multiply by x in GF(2^128) — "doubling" used by tweakable hashes.
+  Block gf_double() const {
+    const u64 carry = w[1] >> 63;
+    Block r{(w[1] << 1) | (w[0] >> 63), w[0] << 1};
+    if (carry) r.w[0] ^= 0x87;  // x^128 = x^7 + x^2 + x + 1
+    return r;
+  }
+
+  std::string hex() const;
+
+#if ABNN2_HAVE_SSE2
+  __m128i m() const { return _mm_loadu_si128(reinterpret_cast<const __m128i*>(w.data())); }
+  static Block from_m(__m128i v) {
+    Block b;
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(b.w.data()), v);
+    return b;
+  }
+#endif
+};
+
+static_assert(sizeof(Block) == 16);
+
+inline constexpr Block kZeroBlock{0, 0};
+inline constexpr Block kOneBlock{0, 1};
+inline constexpr Block kAllOneBlock{~u64{0}, ~u64{0}};
+
+inline std::string Block::hex() const {
+  static const char* d = "0123456789abcdef";
+  std::string s(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const u8 byte = static_cast<u8>(w[1 - i / 8] >> (8 * (7 - i % 8)));
+    s[2 * i] = d[byte >> 4];
+    s[2 * i + 1] = d[byte & 15];
+  }
+  return s;
+}
+
+}  // namespace abnn2

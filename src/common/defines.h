@@ -1,0 +1,70 @@
+// Common definitions shared across the ABNN2 code base.
+//
+// Error-handling convention: programming errors and violated protocol
+// invariants throw abnn2::ProtocolError (or std::invalid_argument for bad
+// user-supplied parameters). Protocols are exception-safe: a throw leaves the
+// channel unusable but leaks no resources.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+
+namespace abnn2 {
+
+using u8 = std::uint8_t;
+using u16 = std::uint16_t;
+using u32 = std::uint32_t;
+using u64 = std::uint64_t;
+using i64 = std::int64_t;
+using u128 = unsigned __int128;
+
+/// Computational security parameter (bits). All OT extensions and GC labels
+/// use kappa-bit keys.
+inline constexpr std::size_t kKappa = 128;
+
+/// Statistical security parameter (bits).
+inline constexpr std::size_t kSigma = 40;
+
+/// Thrown when a protocol invariant is violated (malformed peer message,
+/// inconsistent sizes, use-after-finalize, ...).
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown by channel implementations on broken/closed connections.
+class ChannelError : public std::runtime_error {
+ public:
+  explicit ChannelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+#define ABNN2_CHECK(cond, msg)                          \
+  do {                                                  \
+    if (!(cond)) throw ::abnn2::ProtocolError(          \
+        std::string(__func__) + ": " + (msg));          \
+  } while (0)
+
+#define ABNN2_CHECK_ARG(cond, msg)                      \
+  do {                                                  \
+    if (!(cond)) throw std::invalid_argument(           \
+        std::string(__func__) + ": " + (msg));          \
+  } while (0)
+
+/// Number of bytes needed to hold `bits` bits.
+constexpr std::size_t bytes_for_bits(std::size_t bits) { return (bits + 7) / 8; }
+
+/// ceil(a / b) for positive integers.
+constexpr std::size_t ceil_div(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+
+/// Round `x` up to a multiple of `m`.
+constexpr std::size_t round_up(std::size_t x, std::size_t m) { return ceil_div(x, m) * m; }
+
+/// Mask selecting the low `l` bits of a 64-bit word (l in [0,64]).
+constexpr u64 mask_l(std::size_t l) {
+  return l >= 64 ? ~u64{0} : ((u64{1} << l) - 1);
+}
+
+}  // namespace abnn2

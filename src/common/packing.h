@@ -1,0 +1,108 @@
+// Tight bit-packing of l-bit ring elements into byte buffers. Keeps wire
+// sizes exactly at the paper's accounting (Table 1): an OT message carrying
+// o elements of Z_{2^l} costs o*l bits, not o*64.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/defines.h"
+
+namespace abnn2 {
+
+/// Packs vals[i] & mask(l) as consecutive l-bit fields, LSB-first.
+inline std::vector<u8> pack_bits(std::span<const u64> vals, std::size_t l) {
+  ABNN2_CHECK_ARG(l >= 1 && l <= 64, "field width out of range");
+  std::vector<u8> out(bytes_for_bits(vals.size() * l), 0);
+  std::size_t bitpos = 0;
+  for (u64 v : vals) {
+    v &= mask_l(l);
+    std::size_t done = 0;
+    while (done < l) {
+      const std::size_t byte = (bitpos + done) >> 3;
+      const std::size_t off = (bitpos + done) & 7;
+      const std::size_t take = std::min<std::size_t>(8 - off, l - done);
+      out[byte] |= static_cast<u8>(((v >> done) & mask_l(take)) << off);
+      done += take;
+    }
+    bitpos += l;
+  }
+  return out;
+}
+
+/// Inverse of pack_bits.
+inline std::vector<u64> unpack_bits(std::span<const u8> bytes, std::size_t l,
+                                    std::size_t n) {
+  ABNN2_CHECK_ARG(l >= 1 && l <= 64, "field width out of range");
+  ABNN2_CHECK(bytes.size() >= bytes_for_bits(n * l), "packed buffer too short");
+  std::vector<u64> out(n, 0);
+  std::size_t bitpos = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    u64 v = 0;
+    std::size_t done = 0;
+    while (done < l) {
+      const std::size_t byte = (bitpos + done) >> 3;
+      const std::size_t off = (bitpos + done) & 7;
+      const std::size_t take = std::min<std::size_t>(8 - off, l - done);
+      v |= ((static_cast<u64>(bytes[byte]) >> off) & mask_l(take)) << done;
+      done += take;
+    }
+    out[i] = v;
+    bitpos += l;
+  }
+  return out;
+}
+
+/// Incremental bit-level writer for variable-width fields (used by the
+/// SecureML baseline, whose COT message widths shrink with the bit index).
+class BitWriter {
+ public:
+  void write(u64 v, std::size_t width) {
+    ABNN2_CHECK_ARG(width <= 64, "field too wide");
+    v &= mask_l(width);
+    std::size_t done = 0;
+    while (done < width) {
+      const std::size_t byte = (bitpos_ + done) >> 3;
+      const std::size_t off = (bitpos_ + done) & 7;
+      if (byte >= buf_.size()) buf_.push_back(0);
+      const std::size_t take = std::min<std::size_t>(8 - off, width - done);
+      buf_[byte] |= static_cast<u8>(((v >> done) & mask_l(take)) << off);
+      done += take;
+    }
+    bitpos_ += width;
+  }
+
+  std::vector<u8> take() { return std::move(buf_); }
+  std::size_t bits() const { return bitpos_; }
+
+ private:
+  std::vector<u8> buf_;
+  std::size_t bitpos_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const u8> data) : data_(data) {}
+
+  u64 read(std::size_t width) {
+    ABNN2_CHECK_ARG(width <= 64, "field too wide");
+    ABNN2_CHECK(bitpos_ + width <= data_.size() * 8, "bit stream truncated");
+    u64 v = 0;
+    std::size_t done = 0;
+    while (done < width) {
+      const std::size_t byte = (bitpos_ + done) >> 3;
+      const std::size_t off = (bitpos_ + done) & 7;
+      const std::size_t take = std::min<std::size_t>(8 - off, width - done);
+      v |= ((static_cast<u64>(data_[byte]) >> off) & mask_l(take)) << done;
+      done += take;
+    }
+    bitpos_ += width;
+    return v;
+  }
+
+ private:
+  std::span<const u8> data_;
+  std::size_t bitpos_ = 0;
+};
+
+}  // namespace abnn2

@@ -1,0 +1,82 @@
+// Minimal byte-buffer serialization used for protocol messages.
+// All integers are encoded little-endian fixed-width; containers carry a
+// u64 length prefix. Reader throws ProtocolError on truncated input so that
+// malformed peer messages surface as protocol failures, not UB.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "common/defines.h"
+
+namespace abnn2 {
+
+class Writer {
+ public:
+  void u8_(u8 v) { buf_.push_back(v); }
+  void u32_(u32 v) { append(&v, 4); }
+  void u64_(u64 v) { append(&v, 8); }
+  void block(const Block& b) { append(b.w.data(), 16); }
+  void bytes(const void* p, std::size_t n) { append(p, n); }
+  void vec_u64(const std::vector<u64>& v) {
+    u64_(v.size());
+    append(v.data(), v.size() * 8);
+  }
+  void vec_block(const std::vector<Block>& v) {
+    u64_(v.size());
+    append(v.data(), v.size() * 16);
+  }
+
+  const std::vector<u8>& data() const { return buf_; }
+  std::vector<u8> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void append(const void* p, std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, p, n);
+  }
+  std::vector<u8> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const u8> data) : data_(data) {}
+
+  u8 u8_() { u8 v; copy(&v, 1); return v; }
+  u32 u32_() { u32 v; copy(&v, 4); return v; }
+  u64 u64_() { u64 v; copy(&v, 8); return v; }
+  Block block() { Block b; copy(b.w.data(), 16); return b; }
+  void bytes(void* p, std::size_t n) { copy(p, n); }
+  std::vector<u64> vec_u64() {
+    const u64 n = u64_();
+    ABNN2_CHECK(n * 8 <= remaining(), "truncated u64 vector");
+    std::vector<u64> v(n);
+    copy(v.data(), n * 8);
+    return v;
+  }
+  std::vector<Block> vec_block() {
+    const u64 n = u64_();
+    ABNN2_CHECK(n * 16 <= remaining(), "truncated block vector");
+    std::vector<Block> v(n);
+    copy(v.data(), n * 16);
+    return v;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+
+ private:
+  void copy(void* p, std::size_t n) {
+    ABNN2_CHECK(n <= remaining(), "truncated message");
+    std::memcpy(p, data_.data() + pos_, n);
+    pos_ += n;
+  }
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace abnn2

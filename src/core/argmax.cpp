@@ -1,0 +1,105 @@
+#include "core/argmax.h"
+
+namespace abnn2::core {
+namespace {
+
+std::size_t index_bits(std::size_t n) {
+  std::size_t b = 1;
+  while ((std::size_t{1} << b) < n) ++b;
+  return b;
+}
+
+}  // namespace
+
+gc::Circuit argmax_circuit(std::size_t l, std::size_t n_classes) {
+  ABNN2_CHECK_ARG(n_classes >= 2, "need at least two classes");
+  const std::size_t ib = index_bits(n_classes);
+  gc::Builder b;
+  // Garbler: all y0 words, then index-constant words (public values the
+  // garbler wires in; the builder has no constant gates, and these cost no
+  // AND gates anyway).
+  std::vector<std::vector<u32>> y0(n_classes), idx(n_classes), y1(n_classes);
+  for (auto& w : y0) w = b.garbler_inputs(l);
+  for (auto& w : idx) w = b.garbler_inputs(ib);
+  for (auto& w : y1) w = b.evaluator_inputs(l);
+
+  // Reconstruct logits and bias the MSB so unsigned comparison realizes
+  // signed comparison: cmp(a, b) on (a ^ 2^(l-1), b ^ 2^(l-1)).
+  std::vector<std::vector<u32>> val(n_classes);
+  for (std::size_t i = 0; i < n_classes; ++i) {
+    val[i] = b.add_mod(y0[i], y1[i]);
+    val[i][l - 1] = b.NOT(val[i][l - 1]);
+  }
+
+  std::vector<u32> best_v = val[0];
+  std::vector<u32> best_i = idx[0];
+  for (std::size_t i = 1; i < n_classes; ++i) {
+    const u32 gt = b.less_than(best_v, val[i]);  // candidate strictly greater
+    best_v = b.mux(gt, val[i], best_v);
+    best_i = b.mux(gt, idx[i], best_i);
+  }
+  b.mark_outputs(best_i);
+  return b.build();
+}
+
+void argmax_server_batch(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                         const nn::MatU64& y0, Prg& prg) {
+  const std::size_t l = ring.bits();
+  const std::size_t n = y0.rows();
+  const std::size_t o = y0.cols();
+  const std::size_t ib = index_bits(n);
+  const gc::Circuit c = argmax_circuit(l, n);
+  const std::size_t per = n * l + n * ib;
+  std::vector<u8> bits(o * per);
+  for (std::size_t col = 0; col < o; ++col) {
+    u8* b = bits.data() + col * per;
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < l; ++k)
+        b[i * l + k] = static_cast<u8>((y0.at(i, col) >> k) & 1);
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < ib; ++k)
+        b[n * l + i * ib + k] = static_cast<u8>((i >> k) & 1);
+  }
+  gc.run(ch, c, o, bits, prg);
+}
+
+std::vector<std::size_t> argmax_client_batch(Channel& ch, gc::GcEvaluator& gc,
+                                             const ss::Ring& ring,
+                                             const nn::MatU64& y1, Prg& prg) {
+  const std::size_t l = ring.bits();
+  const std::size_t n = y1.rows();
+  const std::size_t o = y1.cols();
+  const std::size_t ib = index_bits(n);
+  const gc::Circuit c = argmax_circuit(l, n);
+  std::vector<u8> bits(o * n * l);
+  for (std::size_t col = 0; col < o; ++col)
+    for (std::size_t i = 0; i < n; ++i)
+      for (std::size_t k = 0; k < l; ++k)
+        bits[col * n * l + i * l + k] =
+            static_cast<u8>((y1.at(i, col) >> k) & 1);
+  const auto out = gc.run(ch, c, o, bits, prg);
+  std::vector<std::size_t> idxs(o, 0);
+  for (std::size_t col = 0; col < o; ++col) {
+    for (std::size_t k = 0; k < ib; ++k)
+      if (out[col * ib + k]) idxs[col] |= std::size_t{1} << k;
+    ABNN2_CHECK(idxs[col] < n, "argmax circuit produced an out-of-range index");
+  }
+  return idxs;
+}
+
+void argmax_server(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                   std::span<const u64> y0, Prg& prg) {
+  nn::MatU64 m(y0.size(), 1);
+  std::copy(y0.begin(), y0.end(), m.data().begin());
+  argmax_server_batch(ch, gc, ring, m, prg);
+}
+
+std::size_t argmax_client(Channel& ch, gc::GcEvaluator& gc,
+                          const ss::Ring& ring, std::span<const u64> y1,
+                          Prg& prg) {
+  nn::MatU64 m(y1.size(), 1);
+  std::copy(y1.begin(), y1.end(), m.data().begin());
+  return argmax_client_batch(ch, gc, ring, m, prg)[0];
+}
+
+}  // namespace abnn2::core

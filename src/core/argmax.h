@@ -1,0 +1,40 @@
+// Secure argmax (extension): the client learns ONLY the predicted class
+// instead of the full logit vector.
+//
+// In the paper's flow (Fig 2) the server sends its logit share to the client,
+// revealing all class scores. This module replaces that final step with one
+// more garbled circuit in the style of Algorithm 2: inputs are the logit
+// shares (server garbles, client evaluates — the reverse of the ReLU roles,
+// since here the CLIENT gets the output), the circuit reconstructs each
+// logit, runs a signed-max tournament, and reveals only the winning index.
+#pragma once
+
+#include "gc/protocol.h"
+#include "nn/tensor.h"
+#include "ss/additive.h"
+
+namespace abnn2::core {
+
+/// Tournament circuit over n_classes signed l-bit values.
+/// Garbler inputs: y0 words, then the public index constants;
+/// evaluator inputs: y1 words; output: ceil(log2(n_classes)) index bits.
+gc::Circuit argmax_circuit(std::size_t l, std::size_t n_classes);
+
+/// Server side: holds the logit shares y0 (one batch column at a time).
+void argmax_server(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                   std::span<const u64> y0, Prg& prg);
+
+/// Client side: holds y1; returns the argmax index.
+std::size_t argmax_client(Channel& ch, gc::GcEvaluator& gc,
+                          const ss::Ring& ring, std::span<const u64> y1,
+                          Prg& prg);
+
+/// Batched variants: one circuit instance per batch column of the logit
+/// share matrices (n_classes x batch).
+void argmax_server_batch(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                         const nn::MatU64& y0, Prg& prg);
+std::vector<std::size_t> argmax_client_batch(Channel& ch, gc::GcEvaluator& gc,
+                                             const ss::Ring& ring,
+                                             const nn::MatU64& y1, Prg& prg);
+
+}  // namespace abnn2::core

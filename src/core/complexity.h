@@ -1,0 +1,60 @@
+// Analytic OT-invocation and communication formulas of Table 1, used by
+// bench/table1_complexity to print formula-vs-measured and by parameter
+// selection. All sizes in bits unless stated.
+#pragma once
+
+#include <cstddef>
+
+#include "common/defines.h"
+
+namespace abnn2::core {
+
+struct MatMulShape {
+  std::size_t m;  // output rows (weight matrix rows)
+  std::size_t n;  // inner dimension
+  std::size_t o;  // batch size (columns of the activation matrix)
+};
+
+/// SecureML (Table 1, column 1): OT count uses the 128-bit RO packing over
+/// the l(l+1)/2 correlated bits per product.
+inline double secureml_ot_count(const MatMulShape& s, std::size_t l) {
+  return static_cast<double>(l * (l + 1)) / 128.0 *
+         static_cast<double>(s.m * s.n * s.o);
+}
+
+inline double secureml_comm_bits(const MatMulShape& s, std::size_t l,
+                                 std::size_t kappa = kKappa) {
+  return static_cast<double>(s.m) * static_cast<double>(s.n) *
+         static_cast<double>(s.o) * static_cast<double>(l) *
+         static_cast<double>(l + 1) *
+         (1.0 + static_cast<double>(kappa) / 64.0);
+}
+
+/// ABNN2 multi-batch (Table 1, column 2): gamma*m*n OTs, each carrying N
+/// messages of o*l bits plus the 2*kappa-bit code-matrix column.
+inline double ours_multibatch_ot_count(const MatMulShape& s, std::size_t gamma) {
+  return static_cast<double>(gamma * s.m * s.n);
+}
+
+inline double ours_multibatch_comm_bits(const MatMulShape& s, std::size_t gamma,
+                                        std::size_t n_values, std::size_t l,
+                                        std::size_t kappa = kKappa) {
+  return static_cast<double>(gamma * s.m * s.n) *
+         (static_cast<double>(s.o * l * n_values) +
+          2.0 * static_cast<double>(kappa));
+}
+
+/// ABNN2 one-batch with C-OT (Table 1, column 3): N-1 messages of l bits.
+inline double ours_onebatch_ot_count(const MatMulShape& s, std::size_t gamma) {
+  return static_cast<double>(gamma * s.m * s.n);
+}
+
+inline double ours_onebatch_comm_bits(const MatMulShape& s, std::size_t gamma,
+                                      std::size_t n_values, std::size_t l,
+                                      std::size_t kappa = kKappa) {
+  return static_cast<double>(gamma * s.m * s.n) *
+         (static_cast<double>(l) * static_cast<double>(n_values - 1) +
+          2.0 * static_cast<double>(kappa));
+}
+
+}  // namespace abnn2::core

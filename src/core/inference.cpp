@@ -1,0 +1,392 @@
+#include "core/inference.h"
+
+#include "common/packing.h"
+
+namespace abnn2::core {
+namespace {
+
+using nn::MatU64;
+
+void send_string(Channel& ch, const std::string& s) {
+  ch.send_u64(s.size());
+  if (!s.empty()) ch.send(s.data(), s.size());
+}
+
+std::string recv_string(Channel& ch) {
+  const u64 n = ch.recv_u64();
+  ABNN2_CHECK(n < 4096, "oversized handshake string");
+  std::string s(n, '\0');
+  if (n) ch.recv(s.data(), n);
+  return s;
+}
+
+void send_mat(Channel& ch, const MatU64& m, std::size_t l) {
+  ch.send_msg(pack_bits(m.data(), l));
+}
+
+MatU64 recv_mat(Channel& ch, std::size_t rows, std::size_t cols,
+                std::size_t l) {
+  const auto blob = ch.recv_msg();
+  MatU64 m(rows, cols);
+  m.data() = unpack_bits(blob, l, rows * cols);
+  return m;
+}
+
+// Y = W * X + U (+ bias), all in the ring; conv layers are lowered with a
+// local im2col on the server's activation share and re-flattened.
+MatU64 server_linear(const ss::Ring& ring, const nn::FcLayer& layer,
+                     const MatU64& x0, const MatU64& u) {
+  MatU64 lowered;
+  const MatU64* lin_in = &x0;
+  if (layer.conv) {
+    lowered = nn::im2col(*layer.conv, x0);
+    lin_in = &lowered;
+  }
+  MatU64 y = nn::matmul_codes(ring, layer.codes, layer.scheme, *lin_in);
+  for (std::size_t i = 0; i < y.rows(); ++i)
+    for (std::size_t k = 0; k < y.cols(); ++k) {
+      y.at(i, k) = ring.add(y.at(i, k), u.at(i, k));
+      if (!layer.bias.empty()) y.at(i, k) = ring.add(y.at(i, k), layer.bias[i]);
+    }
+  if (layer.conv) y = nn::flatten_conv_output(*layer.conv, y, x0.cols());
+  return y;
+}
+
+}  // namespace
+
+u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party) {
+  if (f == 0) return share;
+  if (party == 0) {
+    const i64 v = ring.to_signed(share);
+    return ring.from_signed(v >> f);
+  }
+  const i64 v = ring.to_signed(ring.neg(share));
+  return ring.neg(ring.from_signed(v >> f));
+}
+
+InferenceServer::InferenceServer(nn::Model model, InferenceConfig cfg)
+    : model_(std::move(model)),
+      cfg_(cfg),
+      relu_(cfg.ring, cfg.relu),
+      maxpool_(cfg.ring) {
+  model_.validate();
+  ABNN2_CHECK_ARG(model_.ring == cfg_.ring, "model/config ring mismatch");
+}
+
+void InferenceServer::run_offline(Channel& ch) {
+  // ---- handshake -----------------------------------------------------
+  o_ = ch.recv_u64();
+  ABNN2_CHECK(o_ >= 1 && o_ <= (std::size_t{1} << 20), "bad batch size");
+  ch.send_u64(cfg_.ring.bits());
+  ch.send_u64(static_cast<u64>(cfg_.relu));
+  ch.send_u64(static_cast<u64>(cfg_.backend));
+  ch.send_u64(static_cast<u64>(cfg_.reveal));
+  ch.send_u64(model_.layers.size());
+  ch.send_u64(model_.input_dim());
+  for (const auto& layer : model_.layers) {
+    ch.send_u64(layer.out_dim());
+    send_string(ch, layer.scheme.name());
+    ch.send_u64(layer.conv.has_value());
+    if (layer.conv) {
+      const auto& cv = *layer.conv;
+      for (u64 v : {cv.in_c, cv.in_h, cv.in_w, cv.k_h, cv.k_w, cv.out_c,
+                    cv.stride, cv.pad})
+        ch.send_u64(v);
+    }
+    ch.send_u64(layer.pool.has_value());
+    if (layer.pool) {
+      const auto& pl = *layer.pool;
+      for (u64 v : {pl.c, pl.h, pl.w, pl.win_h, pl.win_w, pl.stride})
+        ch.send_u64(v);
+    }
+  }
+
+  // ---- backend setup (once per connection) ------------------------------
+  switch (cfg_.backend) {
+    case Backend::kAbnn2:
+      if (!kk_setup_) {
+        kk_.setup(ch, prg_);
+        kk_setup_ = true;
+      }
+      break;
+    case Backend::kSecureML:
+    case Backend::kQuotient:
+      if (!iknp_setup_) {
+        iknp_.setup(ch, prg_);
+        iknp_setup_ = true;
+      }
+      break;
+    case Backend::kMiniONN:
+      if (!minionn_) {
+        minionn_ = std::make_unique<baselines::MinionnServer>(
+            cfg_.ring.bits() <= 32 ? 32 : 64);
+      }
+      break;
+  }
+
+  // ---- triplets per layer ---------------------------------------------
+  TripletConfig tcfg(cfg_.ring);
+  tcfg.mode = cfg_.batch_mode;
+  tcfg.chunk_instances = cfg_.chunk_instances;
+  u_.clear();
+  for (const auto& layer : model_.layers) {
+    // For conv layers, one triplet column per (output position, batch item).
+    const std::size_t o_eff =
+        layer.conv ? layer.conv->out_positions() * o_ : o_;
+    switch (cfg_.backend) {
+      case Backend::kAbnn2:
+        u_.push_back(triplet_gen_server(ch, kk_, layer.codes, layer.scheme,
+                                        o_eff, tcfg));
+        break;
+      case Backend::kSecureML: {
+        nn::MatU64 w(layer.codes.rows(), layer.codes.cols());
+        for (std::size_t i = 0; i < w.data().size(); ++i)
+          w.data()[i] =
+              layer.scheme.interpret_ring(layer.codes.data()[i], cfg_.ring);
+        u_.push_back(baselines::secureml_triplet_server(ch, iknp_, w, o_eff,
+                                                        cfg_.ring));
+        break;
+      }
+      case Backend::kQuotient:
+        ABNN2_CHECK_ARG(layer.scheme.name() == "ternary",
+                        "QUOTIENT backend requires a ternary model");
+        u_.push_back(baselines::quotient_triplet_server(ch, iknp_, layer.codes,
+                                                        o_eff, cfg_.ring));
+        break;
+      case Backend::kMiniONN: {
+        nn::Matrix<i64> w(layer.codes.rows(), layer.codes.cols());
+        for (std::size_t i = 0; i < w.data().size(); ++i)
+          w.data()[i] = layer.scheme.interpret(layer.codes.data()[i]);
+        u_.push_back(minionn_->triplet_gen(ch, w, o_eff, cfg_.ring, prg_));
+        break;
+      }
+    }
+  }
+}
+
+void InferenceServer::run_online(Channel& ch) {
+  ABNN2_CHECK(!u_.empty(), "offline phase must run before online");
+  const auto& ring = cfg_.ring;
+  const std::size_t l = ring.bits();
+
+  // First layer input share from the client.
+  MatU64 z0 = recv_mat(ch, model_.input_dim(), o_, l);
+
+  for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+    MatU64 y0 = server_linear(ring, model_.layers[li], z0, u_[li]);
+    if (cfg_.trunc_bits > 0)
+      for (auto& v : y0.data()) v = truncate_share(ring, v, cfg_.trunc_bits, 0);
+
+    if (li + 1 == model_.layers.size()) {
+      if (cfg_.reveal == Reveal::kArgmax) {
+        argmax_server_batch(ch, argmax_gc_, ring, y0, prg_);
+      } else {
+        send_mat(ch, y0, l);  // reveal the server's logit share
+      }
+      u_.clear();  // triplets are one-use
+      return;
+    }
+    if (model_.layers[li].pool) {
+      z0 = maxpool_.run(ch, *model_.layers[li].pool, y0, prg_);
+    } else {
+      const auto z0_flat = relu_.run(ch, y0.data(), prg_);
+      z0 = MatU64(y0.rows(), o_);
+      z0.data() = z0_flat;
+    }
+  }
+}
+
+InferenceClient::InferenceClient(InferenceConfig cfg)
+    : cfg_(cfg), relu_(cfg.ring, cfg.relu), maxpool_(cfg.ring) {}
+
+void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
+  ABNN2_CHECK_ARG(batch >= 1, "batch must be positive");
+  o_ = batch;
+  ch.send_u64(o_);
+  info_ = ModelInfo{};
+  info_.ring_bits = ch.recv_u64();
+  ABNN2_CHECK(info_.ring_bits == cfg_.ring.bits(),
+              "server ring width differs from client config");
+  const u64 srv_relu = ch.recv_u64();
+  ABNN2_CHECK(srv_relu == static_cast<u64>(cfg_.relu),
+              "server ReLU mode differs from client config");
+  const u64 srv_backend = ch.recv_u64();
+  ABNN2_CHECK(srv_backend == static_cast<u64>(cfg_.backend),
+              "server backend differs from client config");
+  const u64 srv_reveal = ch.recv_u64();
+  ABNN2_CHECK(srv_reveal == static_cast<u64>(cfg_.reveal),
+              "server reveal mode differs from client config");
+  const u64 n_layers = ch.recv_u64();
+  ABNN2_CHECK(n_layers >= 1 && n_layers <= 1024, "bad layer count");
+  info_.dims.push_back(ch.recv_u64());
+  for (u64 i = 0; i < n_layers; ++i) {
+    info_.dims.push_back(ch.recv_u64());
+    info_.scheme_names.push_back(recv_string(ch));
+    if (ch.recv_u64() != 0) {
+      nn::ConvSpec cv{};
+      cv.in_c = ch.recv_u64();
+      cv.in_h = ch.recv_u64();
+      cv.in_w = ch.recv_u64();
+      cv.k_h = ch.recv_u64();
+      cv.k_w = ch.recv_u64();
+      cv.out_c = ch.recv_u64();
+      cv.stride = ch.recv_u64();
+      cv.pad = ch.recv_u64();
+      ABNN2_CHECK(cv.in_size() == info_.dims[i],
+                  "conv spec inconsistent with layer input");
+      info_.convs.emplace_back(cv);
+    } else {
+      info_.convs.emplace_back(std::nullopt);
+    }
+    if (ch.recv_u64() != 0) {
+      nn::PoolSpec pl{};
+      pl.c = ch.recv_u64();
+      pl.h = ch.recv_u64();
+      pl.w = ch.recv_u64();
+      pl.win_h = ch.recv_u64();
+      pl.win_w = ch.recv_u64();
+      pl.stride = ch.recv_u64();
+      ABNN2_CHECK(pl.out_size() == info_.dims[i + 1],
+                  "pool spec inconsistent with layer dims");
+      info_.pools.emplace_back(pl);
+    } else {
+      info_.pools.emplace_back(std::nullopt);
+    }
+    // Linear output (pre-pool) must line up with the declared dims.
+    const auto& cvo = info_.convs.back();
+    const auto& plo = info_.pools.back();
+    const std::size_t linear_out =
+        cvo ? cvo->out_c * cvo->out_positions()
+            : (plo ? plo->in_size() : info_.dims[i + 1]);
+    if (plo) {
+      ABNN2_CHECK(plo->in_size() == linear_out,
+                  "pool spec inconsistent with conv output");
+    } else if (cvo) {
+      ABNN2_CHECK(linear_out == info_.dims[i + 1],
+                  "conv spec inconsistent with layer output");
+    }
+  }
+
+  switch (cfg_.backend) {
+    case Backend::kAbnn2:
+      if (!kk_setup_) {
+        kk_.setup(ch, prg_);
+        kk_setup_ = true;
+      }
+      break;
+    case Backend::kSecureML:
+    case Backend::kQuotient:
+      if (!iknp_setup_) {
+        iknp_.setup(ch, prg_);
+        iknp_setup_ = true;
+      }
+      break;
+    case Backend::kMiniONN:
+      if (!minionn_) {
+        minionn_ = std::make_unique<baselines::MinionnClient>(
+            cfg_.ring.bits() <= 32 ? 32 : 64, prg_);
+      }
+      break;
+  }
+
+  TripletConfig tcfg(cfg_.ring);
+  tcfg.mode = cfg_.batch_mode;
+  tcfg.chunk_instances = cfg_.chunk_instances;
+  r_.clear();
+  v_.clear();
+  for (u64 i = 0; i < n_layers; ++i) {
+    const std::size_t in_dim = info_.dims[i];
+    const auto& conv = info_.convs[i];
+    r_.push_back(nn::random_mat(in_dim, o_, cfg_.ring.bits(), prg_));
+    // For conv layers the triplet operand is the im2col-lowered share and
+    // the triplet output has one row per kernel, one column per (position,
+    // batch item). Lowering/flattening are local.
+    const nn::MatU64 r_lowered =
+        conv ? nn::im2col(*conv, r_.back()) : r_.back();
+    const auto& pool = info_.pools[i];
+    const std::size_t m =
+        conv ? conv->out_c
+             : (pool ? pool->in_size() : info_.dims[i + 1]);
+    nn::MatU64 v;
+    switch (cfg_.backend) {
+      case Backend::kAbnn2: {
+        const auto scheme = nn::FragScheme::parse(info_.scheme_names[i]);
+        v = triplet_gen_client(ch, kk_, r_lowered, scheme, m, tcfg, prg_);
+        break;
+      }
+      case Backend::kSecureML:
+        v = baselines::secureml_triplet_client(ch, iknp_, r_lowered, m,
+                                               cfg_.ring, prg_);
+        break;
+      case Backend::kQuotient:
+        v = baselines::quotient_triplet_client(ch, iknp_, r_lowered, m,
+                                               cfg_.ring);
+        break;
+      case Backend::kMiniONN:
+        v = minionn_->triplet_gen(ch, r_lowered, m, cfg_.ring, prg_);
+        break;
+    }
+    if (conv) v = nn::flatten_conv_output(*conv, v, o_);
+    v_.push_back(std::move(v));
+  }
+}
+
+nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
+  ABNN2_CHECK(!r_.empty(), "offline phase must run before online");
+  ABNN2_CHECK_ARG(x.rows() == info_.dims[0] && x.cols() == o_,
+                  "input shape mismatch");
+  const auto& ring = cfg_.ring;
+  const std::size_t l = ring.bits();
+
+  // <x>_0 = x - R_0 goes to the server; <x>_1 = R_0 stays here.
+  MatU64 x0(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i)
+    x0.data()[i] = ring.sub(x.data()[i], r_[0].data()[i]);
+  send_mat(ch, x0, l);
+
+  const std::size_t n_layers = v_.size();
+  for (std::size_t li = 0; li + 1 < n_layers; ++li) {
+    // y1 = V_li (this party's share of the linear output); z1 = R_{li+1}.
+    if (info_.pools[li]) {
+      nn::MatU64 y1m = v_[li];
+      if (cfg_.trunc_bits > 0)
+        for (auto& v : y1m.data())
+          v = truncate_share(ring, v, cfg_.trunc_bits, 1);
+      maxpool_.run(ch, *info_.pools[li], y1m, r_[li + 1], prg_);
+      continue;
+    }
+    std::vector<u64> y1 = v_[li].data();
+    if (cfg_.trunc_bits > 0)
+      for (auto& v : y1) v = truncate_share(ring, v, cfg_.trunc_bits, 1);
+    relu_.run(ch, y1, r_[li + 1].data(), prg_);
+  }
+
+  // Final layer: either an argmax circuit (only the class index leaks) or
+  // the paper's share reveal.
+  const std::size_t out_dim = info_.dims.back();
+  if (cfg_.reveal == Reveal::kArgmax) {
+    MatU64 y1m(out_dim, o_);
+    y1m.data() = v_.back().data();
+    if (cfg_.trunc_bits > 0)
+      for (auto& v : y1m.data())
+        v = truncate_share(ring, v, cfg_.trunc_bits, 1);
+    const auto idxs = argmax_client_batch(ch, argmax_gc_, ring, y1m, prg_);
+    MatU64 cls(1, o_);
+    for (std::size_t k = 0; k < o_; ++k) cls.at(0, k) = idxs[k];
+    r_.clear();
+    v_.clear();
+    return cls;
+  }
+  MatU64 y0 = recv_mat(ch, out_dim, o_, l);
+  MatU64 logits(out_dim, o_);
+  for (std::size_t i = 0; i < logits.data().size(); ++i) {
+    u64 v1 = v_.back().data()[i];
+    if (cfg_.trunc_bits > 0) v1 = truncate_share(ring, v1, cfg_.trunc_bits, 1);
+    logits.data()[i] = ring.add(y0.data()[i], v1);
+  }
+  r_.clear();
+  v_.clear();
+  return logits;
+}
+
+}  // namespace abnn2::core

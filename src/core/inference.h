@@ -1,0 +1,126 @@
+// End-to-end secure two-party QNN prediction (paper section 3, Fig 2).
+//
+// The server owns the quantized model, the client owns the input batch.
+// Executing one prediction batch is split, as in the paper, into:
+//
+//  offline phase (data independent): for every layer i the client samples a
+//  random matrix R_i — its future share of that layer's input — and the two
+//  parties run the 1-out-of-N-OT triplet generation of section 4.1, leaving
+//  the server with U_i and the client with V_i s.t. U_i + V_i = W_i * R_i.
+//
+//  online phase: the client sends <x>_0 = x - R_0; each linear layer is then
+//  one local matrix product on the server (W_i * <z>_0 + U_i) plus the
+//  client's stored V_i; each non-linear layer runs the GC ReLU protocol of
+//  section 4.2. Finally the server reveals its share of the logits.
+//
+// Optional extension (off by default, the paper does not rescale): local
+// probabilistic truncation of the activation shares by `trunc_bits`
+// (SecureML-style), so multi-layer fixed-point scales stay bounded.
+#pragma once
+
+#include <optional>
+
+#include "baselines/minionn.h"
+#include "baselines/quotient.h"
+#include "baselines/secureml.h"
+#include "core/argmax.h"
+#include "core/maxpool.h"
+#include "core/nonlinear.h"
+#include "core/triplet_gen.h"
+#include "nn/model.h"
+
+namespace abnn2::core {
+
+/// Which offline triplet generator drives the linear layers. The online
+/// phase (share algebra + GC ReLU) is identical for all backends, exactly
+/// mirroring how the paper compares against MiniONN/QUOTIENT.
+enum class Backend { kAbnn2, kSecureML, kMiniONN, kQuotient };
+
+/// What the client learns at the end of the online phase (extension beyond
+/// the paper, which always reveals the logits): kArgmax replaces the final
+/// share reveal with one more garbled circuit so only the class index leaks.
+enum class Reveal { kLogits, kArgmax };
+
+struct InferenceConfig {
+  ss::Ring ring;
+  ReluMode relu = ReluMode::kOptimized;
+  BatchMode batch_mode = BatchMode::kAuto;
+  Backend backend = Backend::kAbnn2;
+  Reveal reveal = Reveal::kLogits;
+  std::size_t chunk_instances = 8192;
+  std::size_t trunc_bits = 0;  // 0 = paper-faithful (no rescaling)
+
+  explicit InferenceConfig(ss::Ring r) : ring(r) {}
+};
+
+/// Public model architecture exchanged in the handshake (shapes and
+/// quantization schemes are public; weights are not).
+struct ModelInfo {
+  std::size_t ring_bits = 0;
+  std::vector<std::size_t> dims;           // logical dims: dims[0] = input, ...
+  std::vector<std::string> scheme_names;   // one per layer
+  std::vector<std::optional<nn::ConvSpec>> convs;  // one per layer
+  std::vector<std::optional<nn::PoolSpec>> pools;  // one per layer
+};
+
+class InferenceServer {
+ public:
+  InferenceServer(nn::Model model, InferenceConfig cfg);
+
+  /// Handshake + triplet generation for one upcoming batch.
+  void run_offline(Channel& ch);
+  /// Executes one prediction batch; the client ends with the logits.
+  void run_online(Channel& ch);
+
+ private:
+  nn::Model model_;
+  InferenceConfig cfg_;
+  Prg prg_;
+  Kk13Receiver kk_;
+  IknpReceiver iknp_{0x5EC0'0001};  // SecureML / QUOTIENT backends
+  std::unique_ptr<baselines::MinionnServer> minionn_;
+  gc::GcGarbler argmax_gc_{0xA43A'0001};
+  ReluServer relu_;
+  MaxPoolServer maxpool_;
+  bool kk_setup_ = false;
+  bool iknp_setup_ = false;
+  std::size_t o_ = 0;
+  std::vector<nn::MatU64> u_;  // one triplet share per layer
+};
+
+class InferenceClient {
+ public:
+  explicit InferenceClient(InferenceConfig cfg);
+
+  /// Handshake + triplet generation; `batch` is the number of inputs of the
+  /// upcoming online run.
+  void run_offline(Channel& ch, std::size_t batch);
+  /// Runs one batch; `x` is input_dim x batch. Returns the logits
+  /// (output_dim x batch). With Reveal::kArgmax the returned matrix is
+  /// 1 x batch holding the class indices (the logits never leave the GC).
+  nn::MatU64 run_online(Channel& ch, const nn::MatU64& x);
+
+  const ModelInfo& info() const { return info_; }
+
+ private:
+  InferenceConfig cfg_;
+  Prg prg_;
+  Kk13Sender kk_;
+  IknpSender iknp_{0x5EC0'0001};
+  std::unique_ptr<baselines::MinionnClient> minionn_;
+  gc::GcEvaluator argmax_gc_{0xA43A'0001};
+  ReluClient relu_;
+  MaxPoolClient maxpool_;
+  bool kk_setup_ = false;
+  bool iknp_setup_ = false;
+  std::size_t o_ = 0;
+  ModelInfo info_;
+  std::vector<nn::MatU64> r_;  // client input-share per layer
+  std::vector<nn::MatU64> v_;  // triplet shares per layer
+};
+
+/// Local probabilistic truncation of an additive share (SecureML, used only
+/// when trunc_bits > 0). party is 0 for the server share, 1 for the client.
+u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party);
+
+}  // namespace abnn2::core

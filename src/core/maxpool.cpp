@@ -1,0 +1,96 @@
+#include "core/maxpool.h"
+
+namespace abnn2::core {
+
+gc::Circuit relu_maxpool_circuit(std::size_t l, std::size_t k) {
+  ABNN2_CHECK_ARG(k >= 1, "empty pool window");
+  gc::Builder b;
+  std::vector<std::vector<u32>> y1(k);
+  for (auto& w : y1) w = b.garbler_inputs(l);
+  const auto z1 = b.garbler_inputs(l);
+  std::vector<std::vector<u32>> y0(k);
+  for (auto& w : y0) w = b.evaluator_inputs(l);
+
+  // Reconstruct elements; bias MSBs so unsigned compare == signed compare.
+  std::vector<std::vector<u32>> val(k);
+  for (std::size_t e = 0; e < k; ++e) {
+    val[e] = b.add_mod(y0[e], y1[e]);
+    val[e][l - 1] = b.NOT(val[e][l - 1]);
+  }
+  std::vector<u32> best = val[0];
+  for (std::size_t e = 1; e < k; ++e) {
+    const u32 gt = b.less_than(best, val[e]);
+    best = b.mux(gt, val[e], best);
+  }
+  // Undo the bias; ReLU; re-share.
+  best[l - 1] = b.NOT(best[l - 1]);
+  const u32 pos = b.NOT(best[l - 1]);
+  const auto relu = b.and_bit(pos, best);
+  b.mark_outputs(b.sub_mod(relu, z1));
+  return b.build();
+}
+
+nn::MatU64 MaxPoolServer::run(Channel& ch, const nn::PoolSpec& spec,
+                              const nn::MatU64& y0, Prg& prg) {
+  ABNN2_CHECK_ARG(y0.rows() == spec.in_size(), "pool input shape mismatch");
+  const std::size_t l = ring_.bits();
+  const std::size_t k = spec.window_elems();
+  const std::size_t batch = y0.cols();
+  const std::size_t n_windows = spec.out_size();
+  const std::size_t n_inst = n_windows * batch;
+  const gc::Circuit c = relu_maxpool_circuit(l, k);
+
+  std::vector<u8> bits(n_inst * k * l);
+  std::size_t inst = 0;
+  for (std::size_t widx = 0; widx < n_windows; ++widx) {
+    const auto rows = nn::pool_window_rows(spec, widx);
+    for (std::size_t b = 0; b < batch; ++b, ++inst) {
+      u8* dst = bits.data() + inst * k * l;
+      for (std::size_t e = 0; e < k; ++e)
+        for (std::size_t i = 0; i < l; ++i)
+          dst[e * l + i] = static_cast<u8>((y0.at(rows[e], b) >> i) & 1);
+    }
+  }
+  const auto out_bits = gc_.run(ch, c, n_inst, bits, prg);
+
+  nn::MatU64 z0(n_windows, batch);
+  inst = 0;
+  for (std::size_t widx = 0; widx < n_windows; ++widx)
+    for (std::size_t b = 0; b < batch; ++b, ++inst) {
+      u64 v = 0;
+      for (std::size_t i = 0; i < l; ++i)
+        if (out_bits[inst * l + i]) v |= u64{1} << i;
+      z0.at(widx, b) = v;
+    }
+  return z0;
+}
+
+void MaxPoolClient::run(Channel& ch, const nn::PoolSpec& spec,
+                        const nn::MatU64& y1, const nn::MatU64& z1, Prg& prg) {
+  ABNN2_CHECK_ARG(y1.rows() == spec.in_size(), "pool input shape mismatch");
+  ABNN2_CHECK_ARG(z1.rows() == spec.out_size() && z1.cols() == y1.cols(),
+                  "pool output share shape mismatch");
+  const std::size_t l = ring_.bits();
+  const std::size_t k = spec.window_elems();
+  const std::size_t batch = y1.cols();
+  const std::size_t n_windows = spec.out_size();
+  const std::size_t n_inst = n_windows * batch;
+  const gc::Circuit c = relu_maxpool_circuit(l, k);
+
+  std::vector<u8> bits(n_inst * (k + 1) * l);
+  std::size_t inst = 0;
+  for (std::size_t widx = 0; widx < n_windows; ++widx) {
+    const auto rows = nn::pool_window_rows(spec, widx);
+    for (std::size_t b = 0; b < batch; ++b, ++inst) {
+      u8* dst = bits.data() + inst * (k + 1) * l;
+      for (std::size_t e = 0; e < k; ++e)
+        for (std::size_t i = 0; i < l; ++i)
+          dst[e * l + i] = static_cast<u8>((y1.at(rows[e], b) >> i) & 1);
+      for (std::size_t i = 0; i < l; ++i)
+        dst[k * l + i] = static_cast<u8>((z1.at(widx, b) >> i) & 1);
+    }
+  }
+  gc_.run(ch, c, n_inst, bits, prg);
+}
+
+}  // namespace abnn2::core

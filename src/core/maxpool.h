@@ -1,0 +1,46 @@
+// Secure fused ReLU + max-pool on additive shares (extension; same protocol
+// pattern as the non-linear layer of Algorithm 2).
+//
+// Per pool window the parties garble one circuit that reconstructs every
+// window element y_e = y0_e + y1_e, takes the signed maximum, applies ReLU
+// and re-shares: the server (evaluator) obtains z0 = ReLU(max_e y_e) - z1
+// where z1 is the client-chosen output share (its next-layer R). Roles match
+// the ReLU protocols: client garbles, server evaluates.
+#pragma once
+
+#include "gc/protocol.h"
+#include "nn/pool.h"
+#include "ss/additive.h"
+
+namespace abnn2::core {
+
+/// Fused circuit over k window elements of l bits.
+gc::Circuit relu_maxpool_circuit(std::size_t l, std::size_t k);
+
+class MaxPoolServer {
+ public:
+  explicit MaxPoolServer(ss::Ring ring) : ring_(ring) {}
+
+  /// y0: in_size x batch share matrix; returns the out_size x batch share.
+  nn::MatU64 run(Channel& ch, const nn::PoolSpec& spec, const nn::MatU64& y0,
+                 Prg& prg);
+
+ private:
+  ss::Ring ring_;
+  gc::GcEvaluator gc_{0x900C'0001};
+};
+
+class MaxPoolClient {
+ public:
+  explicit MaxPoolClient(ss::Ring ring) : ring_(ring) {}
+
+  /// z1: out_size x batch output shares chosen by the caller.
+  void run(Channel& ch, const nn::PoolSpec& spec, const nn::MatU64& y1,
+           const nn::MatU64& z1, Prg& prg);
+
+ private:
+  ss::Ring ring_;
+  gc::GcGarbler gc_{0x900C'0001};
+};
+
+}  // namespace abnn2::core

@@ -1,0 +1,228 @@
+#include "core/nonlinear.h"
+
+#include "common/packing.h"
+
+namespace abnn2::core {
+namespace {
+
+// Writes the l-bit little-endian decomposition of each value as one byte per
+// bit (the GC protocol input format).
+std::vector<u8> to_input_bits(std::span<const u64> vals, std::size_t l) {
+  std::vector<u8> bits(vals.size() * l);
+  for (std::size_t k = 0; k < vals.size(); ++k)
+    for (std::size_t i = 0; i < l; ++i)
+      bits[k * l + i] = static_cast<u8>((vals[k] >> i) & 1);
+  return bits;
+}
+
+u64 from_output_bits(const u8* bits, std::size_t l) {
+  u64 v = 0;
+  for (std::size_t i = 0; i < l; ++i)
+    if (bits[i] & 1) v |= u64{1} << i;
+  return v;
+}
+
+}  // namespace
+
+gc::Circuit relu_generic_circuit(std::size_t l) {
+  gc::Builder b;
+  const auto y1 = b.garbler_inputs(l);   // client
+  const auto z1 = b.garbler_inputs(l);
+  const auto y0 = b.evaluator_inputs(l); // server
+  const auto sum = b.add_mod(y0, y1);
+  const u32 pos = b.NOT(sum[l - 1]);     // 1 iff ReLU passes the value
+  const auto relu = b.and_bit(pos, sum);
+  const auto out = b.sub_mod(relu, z1);
+  b.mark_outputs(out);
+  return b.build();
+}
+
+gc::Circuit sign_circuit(std::size_t l) {
+  gc::Builder b;
+  const auto y1 = b.garbler_inputs(l);
+  const auto y0 = b.evaluator_inputs(l);
+  const auto sum = b.add_mod(y0, y1);
+  b.mark_output(b.NOT(sum[l - 1]));  // 1 iff y >= 0
+  return b.build();
+}
+
+gc::Circuit reshare_circuit(std::size_t l) {
+  gc::Builder b;
+  const auto y1 = b.garbler_inputs(l);
+  const auto z1 = b.garbler_inputs(l);
+  const auto y0 = b.evaluator_inputs(l);
+  const auto sum = b.add_mod(y0, y1);
+  const auto out = b.sub_mod(sum, z1);
+  b.mark_outputs(out);
+  return b.build();
+}
+
+gc::Circuit sigmoid_circuit(std::size_t l) {
+  gc::Builder b;
+  const auto y1 = b.garbler_inputs(l);
+  const auto z1 = b.garbler_inputs(l);
+  const auto half = b.garbler_inputs(l);  // public constant 2^(frac-1)
+  const auto one = b.garbler_inputs(l);   // public constant 2^frac
+  const auto y0 = b.evaluator_inputs(l);
+
+  const auto y = b.add_mod(y0, y1);
+  const auto s1 = b.add_mod(y, half);        // y + 1/2
+  const u32 below = s1[l - 1];               // 1 iff y < -1/2
+  const auto d = b.sub_mod(y, half);         // y - 1/2
+  const u32 above = b.NOT(d[l - 1]);         // 1 iff y >= 1/2
+  const auto mid = b.and_bit(b.NOT(below), s1);
+  const auto clamped = b.mux(above, one, mid);
+  b.mark_outputs(b.sub_mod(clamped, z1));
+  return b.build();
+}
+
+u64 sigmoid_plain(const ss::Ring& ring, std::size_t frac_bits, u64 y) {
+  const i64 half = i64{1} << (frac_bits - 1);
+  const i64 v = ring.to_signed(y);
+  if (v < -half) return 0;
+  if (v >= half) return ring.from_signed(2 * half);
+  return ring.from_signed(v + half);
+}
+
+std::vector<u64> sigmoid_server(Channel& ch, gc::GcEvaluator& gc,
+                                const ss::Ring& ring, std::size_t frac_bits,
+                                std::span<const u64> y0, Prg& prg) {
+  ABNN2_CHECK_ARG(frac_bits >= 1 && frac_bits + 1 < ring.bits(),
+                  "frac_bits out of range");
+  const std::size_t l = ring.bits();
+  const std::size_t n = y0.size();
+  const gc::Circuit c = sigmoid_circuit(l);
+  const auto out_bits = gc.run(ch, c, n, to_input_bits(y0, l), prg);
+  std::vector<u64> z0(n);
+  for (std::size_t k = 0; k < n; ++k)
+    z0[k] = from_output_bits(out_bits.data() + k * l, l);
+  return z0;
+}
+
+void sigmoid_client(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                    std::size_t frac_bits, std::span<const u64> y1,
+                    std::span<const u64> z1, Prg& prg) {
+  ABNN2_CHECK_ARG(y1.size() == z1.size(), "share size mismatch");
+  ABNN2_CHECK_ARG(frac_bits >= 1 && frac_bits + 1 < ring.bits(),
+                  "frac_bits out of range");
+  const std::size_t l = ring.bits();
+  const std::size_t n = y1.size();
+  const gc::Circuit c = sigmoid_circuit(l);
+  const u64 half = u64{1} << (frac_bits - 1);
+  const u64 one = u64{1} << frac_bits;
+  std::vector<u8> bits(n * 4 * l);
+  for (std::size_t k = 0; k < n; ++k) {
+    u8* dst = bits.data() + k * 4 * l;
+    for (std::size_t i = 0; i < l; ++i) {
+      dst[i] = static_cast<u8>((y1[k] >> i) & 1);
+      dst[l + i] = static_cast<u8>((z1[k] >> i) & 1);
+      dst[2 * l + i] = static_cast<u8>((half >> i) & 1);
+      dst[3 * l + i] = static_cast<u8>((one >> i) & 1);
+    }
+  }
+  gc.run(ch, c, n, bits, prg);
+}
+
+std::vector<u64> ReluServer::run(Channel& ch, std::span<const u64> y0,
+                                 Prg& prg) {
+  const std::size_t l = ring_.bits();
+  const std::size_t n = y0.size();
+  ABNN2_CHECK_ARG(n > 0, "empty activation");
+
+  if (mode_ == ReluMode::kGeneric) {
+    const gc::Circuit c = relu_generic_circuit(l);
+    const auto out_bits = gc_.run(ch, c, n, to_input_bits(y0, l), prg);
+    std::vector<u64> z0(n);
+    for (std::size_t k = 0; k < n; ++k)
+      z0[k] = from_output_bits(out_bits.data() + k * l, l);
+    return z0;
+  }
+
+  // Optimized protocol. Phase 1: sign test.
+  const gc::Circuit sc = sign_circuit(l);
+  const auto pos_bits = gc_.run(ch, sc, n, to_input_bits(y0, l), prg);
+  // Tell the client which neurons are positive.
+  std::vector<u64> as_vals(n);
+  for (std::size_t k = 0; k < n; ++k) as_vals[k] = pos_bits[k] & 1;
+  ch.send_msg(pack_bits(as_vals, 1));
+
+  std::vector<std::size_t> positives;
+  for (std::size_t k = 0; k < n; ++k)
+    if (pos_bits[k] & 1) positives.push_back(k);
+
+  std::vector<u64> z0(n, 0);
+  // Phase 2a: GC reshare for positive neurons.
+  if (!positives.empty()) {
+    const gc::Circuit rc = reshare_circuit(l);
+    std::vector<u64> y0_pos(positives.size());
+    for (std::size_t p = 0; p < positives.size(); ++p)
+      y0_pos[p] = y0[positives[p]];
+    const auto out_bits =
+        gc_.run(ch, rc, positives.size(), to_input_bits(y0_pos, l), prg);
+    for (std::size_t p = 0; p < positives.size(); ++p)
+      z0[positives[p]] = from_output_bits(out_bits.data() + p * l, l);
+  }
+  // Phase 2b: direct -z1 shares for negative neurons.
+  if (positives.size() < n) {
+    const std::size_t neg = n - positives.size();
+    const std::vector<u8> blob = ch.recv_msg();
+    const std::vector<u64> negz1 = unpack_bits(blob, l, neg);
+    std::size_t p = 0;
+    for (std::size_t k = 0; k < n; ++k)
+      if (!(pos_bits[k] & 1)) z0[k] = ring_.reduce(negz1[p++]);
+  }
+  return z0;
+}
+
+void ReluClient::run(Channel& ch, std::span<const u64> y1,
+                     std::span<const u64> z1, Prg& prg) {
+  ABNN2_CHECK_ARG(y1.size() == z1.size(), "share size mismatch");
+  const std::size_t l = ring_.bits();
+  const std::size_t n = y1.size();
+  ABNN2_CHECK_ARG(n > 0, "empty activation");
+
+  if (mode_ == ReluMode::kGeneric) {
+    const gc::Circuit c = relu_generic_circuit(l);
+    // Garbler inputs per instance: y1 bits then z1 bits.
+    std::vector<u8> bits(n * 2 * l);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < l; ++i) {
+        bits[k * 2 * l + i] = static_cast<u8>((y1[k] >> i) & 1);
+        bits[k * 2 * l + l + i] = static_cast<u8>((z1[k] >> i) & 1);
+      }
+    }
+    gc_.run(ch, c, n, bits, prg);
+    return;
+  }
+
+  // Optimized protocol. Phase 1: sign test (garbler inputs: y1 only).
+  const gc::Circuit sc = sign_circuit(l);
+  gc_.run(ch, sc, n, to_input_bits(y1, l), prg);
+  const std::vector<u8> mask_blob = ch.recv_msg();
+  const std::vector<u64> pos_mask = unpack_bits(mask_blob, 1, n);
+
+  std::vector<std::size_t> positives, negatives;
+  for (std::size_t k = 0; k < n; ++k)
+    (pos_mask[k] ? positives : negatives).push_back(k);
+
+  if (!positives.empty()) {
+    const gc::Circuit rc = reshare_circuit(l);
+    std::vector<u8> bits(positives.size() * 2 * l);
+    for (std::size_t p = 0; p < positives.size(); ++p) {
+      const std::size_t k = positives[p];
+      for (std::size_t i = 0; i < l; ++i) {
+        bits[p * 2 * l + i] = static_cast<u8>((y1[k] >> i) & 1);
+        bits[p * 2 * l + l + i] = static_cast<u8>((z1[k] >> i) & 1);
+      }
+    }
+    gc_.run(ch, rc, positives.size(), bits, prg);
+  }
+  if (!negatives.empty()) {
+    std::vector<u64> negz1(negatives.size());
+    for (std::size_t p = 0; p < negatives.size(); ++p)
+      negz1[p] = ring_.neg(z1[negatives[p]]);
+    ch.send_msg(pack_bits(negz1, l));
+  }
+}
+
+}  // namespace abnn2::core

@@ -1,0 +1,92 @@
+// Secure non-linear activation layer (paper section 4.2).
+//
+// Inputs are additive shares y = y0 + y1 (mod 2^l): the server S holds y0,
+// the client C holds y1. C also supplies z1 — the random values it chose in
+// the offline phase as its shares of this layer's OUTPUT (they double as the
+// R matrix of the next layer's triplets). After the protocol S holds z0 with
+//
+//     z0 + z1 = ReLU(y0 + y1)   (mod 2^l).
+//
+// Two implementations:
+//  - kGeneric (Algorithm 2): one garbled circuit computes
+//    ReLU((y0+y1) mod 2^l) - z1; because the adder works mod 2^l natively,
+//    "there will be no extra cost required to complete the non-XOR gates
+//    corresponding to the modulo operation".
+//  - kOptimized (the paper's ReLU protocol): phase 1 garbles only the sign
+//    test; S learns which neurons are positive and tells C. Phase 2 runs the
+//    reconstruct-and-reshare circuit only for positive neurons; for negative
+//    neurons C sends z0 = -z1 directly, avoiding their GC cost entirely.
+//    (This trades the sign of each pre-activation to both parties for
+//    bandwidth, exactly as in the paper.)
+//
+// Roles match Algorithm 2: C garbles, S evaluates and gets the output.
+#pragma once
+
+#include <map>
+#include <span>
+
+#include "gc/protocol.h"
+#include "ss/additive.h"
+
+namespace abnn2::core {
+
+enum class ReluMode { kGeneric, kOptimized };
+
+class ReluServer {
+ public:
+  ReluServer(ss::Ring ring, ReluMode mode) : ring_(ring), mode_(mode) {}
+
+  /// Returns z0, one element per entry of y0.
+  std::vector<u64> run(Channel& ch, std::span<const u64> y0, Prg& prg);
+
+  ReluMode mode() const { return mode_; }
+
+ private:
+  ss::Ring ring_;
+  ReluMode mode_;
+  gc::GcEvaluator gc_;
+};
+
+class ReluClient {
+ public:
+  ReluClient(ss::Ring ring, ReluMode mode) : ring_(ring), mode_(mode) {}
+
+  /// `z1` must have the same length as `y1` and is the client's output
+  /// share (chosen by the caller, typically in the offline phase).
+  void run(Channel& ch, std::span<const u64> y1, std::span<const u64> z1,
+           Prg& prg);
+
+ private:
+  ss::Ring ring_;
+  ReluMode mode_;
+  gc::GcGarbler gc_;
+};
+
+/// Circuit factories (exposed for tests and gate-count benches).
+gc::Circuit relu_generic_circuit(std::size_t l);
+gc::Circuit sign_circuit(std::size_t l);
+gc::Circuit reshare_circuit(std::size_t l);
+gc::Circuit sigmoid_circuit(std::size_t l);
+
+/// Algorithm 2 instantiated with SecureML's MPC-friendly piecewise-linear
+/// sigmoid (extension, showing the generic non-linear layer of section 4.2
+/// with an f other than ReLU):
+///
+///   f(y) = 0          if y < -1/2
+///        = y + 1/2    if -1/2 <= y < 1/2
+///        = 1          if y >= 1/2
+///
+/// in fixed point with `frac_bits` fractional bits ("1/2" = 2^(frac-1)).
+/// Server holds y0 and receives z0 = f(y) - z1; client holds y1 and supplies
+/// z1. Same roles as ReLU: client garbles, server evaluates.
+std::vector<u64> sigmoid_server(Channel& ch, gc::GcEvaluator& gc,
+                                const ss::Ring& ring, std::size_t frac_bits,
+                                std::span<const u64> y0, Prg& prg);
+void sigmoid_client(Channel& ch, gc::GcGarbler& gc, const ss::Ring& ring,
+                    std::size_t frac_bits, std::span<const u64> y1,
+                    std::span<const u64> z1, Prg& prg);
+
+/// Plaintext reference of the piecewise sigmoid.
+u64 sigmoid_plain(const ss::Ring& ring, std::size_t frac_bits, u64 y);
+
+}  // namespace abnn2::core

@@ -1,0 +1,221 @@
+#include "core/triplet_gen.h"
+
+#include "common/packing.h"
+
+namespace abnn2::core {
+namespace {
+
+using nn::FragScheme;
+using nn::MatU64;
+using ss::Ring;
+
+// Flat instance index t <-> (i, j, f): f fastest, then j, then i.
+struct InstanceIter {
+  std::size_t n, gamma;
+  std::size_t i(std::size_t t) const { return t / (n * gamma); }
+  std::size_t j(std::size_t t) const { return (t / gamma) % n; }
+  std::size_t f(std::size_t t) const { return t % gamma; }
+};
+
+// Both parties announce their view of the protocol parameters up front so a
+// configuration mismatch surfaces as a clean ProtocolError instead of a
+// garbled transcript.
+void sync_params(Channel& ch, std::size_t m, std::size_t n, std::size_t o,
+                 std::size_t gamma, std::size_t l, BatchMode mode) {
+  Writer w;
+  for (u64 v : {static_cast<u64>(m), static_cast<u64>(n), static_cast<u64>(o),
+                static_cast<u64>(gamma), static_cast<u64>(l),
+                static_cast<u64>(mode)})
+    w.u64_(v);
+  ch.send(w.data().data(), w.size());
+  std::vector<u8> peer(w.size());
+  ch.recv(peer.data(), peer.size());
+  ABNN2_CHECK(peer == w.data(),
+              "triplet generation parameter mismatch between parties");
+}
+
+std::size_t blob_fields_one_batch(const FragScheme& scheme, std::size_t count) {
+  std::size_t fields = 0;
+  for (std::size_t f = 0; f < scheme.gamma(); ++f)
+    fields += scheme.table_size(f) - 1;
+  // All instances in a chunk cycle through the fragments evenly only when
+  // count is a multiple of gamma; handle the general tail per instance.
+  const std::size_t per_weight = fields;
+  const std::size_t full = count / scheme.gamma();
+  std::size_t total = full * per_weight;
+  for (std::size_t f = 0; f < count % scheme.gamma(); ++f)
+    total += scheme.table_size(f) - 1;
+  return total;
+}
+
+}  // namespace
+
+MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
+                          const FragScheme& scheme, std::size_t o,
+                          const TripletConfig& cfg) {
+  ABNN2_CHECK_ARG(o >= 1, "batch size must be positive");
+  const BatchMode mode = resolve_mode(cfg.mode, o);
+  ABNN2_CHECK_ARG(mode == BatchMode::kMultiBatch || o == 1,
+                  "one-batch mode requires o == 1");
+  ABNN2_CHECK_ARG(scheme.max_n() <= kKkMaxN, "fragment table exceeds OT code");
+
+  const Ring& ring = cfg.ring;
+  const std::size_t l = ring.bits();
+  const std::size_t m = codes.rows(), n = codes.cols();
+  const std::size_t gamma = scheme.gamma();
+  const std::size_t total = m * n * gamma;
+  const InstanceIter it{n, gamma};
+  sync_params(ch, m, n, o, gamma, l, mode);
+
+  MatU64 u(m, o);
+  std::size_t t0 = 0;
+  while (t0 < total) {
+    const std::size_t count = std::min(cfg.chunk_instances, total - t0);
+
+    // OT choices = fragment indices of the weights in this chunk.
+    std::vector<u32> choices(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      const std::size_t t = t0 + k;
+      choices[k] = scheme.choice(codes.at(it.i(t), it.j(t)), it.f(t));
+    }
+    ot.extend(ch, choices);
+
+    // Receive the masked-message blob and pick out the chosen messages.
+    const std::vector<u8> blob = ch.recv_msg();
+    if (mode == BatchMode::kOneBatchCot) {
+      const std::size_t fields =
+          [&] {
+            std::size_t acc = 0;
+            for (std::size_t k = 0; k < count; ++k)
+              acc += scheme.table_size(it.f(t0 + k)) - 1;
+            return acc;
+          }();
+      const std::vector<u64> vals = unpack_bits(blob, l, fields);
+      std::size_t pos = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t t = t0 + k;
+        const u32 nf = scheme.table_size(it.f(t));
+        const u32 w = choices[k];
+        u64 contrib;
+        if (w == 0) {
+          contrib = ring.neg(ot.pad(k).low_bits(l));
+        } else {
+          const u64 masked = vals[pos + w - 1];
+          contrib = ring.reduce(masked ^ ot.pad(k).low_bits(l));
+        }
+        u.at(it.i(t), 0) = ring.add(u.at(it.i(t), 0), contrib);
+        pos += nf - 1;
+      }
+      ABNN2_CHECK(pos == fields, "blob walk mismatch");
+    } else {
+      std::size_t fields = 0;
+      for (std::size_t k = 0; k < count; ++k)
+        fields += scheme.table_size(it.f(t0 + k)) * o;
+      const std::vector<u64> vals = unpack_bits(blob, l, fields);
+      std::vector<u64> pad(o);
+      std::size_t pos = 0;
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t t = t0 + k;
+        const u32 nf = scheme.table_size(it.f(t));
+        const u32 w = choices[k];
+        ro_expand_u64(ot.pad(k), l, pad.data(), o);
+        const std::size_t base = pos + static_cast<std::size_t>(w) * o;
+        u64* urow = u.row(it.i(t));
+        for (std::size_t b = 0; b < o; ++b)
+          urow[b] = ring.add(urow[b], ring.reduce(vals[base + b] ^ pad[b]));
+        pos += static_cast<std::size_t>(nf) * o;
+      }
+      ABNN2_CHECK(pos == fields, "blob walk mismatch");
+    }
+    t0 += count;
+  }
+  return u;
+}
+
+MatU64 triplet_gen_client(Channel& ch, Kk13Sender& ot, const MatU64& r,
+                          const FragScheme& scheme, std::size_t m,
+                          const TripletConfig& cfg, Prg& prg) {
+  const std::size_t o = r.cols();
+  const BatchMode mode = resolve_mode(cfg.mode, o);
+  ABNN2_CHECK_ARG(mode == BatchMode::kMultiBatch || o == 1,
+                  "one-batch mode requires o == 1");
+  ABNN2_CHECK_ARG(scheme.max_n() <= kKkMaxN, "fragment table exceeds OT code");
+
+  const Ring& ring = cfg.ring;
+  const std::size_t l = ring.bits();
+  const std::size_t n = r.rows();
+  const std::size_t gamma = scheme.gamma();
+  const std::size_t total = m * n * gamma;
+  const InstanceIter it{n, gamma};
+  sync_params(ch, m, n, o, gamma, l, mode);
+
+  MatU64 v(m, o);
+  std::size_t t0 = 0;
+  while (t0 < total) {
+    const std::size_t count = std::min(cfg.chunk_instances, total - t0);
+    ot.extend(ch, count);
+
+    std::vector<u64> fields;
+    if (mode == BatchMode::kOneBatchCot) {
+      fields.reserve(blob_fields_one_batch(scheme, count));
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t t = t0 + k;
+        const std::size_t f = it.f(t);
+        const u32 nf = scheme.table_size(f);
+        const u64 rj = r.at(it.j(t), 0);
+        const u64 pad0 = ot.pad(k, 0).low_bits(l);
+        const u64 v0 = scheme.value(f, 0, ring);
+        // Share s = value_0 * r + pad_0; server with choice 0 gets -pad_0.
+        const u64 s = ring.add(ring.mul(v0, rj), pad0);
+        v.at(it.i(t), 0) = ring.add(v.at(it.i(t), 0), s);
+        for (u32 cand = 1; cand < nf; ++cand) {
+          const u64 msg = ring.sub(ring.mul(scheme.value(f, cand, ring), rj), s);
+          fields.push_back(msg ^ ot.pad(k, cand).low_bits(l));
+        }
+      }
+    } else {
+      std::vector<u64> pad(o), s(o);
+      for (std::size_t k = 0; k < count; ++k) {
+        const std::size_t t = t0 + k;
+        const std::size_t f = it.f(t);
+        const u32 nf = scheme.table_size(f);
+        const u64* rrow = r.row(it.j(t));
+        u64* vrow = v.row(it.i(t));
+        for (std::size_t b = 0; b < o; ++b) {
+          s[b] = ring.random(prg);
+          vrow[b] = ring.add(vrow[b], s[b]);
+        }
+        for (u32 cand = 0; cand < nf; ++cand) {
+          const u64 val = scheme.value(f, cand, ring);
+          ro_expand_u64(ot.pad(k, cand), l, pad.data(), o);
+          for (std::size_t b = 0; b < o; ++b) {
+            const u64 msg = ring.sub(ring.mul(val, rrow[b]), s[b]);
+            fields.push_back(msg ^ pad[b]);
+          }
+        }
+      }
+    }
+    const std::vector<u8> blob = pack_bits(fields, l);
+    ch.send_msg(blob);
+    t0 += count;
+  }
+  return v;
+}
+
+u64 dot_triplet_server(Channel& ch, Kk13Receiver& ot,
+                       const std::vector<u64>& w_codes,
+                       const FragScheme& scheme, const TripletConfig& cfg) {
+  MatU64 codes(1, w_codes.size());
+  codes.data() = w_codes;
+  return triplet_gen_server(ch, ot, codes, scheme, 1, cfg).at(0, 0);
+}
+
+u64 dot_triplet_client(Channel& ch, Kk13Sender& ot, const std::vector<u64>& r,
+                       const FragScheme& scheme, const TripletConfig& cfg,
+                       Prg& prg) {
+  MatU64 rm(r.size(), 1);
+  rm.data() = r;
+  return triplet_gen_client(ch, ot, rm, scheme, 1, cfg, prg).at(0, 0);
+}
+
+}  // namespace abnn2::core

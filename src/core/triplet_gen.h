@@ -1,0 +1,75 @@
+// ABNN2 offline phase: dot-product / matrix triplet generation from
+// 1-out-of-N OT extension (paper section 4.1).
+//
+// Server S holds the quantized weight codes W (m x n) under a FragScheme;
+// client C holds a random matrix R (n x o) — its future activation shares.
+// The protocol ends with S holding U and C holding V such that
+//
+//     U + V = W_value * R   (mod 2^l),  element-wise over the m x o output,
+//
+// where W_value is the signed interpretation of the codes. Three modes:
+//
+//  - kOneBatchCot (paper 4.1.3): o == 1. Correlated-OT trick: the pad of
+//    candidate 0 IS the client's share, so only N-1 masked messages of l
+//    bits are sent per OT instance. Generalized here to arbitrary value
+//    tables: s = value_0*r + pad_0, so message_t = (value_t - value_0)*r -
+//    pad_0 and the server with choice 0 outputs -pad_0 locally.
+//
+//  - kMultiBatch (paper 4.1.2): one OT instance covers all o products
+//    sharing the same weight; each of the N candidate messages carries o
+//    packed l-bit elements masked by the RO-expanded pad.
+//
+//  - kAuto: one-batch when o == 1, multi-batch otherwise (the paper's
+//    choice).
+//
+// Instances are processed in fixed-size chunks so peak memory stays bounded
+// for large layers; the instance order (i, j, f) and chunk boundaries are
+// part of the protocol.
+#pragma once
+
+#include "nn/fragment.h"
+#include "nn/tensor.h"
+#include "ot/kk13.h"
+#include "ss/additive.h"
+
+namespace abnn2::core {
+
+enum class BatchMode { kAuto, kOneBatchCot, kMultiBatch };
+
+struct TripletConfig {
+  ss::Ring ring;
+  BatchMode mode = BatchMode::kAuto;
+  std::size_t chunk_instances = 8192;
+
+  explicit TripletConfig(ss::Ring r) : ring(r) {}
+};
+
+/// Resolved mode for a given batch size.
+inline BatchMode resolve_mode(BatchMode mode, std::size_t o) {
+  if (mode != BatchMode::kAuto) return mode;
+  return o == 1 ? BatchMode::kOneBatchCot : BatchMode::kMultiBatch;
+}
+
+/// Server side. `ot` must be set up (or will be set up on first use by the
+/// caller); choices are the weight fragment indices. Returns U (m x o).
+nn::MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot,
+                              const nn::MatU64& codes,
+                              const nn::FragScheme& scheme, std::size_t o,
+                              const TripletConfig& cfg);
+
+/// Client side. `r` is n x o. Returns V (m x o).
+nn::MatU64 triplet_gen_client(Channel& ch, Kk13Sender& ot, const nn::MatU64& r,
+                              const nn::FragScheme& scheme, std::size_t m,
+                              const TripletConfig& cfg, Prg& prg);
+
+/// Algorithm 1 convenience wrapper: dot product of one weight row with one
+/// vector (m = o = 1). Server returns u, client returns v with
+/// u + v = <w, r>.
+u64 dot_triplet_server(Channel& ch, Kk13Receiver& ot,
+                       const std::vector<u64>& w_codes,
+                       const nn::FragScheme& scheme, const TripletConfig& cfg);
+u64 dot_triplet_client(Channel& ch, Kk13Sender& ot, const std::vector<u64>& r,
+                       const nn::FragScheme& scheme, const TripletConfig& cfg,
+                       Prg& prg);
+
+}  // namespace abnn2::core

@@ -1,0 +1,41 @@
+// AES-128 block cipher. Uses AES-NI when compiled with -maes (part of
+// -march=native); otherwise falls back to a portable table-free
+// implementation. Encryption-only: the library never needs AES decryption
+// (PRG, hashing and GC all use the forward direction).
+#pragma once
+
+#include <array>
+
+#include "common/block.h"
+#include "common/defines.h"
+
+namespace abnn2 {
+
+class Aes128 {
+ public:
+  Aes128() : Aes128(kZeroBlock) {}
+  explicit Aes128(Block key) { set_key(key); }
+
+  void set_key(Block key);
+
+  /// Encrypt a single block.
+  Block encrypt(Block pt) const;
+
+  /// Encrypt `n` blocks independently (ECB over distinct inputs); the hot
+  /// path for the CTR PRG and GC hashing. `in` may alias `out`.
+  void encrypt_blocks(const Block* in, Block* out, std::size_t n) const;
+
+  /// in[i] ^ E(in[i]): the Matyas-Meyer-Oseas compression step.
+  Block mmo(Block x) const { return encrypt(x) ^ x; }
+
+  const std::array<Block, 11>& round_keys() const { return rk_; }
+
+ private:
+  std::array<Block, 11> rk_{};
+};
+
+/// A fixed-key AES instance usable as a public random permutation
+/// (the JustGarble / free-hash model). Key is an arbitrary published constant.
+const Aes128& fixed_key_aes();
+
+}  // namespace abnn2

@@ -1,0 +1,108 @@
+#include "crypto/prg.h"
+
+#include <random>
+
+namespace abnn2 {
+
+Prg::Prg() { reseed(random_block()); }
+
+Prg::Prg(Block seed, u64 stream_id) { reseed(seed, stream_id); }
+
+void Prg::reseed(Block seed, u64 stream_id) {
+  aes_.set_key(seed);
+  counter_ = 0;
+  stream_id_ = stream_id;
+  buf_pos_ = kBuf;
+  byte_pos_ = 16;
+}
+
+void Prg::refill() {
+  std::array<Block, kBuf> ctr;
+  for (std::size_t i = 0; i < kBuf; ++i) ctr[i] = Block{stream_id_, counter_ + i};
+  counter_ += kBuf;
+  aes_.encrypt_blocks(ctr.data(), buf_.data(), kBuf);
+  buf_pos_ = 0;
+}
+
+Block Prg::next_block() {
+  // Block pulls are always 16-byte aligned: discard any partially consumed
+  // block from a previous bytes() call.
+  if (byte_pos_ != 16) {
+    byte_pos_ = 16;
+    ++buf_pos_;
+  }
+  if (buf_pos_ >= kBuf) refill();
+  return buf_[buf_pos_++];
+}
+
+u64 Prg::next_u64() {
+  return next_block().lo();
+}
+
+u64 Prg::next_below(u64 bound) {
+  ABNN2_CHECK_ARG(bound > 0, "bound must be positive");
+  if ((bound & (bound - 1)) == 0) return next_u64() & (bound - 1);
+  // Rejection sampling on the smallest power-of-two envelope.
+  int bits = 64 - __builtin_clzll(bound);
+  const u64 m = mask_l(static_cast<std::size_t>(bits));
+  u64 v;
+  do {
+    v = next_u64() & m;
+  } while (v >= bound);
+  return v;
+}
+
+void Prg::next_blocks(Block* out, std::size_t n) {
+  if (byte_pos_ != 16) {
+    byte_pos_ = 16;
+    ++buf_pos_;
+  }
+  // Large requests: encrypt counters straight into `out`.
+  if (n >= kBuf) {
+    std::vector<Block> ctr(n);
+    for (std::size_t i = 0; i < n; ++i) ctr[i] = Block{stream_id_, counter_ + i};
+    counter_ += n;
+    aes_.encrypt_blocks(ctr.data(), out, n);
+    return;
+  }
+  for (std::size_t i = 0; i < n; ++i) out[i] = next_block();
+}
+
+void Prg::bytes(void* out, std::size_t n) {
+  u8* p = static_cast<u8*>(out);
+  // Drain the partially consumed block first.
+  while (n > 0 && byte_pos_ != 16) {
+    u8 tmp[16];
+    buf_[buf_pos_].to_bytes(tmp);
+    const std::size_t take = std::min<std::size_t>(n, 16 - byte_pos_);
+    std::memcpy(p, tmp + byte_pos_, take);
+    byte_pos_ += take;
+    p += take;
+    n -= take;
+    if (byte_pos_ == 16) ++buf_pos_;
+  }
+  const std::size_t whole = n / 16;
+  if (whole > 0) {
+    std::vector<Block> tmp(whole);
+    next_blocks(tmp.data(), whole);
+    std::memcpy(p, tmp.data(), whole * 16);
+    p += whole * 16;
+    n -= whole * 16;
+  }
+  if (n > 0) {
+    if (buf_pos_ >= kBuf) refill();
+    u8 tmp[16];
+    buf_[buf_pos_].to_bytes(tmp);
+    std::memcpy(p, tmp, n);
+    byte_pos_ = n;
+  }
+}
+
+Block Prg::random_block() {
+  std::random_device rd;
+  u64 lo = (u64(rd()) << 32) | rd();
+  u64 hi = (u64(rd()) << 32) | rd();
+  return Block{hi, lo};
+}
+
+}  // namespace abnn2

@@ -1,0 +1,57 @@
+// Pseudo-random generator (AES-128 in CTR mode) and system randomness.
+//
+// Every protocol object takes its randomness from a Prg so tests can run
+// deterministically from fixed seeds while production seeds from the OS.
+#pragma once
+
+#include <vector>
+
+#include "common/block.h"
+#include "crypto/aes.h"
+
+namespace abnn2 {
+
+/// Cryptographically strong PRG: AES-128-CTR keyed by a 128-bit seed.
+class Prg {
+ public:
+  /// Seeded from OS entropy.
+  Prg();
+  /// Deterministic stream from `seed` (domain-separated by `stream_id`).
+  explicit Prg(Block seed, u64 stream_id = 0);
+
+  void reseed(Block seed, u64 stream_id = 0);
+
+  /// Fill `n` bytes.
+  void bytes(void* out, std::size_t n);
+
+  Block next_block();
+  u64 next_u64();
+  /// Uniform in [0, 2^l) for l in [0,64].
+  u64 next_bits(std::size_t l) { return next_u64() & mask_l(l); }
+  /// Uniform in [0, bound) by rejection sampling (bound > 0).
+  u64 next_below(u64 bound);
+  bool next_bit() { return next_u64() & 1; }
+
+  void next_blocks(Block* out, std::size_t n);
+  std::vector<Block> blocks(std::size_t n) {
+    std::vector<Block> v(n);
+    next_blocks(v.data(), n);
+    return v;
+  }
+
+  /// Fresh random 128-bit value (convenience for seeds/keys).
+  static Block random_block();
+
+ private:
+  void refill();
+
+  Aes128 aes_;
+  u64 counter_ = 0;
+  u64 stream_id_ = 0;
+  static constexpr std::size_t kBuf = 32;  // blocks per refill
+  std::array<Block, kBuf> buf_;
+  std::size_t buf_pos_ = kBuf;            // in blocks
+  std::size_t byte_pos_ = 16;             // within current block for bytes()
+};
+
+}  // namespace abnn2

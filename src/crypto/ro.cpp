@@ -1,0 +1,54 @@
+#include "crypto/ro.h"
+
+#include <atomic>
+
+#include "crypto/aes.h"
+
+namespace abnn2 {
+namespace {
+
+std::atomic<RoMode> g_mode{RoMode::kSha256};
+
+// Davies-Meyer over the fixed-key AES permutation pi:
+//   h_0 = tweak;  h_{k+1} = pi(m_k ^ h_k) ^ (m_k ^ h_k)
+// absorbing the input 16 bytes at a time; squeezed to 256 bits with two
+// finalization tweaks. Fast instantiation of the OT-extension hash in the
+// fixed-key random-permutation model.
+RoDigest aes_ro(u64 tag, u64 index, std::span<const u8> data) {
+  const Aes128& pi = fixed_key_aes();
+  Block h{tag, index};
+  h = pi.mmo(h);
+  std::size_t i = 0;
+  while (i < data.size()) {
+    u8 chunk[16] = {};
+    const std::size_t take = std::min<std::size_t>(16, data.size() - i);
+    std::memcpy(chunk, data.data() + i, take);
+    // Mark the final (possibly short) chunk with its length so that inputs
+    // of different lengths cannot collide.
+    if (take < 16) chunk[15] ^= static_cast<u8>(0x80 | take);
+    h = pi.mmo(Block::from_bytes(chunk) ^ h);
+    i += take;
+  }
+  RoDigest out;
+  const Block o0 = pi.mmo(h ^ kOneBlock);
+  const Block o1 = pi.mmo(h ^ Block{0, 2});
+  o0.to_bytes(out.d.data());
+  o1.to_bytes(out.d.data() + 16);
+  return out;
+}
+
+}  // namespace
+
+RoMode ro_mode() { return g_mode.load(std::memory_order_relaxed); }
+void set_ro_mode(RoMode mode) { g_mode.store(mode, std::memory_order_relaxed); }
+
+RoDigest ro_hash(u64 tag, u64 index, std::span<const u8> data) {
+  if (ro_mode() == RoMode::kFixedKeyAes) return aes_ro(tag, index, data);
+  Sha256 h;
+  h.update(&tag, sizeof(tag));
+  h.update(&index, sizeof(index));
+  h.update(data);
+  return RoDigest{h.digest()};
+}
+
+}  // namespace abnn2

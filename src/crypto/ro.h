@@ -1,0 +1,64 @@
+// Random oracle used by the OT extension protocols.
+//
+// H(tag, i, q) hashes a domain-separation tag, the OT instance index and the
+// code word q into 256 bits. Two interchangeable instantiations:
+//   - kSha256 (default): SHA-256, the conservative random-oracle choice.
+//   - kFixedKeyAes: a Davies-Meyer chain over the fixed-key AES permutation
+//     (JustGarble-style circular-correlation-robust model); ~10x faster and
+//     used by the benchmarks, matching what ABY/libOTe do in practice.
+//
+// Pads longer than 256 bits (the paper's multi-batch message packing,
+// section 4.1.2) are derived by running AES-CTR keyed with the first 128 bits
+// of the digest; this realizes the "output of the random oracle packs
+// multiple multiplications" optimization quoted in section 4.1.3.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "crypto/prg.h"
+#include "crypto/sha256.h"
+
+namespace abnn2 {
+
+enum class RoMode { kSha256, kFixedKeyAes };
+
+/// Process-wide RO instantiation. Both parties must agree (benchmarks set it
+/// once before running the protocol threads).
+RoMode ro_mode();
+void set_ro_mode(RoMode mode);
+
+/// 256-bit random-oracle output.
+struct RoDigest {
+  std::array<u8, 32> d{};
+
+  Block block0() const { return Block::from_bytes(d.data()); }
+  Block block1() const { return Block::from_bytes(d.data() + 16); }
+
+  /// Low `l`-bit integer extracted from the digest (the paper's
+  /// "take l bits of H_i0 as the value of s_i").
+  u64 low_bits(std::size_t l) const {
+    u64 v;
+    std::memcpy(&v, d.data(), 8);
+    return v & mask_l(l);
+  }
+};
+
+/// H(tag, index, data).
+RoDigest ro_hash(u64 tag, u64 index, std::span<const u8> data);
+
+/// Expand a digest into `n` ring elements of `l` bits each (mask stream for
+/// packed OT messages). Deterministic in the digest.
+inline void ro_expand_u64(const RoDigest& dig, std::size_t l, u64* out,
+                          std::size_t n) {
+  if (n == 0) return;
+  if (n == 1) {  // fast path: one element comes straight from the digest
+    out[0] = dig.low_bits(l);
+    return;
+  }
+  Prg prg(dig.block0(), /*stream_id=*/dig.d[16]);
+  const u64 m = mask_l(l);
+  for (std::size_t i = 0; i < n; ++i) out[i] = prg.next_u64() & m;
+}
+
+}  // namespace abnn2

@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4). Used as the random oracle of the OT extensions and
+// for key derivation in the base OT.
+#pragma once
+
+#include <array>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/defines.h"
+
+namespace abnn2 {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(const void* data, std::size_t n);
+  Sha256& update(std::span<const u8> data) { return update(data.data(), data.size()); }
+  std::array<u8, kDigestSize> digest();
+
+  /// One-shot convenience.
+  static std::array<u8, kDigestSize> hash(const void* data, std::size_t n) {
+    Sha256 h;
+    h.update(data, n);
+    return h.digest();
+  }
+  static std::string hex(const std::array<u8, kDigestSize>& d);
+
+ private:
+  void process_block(const u8* p);
+
+  std::array<u32, 8> state_{};
+  u64 total_len_ = 0;
+  std::array<u8, 64> buf_{};
+  std::size_t buf_len_ = 0;
+};
+
+}  // namespace abnn2

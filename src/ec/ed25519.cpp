@@ -1,0 +1,104 @@
+#include "ec/ed25519.h"
+
+namespace abnn2::ec {
+
+const Point& Point::identity() {
+  static const Point kId{Fe::zero(), Fe::one(), Fe::one(), Fe::zero()};
+  return kId;
+}
+
+const Point& Point::base() {
+  static const Point kBase = [] {
+    // y = 4/5, x recovered with even parity (standard basepoint).
+    Fe four{{4, 0, 0, 0, 0}}, five{{5, 0, 0, 0, 0}};
+    Fe y = four * five.invert();
+    std::array<u8, 32> enc;
+    y.to_bytes(enc.data());  // sign bit 0 => even x
+    auto p = Point::decode(enc);
+    ABNN2_CHECK(p.has_value(), "basepoint decode failed");
+    return *p;
+  }();
+  return kBase;
+}
+
+Point Point::add(const Point& q) const {
+  // RFC 8032 section 5.1.4 (extended coordinates, a = -1).
+  const Fe a = (y - x) * (q.y - q.x);
+  const Fe b = (y + x) * (q.y + q.x);
+  const Fe c = (t * q.t) * (fe_d() + fe_d());
+  const Fe d2 = (z * q.z) + (z * q.z);
+  const Fe e = b - a;
+  const Fe f = d2 - c;
+  const Fe g = d2 + c;
+  const Fe h = b + a;
+  return Point{e * f, g * h, f * g, e * h};
+}
+
+Point Point::dbl() const {
+  const Fe a = x.square();
+  const Fe b = y.square();
+  const Fe c2 = z.square() + z.square();
+  const Fe h = a + b;
+  const Fe e = h - (x + y).square();
+  const Fe g = a - b;
+  const Fe f = c2 + g;
+  return Point{e * f, g * h, f * g, e * h};
+}
+
+Point Point::mul(const Scalar& k) const {
+  Point r = identity();
+  for (int i = 255; i >= 0; --i) {
+    r = r.dbl();
+    if ((k[static_cast<std::size_t>(i >> 3)] >> (i & 7)) & 1) r = r.add(*this);
+  }
+  return r;
+}
+
+std::array<u8, 32> Point::encode() const {
+  const Fe zi = z.invert();
+  const Fe ax = x * zi;
+  const Fe ay = y * zi;
+  std::array<u8, 32> out;
+  ay.to_bytes(out.data());
+  if (ax.is_negative()) out[31] |= 0x80;
+  return out;
+}
+
+std::optional<Point> Point::decode(const std::array<u8, 32>& b) {
+  const bool sign = (b[31] & 0x80) != 0;
+  const Fe y = Fe::from_bytes(b.data());  // drops the sign bit
+  // x^2 = (y^2 - 1) / (d y^2 + 1)
+  const Fe y2 = y.square();
+  const Fe u = y2 - Fe::one();
+  const Fe v = fe_d() * y2 + Fe::one();
+  // x = u v^3 (u v^7)^((p-5)/8)
+  const Fe v3 = v.square() * v;
+  const Fe v7 = v3.square() * v;
+  Fe x = u * v3 * (u * v7).pow_p58();
+  const Fe vx2 = v * x.square();
+  if (!(vx2 == u)) {
+    if (vx2 == u.neg()) {
+      x = x * fe_sqrtm1();
+    } else {
+      return std::nullopt;  // not a curve point
+    }
+  }
+  if (x.is_zero() && sign) return std::nullopt;  // -0 is invalid
+  if (x.is_negative() != sign) x = x.neg();
+  return Point{x, y, Fe::one(), x * y};
+}
+
+bool Point::equals(const Point& q) const {
+  // (x1/z1 == x2/z2) && (y1/z1 == y2/z2) without inversions.
+  return (x * q.z == q.x * z) && (y * q.z == q.y * z);
+}
+
+const Scalar& group_order() {
+  static const Scalar kL = {0xed, 0xd3, 0xf5, 0x5c, 0x1a, 0x63, 0x12, 0x58,
+                            0xd6, 0x9c, 0xf7, 0xa2, 0xde, 0xf9, 0xde, 0x14,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x10};
+  return kL;
+}
+
+}  // namespace abnn2::ec

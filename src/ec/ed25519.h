@@ -1,0 +1,47 @@
+// Ed25519 group operations (twisted Edwards curve -x^2 + y^2 = 1 + d x^2 y^2
+// over GF(2^255 - 19)), extended coordinates. Provides exactly what the
+// Chou-Orlandi base OT needs: point addition/negation, scalar multiplication,
+// and 32-byte compressed encode/decode.
+#pragma once
+
+#include <array>
+#include <optional>
+
+#include "common/defines.h"
+#include "ec/fe25519.h"
+
+namespace abnn2::ec {
+
+/// 256-bit scalar, little-endian bytes. Any integer value is accepted; the
+/// group has prime order l (times cofactor 8), so arithmetic is consistent
+/// for the OT's purposes.
+using Scalar = std::array<u8, 32>;
+
+struct Point {
+  Fe x, y, z, t;  // extended coordinates, t = x*y/z
+
+  static const Point& identity();
+  static const Point& base();
+
+  Point add(const Point& q) const;
+  Point dbl() const;
+  Point neg() const { return Point{x.neg(), y, z, t.neg()}; }
+  Point sub(const Point& q) const { return add(q.neg()); }
+
+  /// Variable-time double-and-add. Scalars in this library are either public
+  /// or used once per base-OT instance; see DESIGN.md security notes.
+  Point mul(const Scalar& k) const;
+
+  std::array<u8, 32> encode() const;
+  /// Decompress; returns nullopt for encodings that are not on the curve.
+  static std::optional<Point> decode(const std::array<u8, 32>& b);
+
+  /// True group-element equality (projective-invariant).
+  bool equals(const Point& q) const;
+  bool is_identity() const { return equals(identity()); }
+};
+
+/// The group order l = 2^252 + 27742317777372353535851937790883648493.
+const Scalar& group_order();
+
+}  // namespace abnn2::ec

@@ -1,0 +1,184 @@
+#include "ec/fe25519.h"
+
+namespace abnn2::ec {
+namespace {
+
+constexpr u64 kMask51 = (u64{1} << 51) - 1;
+
+// Carry-propagate so every limb ends < 2^52 (not fully canonical).
+Fe carry(Fe f) {
+  u64* v = f.v.data();
+  u64 c;
+  c = v[0] >> 51; v[0] &= kMask51; v[1] += c;
+  c = v[1] >> 51; v[1] &= kMask51; v[2] += c;
+  c = v[2] >> 51; v[2] &= kMask51; v[3] += c;
+  c = v[3] >> 51; v[3] &= kMask51; v[4] += c;
+  c = v[4] >> 51; v[4] &= kMask51; v[0] += 19 * c;
+  c = v[0] >> 51; v[0] &= kMask51; v[1] += c;
+  return f;
+}
+
+}  // namespace
+
+Fe operator+(const Fe& a, const Fe& b) {
+  Fe r;
+  for (int i = 0; i < 5; ++i) r.v[i] = a.v[i] + b.v[i];
+  return carry(r);
+}
+
+Fe operator-(const Fe& a, const Fe& b) {
+  // Add 8p so limbs stay non-negative: 8p = (2^54-152, 2^54-8, ...).
+  constexpr u64 k0 = (u64{1} << 54) - 152;
+  constexpr u64 ki = (u64{1} << 54) - 8;
+  Fe r;
+  r.v[0] = a.v[0] + k0 - b.v[0];
+  for (int i = 1; i < 5; ++i) r.v[i] = a.v[i] + ki - b.v[i];
+  return carry(r);
+}
+
+Fe operator*(const Fe& a, const Fe& b) {
+  const u64 a0 = a.v[0], a1 = a.v[1], a2 = a.v[2], a3 = a.v[3], a4 = a.v[4];
+  const u64 b0 = b.v[0], b1 = b.v[1], b2 = b.v[2], b3 = b.v[3], b4 = b.v[4];
+  const u64 b1_19 = 19 * b1, b2_19 = 19 * b2, b3_19 = 19 * b3, b4_19 = 19 * b4;
+
+  u128 t0 = (u128)a0 * b0 + (u128)a1 * b4_19 + (u128)a2 * b3_19 +
+            (u128)a3 * b2_19 + (u128)a4 * b1_19;
+  u128 t1 = (u128)a0 * b1 + (u128)a1 * b0 + (u128)a2 * b4_19 +
+            (u128)a3 * b3_19 + (u128)a4 * b2_19;
+  u128 t2 = (u128)a0 * b2 + (u128)a1 * b1 + (u128)a2 * b0 +
+            (u128)a3 * b4_19 + (u128)a4 * b3_19;
+  u128 t3 = (u128)a0 * b3 + (u128)a1 * b2 + (u128)a2 * b1 + (u128)a3 * b0 +
+            (u128)a4 * b4_19;
+  u128 t4 = (u128)a0 * b4 + (u128)a1 * b3 + (u128)a2 * b2 + (u128)a3 * b1 +
+            (u128)a4 * b0;
+
+  Fe r;
+  u64 c;
+  r.v[0] = (u64)t0 & kMask51; c = (u64)(t0 >> 51);
+  t1 += c;
+  r.v[1] = (u64)t1 & kMask51; c = (u64)(t1 >> 51);
+  t2 += c;
+  r.v[2] = (u64)t2 & kMask51; c = (u64)(t2 >> 51);
+  t3 += c;
+  r.v[3] = (u64)t3 & kMask51; c = (u64)(t3 >> 51);
+  t4 += c;
+  r.v[4] = (u64)t4 & kMask51; c = (u64)(t4 >> 51);
+  r.v[0] += 19 * c;
+  c = r.v[0] >> 51; r.v[0] &= kMask51; r.v[1] += c;
+  return r;
+}
+
+Fe Fe::square() const { return *this * *this; }
+
+Fe Fe::from_bytes(const u8 b[32]) {
+  u64 w[4];
+  std::memcpy(w, b, 32);
+  Fe r;
+  r.v[0] = w[0] & kMask51;
+  r.v[1] = ((w[0] >> 51) | (w[1] << 13)) & kMask51;
+  r.v[2] = ((w[1] >> 38) | (w[2] << 26)) & kMask51;
+  r.v[3] = ((w[2] >> 25) | (w[3] << 39)) & kMask51;
+  r.v[4] = (w[3] >> 12) & kMask51;  // drops bit 255
+  return carry(r);
+}
+
+void Fe::to_bytes(u8 b[32]) const {
+  Fe f = carry(*this);
+  // Freeze: add 19, propagate, then subtract 2^255 by masking.
+  u64 t[5];
+  for (int i = 0; i < 5; ++i) t[i] = f.v[i];
+  // Conditionally reduce twice to get canonical value.
+  for (int pass = 0; pass < 2; ++pass) {
+    u64 q = (t[0] + 19) >> 51;
+    q = (t[1] + q) >> 51;
+    q = (t[2] + q) >> 51;
+    q = (t[3] + q) >> 51;
+    q = (t[4] + q) >> 51;  // q = 1 iff value >= p
+    t[0] += 19 * q;
+    u64 c;
+    c = t[0] >> 51; t[0] &= kMask51; t[1] += c;
+    c = t[1] >> 51; t[1] &= kMask51; t[2] += c;
+    c = t[2] >> 51; t[2] &= kMask51; t[3] += c;
+    c = t[3] >> 51; t[3] &= kMask51; t[4] += c;
+    t[4] &= kMask51;
+  }
+  u64 w[4];
+  w[0] = t[0] | (t[1] << 51);
+  w[1] = (t[1] >> 13) | (t[2] << 38);
+  w[2] = (t[2] >> 26) | (t[3] << 25);
+  w[3] = (t[3] >> 39) | (t[4] << 12);
+  std::memcpy(b, w, 32);
+}
+
+bool Fe::is_zero() const {
+  u8 b[32];
+  to_bytes(b);
+  u8 acc = 0;
+  for (u8 x : b) acc |= x;
+  return acc == 0;
+}
+
+bool Fe::is_negative() const {
+  u8 b[32];
+  to_bytes(b);
+  return b[0] & 1;
+}
+
+namespace {
+
+// Generic square-and-multiply for fixed 255-bit exponents given as bytes
+// (little-endian). Exponents here are public constants, so variable time is
+// fine.
+Fe pow_le(const Fe& x, const u8 exp[32]) {
+  Fe r = Fe::one();
+  for (int i = 255; i >= 0; --i) {
+    r = r.square();
+    if ((exp[i >> 3] >> (i & 7)) & 1) r = r * x;
+  }
+  return r;
+}
+
+}  // namespace
+
+Fe Fe::invert() const {
+  // p - 2 = 2^255 - 21, little-endian bytes.
+  u8 e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xeb;  // 0xff - 20 = 0xeb
+  e[31] = 0x7f;
+  return pow_le(*this, e);
+}
+
+Fe Fe::pow_p58() const {
+  // (p - 5) / 8 = 2^252 - 3, little-endian bytes.
+  u8 e[32];
+  std::memset(e, 0xff, 32);
+  e[0] = 0xfd;
+  e[31] = 0x0f;
+  return pow_le(*this, e);
+}
+
+const Fe& fe_sqrtm1() {
+  // 2^((p-1)/4): computed once.
+  static const Fe k = [] {
+    Fe two{{2, 0, 0, 0, 0}};
+    // (p - 1) / 4 = (2^255 - 20) / 4 = 2^253 - 5
+    u8 e[32];
+    std::memset(e, 0xff, 32);
+    e[0] = 0xfb;
+    e[31] = 0x1f;
+    return pow_le(two, e);
+  }();
+  return k;
+}
+
+const Fe& fe_d() {
+  static const Fe k = [] {
+    Fe num{{121665, 0, 0, 0, 0}};
+    Fe den{{121666, 0, 0, 0, 0}};
+    return num.neg() * den.invert();
+  }();
+  return k;
+}
+
+}  // namespace abnn2::ec

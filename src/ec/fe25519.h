@@ -1,0 +1,52 @@
+// Field arithmetic modulo p = 2^255 - 19 with radix-2^51 limbs
+// (curve25519-donna style). Substrate for the Ed25519 group used by the
+// Chou-Orlandi base OT.
+#pragma once
+
+#include <array>
+
+#include "common/defines.h"
+
+namespace abnn2::ec {
+
+/// Field element; limbs hold <= 52 significant bits between reductions.
+struct Fe {
+  std::array<u64, 5> v{0, 0, 0, 0, 0};
+
+  static Fe zero() { return Fe{}; }
+  static Fe one() { return Fe{{1, 0, 0, 0, 0}}; }
+
+  /// Little-endian 32-byte decoding (top bit ignored, then reduced mod p).
+  static Fe from_bytes(const u8 b[32]);
+  /// Canonical little-endian encoding (fully reduced).
+  void to_bytes(u8 b[32]) const;
+
+  friend Fe operator+(const Fe& a, const Fe& b);
+  friend Fe operator-(const Fe& a, const Fe& b);
+  friend Fe operator*(const Fe& a, const Fe& b);
+  Fe square() const;
+  Fe neg() const { return zero() - *this; }
+
+  /// Multiplicative inverse (x^(p-2)); inverse of 0 is 0.
+  Fe invert() const;
+  /// x^((p-3)/8), the core of the square-root computation.
+  Fe pow_p58() const;
+
+  bool is_zero() const;
+  /// Parity of the canonical representative (the "sign" bit of Ed25519).
+  bool is_negative() const;
+
+  friend bool operator==(const Fe& a, const Fe& b) {
+    u8 x[32], y[32];
+    a.to_bytes(x);
+    b.to_bytes(y);
+    return std::memcmp(x, y, 32) == 0;
+  }
+};
+
+/// sqrt(-1) mod p.
+const Fe& fe_sqrtm1();
+/// Edwards curve constant d = -121665/121666 mod p.
+const Fe& fe_d();
+
+}  // namespace abnn2::ec

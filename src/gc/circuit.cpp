@@ -1,0 +1,140 @@
+#include "gc/circuit.h"
+
+namespace abnn2::gc {
+
+std::vector<bool> eval_plain(const Circuit& c, const std::vector<bool>& g_bits,
+                             const std::vector<bool>& e_bits) {
+  ABNN2_CHECK_ARG(g_bits.size() == c.in_g.size(), "garbler input size mismatch");
+  ABNN2_CHECK_ARG(e_bits.size() == c.in_e.size(), "evaluator input size mismatch");
+  std::vector<bool> w(c.num_wires, false);
+  for (std::size_t i = 0; i < g_bits.size(); ++i) w[c.in_g[i]] = g_bits[i];
+  for (std::size_t i = 0; i < e_bits.size(); ++i) w[c.in_e[i]] = e_bits[i];
+  for (const Gate& g : c.gates) {
+    switch (g.op) {
+      case Op::kXor: w[g.out] = w[g.a] ^ w[g.b]; break;
+      case Op::kAnd: w[g.out] = w[g.a] && w[g.b]; break;
+      case Op::kNot: w[g.out] = !w[g.a]; break;
+    }
+  }
+  std::vector<bool> out(c.out.size());
+  for (std::size_t i = 0; i < c.out.size(); ++i) out[i] = w[c.out[i]];
+  return out;
+}
+
+u32 Builder::fresh() { return c_.num_wires++; }
+
+std::vector<u32> Builder::garbler_inputs(std::size_t n) {
+  ABNN2_CHECK(!inputs_done_, "inputs must be allocated before gates");
+  std::vector<u32> ws(n);
+  for (auto& w : ws) {
+    w = fresh();
+    c_.in_g.push_back(w);
+  }
+  return ws;
+}
+
+std::vector<u32> Builder::evaluator_inputs(std::size_t n) {
+  ABNN2_CHECK(!inputs_done_, "inputs must be allocated before gates");
+  std::vector<u32> ws(n);
+  for (auto& w : ws) {
+    w = fresh();
+    c_.in_e.push_back(w);
+  }
+  return ws;
+}
+
+u32 Builder::XOR(u32 a, u32 b) {
+  inputs_done_ = true;
+  const u32 o = fresh();
+  c_.gates.push_back({Op::kXor, a, b, o});
+  return o;
+}
+
+u32 Builder::AND(u32 a, u32 b) {
+  inputs_done_ = true;
+  const u32 o = fresh();
+  c_.gates.push_back({Op::kAnd, a, b, o});
+  return o;
+}
+
+u32 Builder::NOT(u32 a) {
+  inputs_done_ = true;
+  const u32 o = fresh();
+  c_.gates.push_back({Op::kNot, a, 0, o});
+  return o;
+}
+
+std::vector<u32> Builder::add_mod(std::span<const u32> a,
+                                  std::span<const u32> b) {
+  ABNN2_CHECK_ARG(a.size() == b.size() && !a.empty(), "operand size mismatch");
+  const std::size_t l = a.size();
+  std::vector<u32> sum(l);
+  // Bit 0: half adder (carry = a0 & b0).
+  sum[0] = XOR(a[0], b[0]);
+  if (l == 1) return sum;
+  u32 carry = AND(a[0], b[0]);
+  for (std::size_t i = 1; i < l; ++i) {
+    const u32 axc = XOR(a[i], carry);
+    sum[i] = XOR(axc, b[i]);
+    if (i + 1 < l) {
+      // carry' = carry ^ ((a^carry) & (b^carry))
+      const u32 bxc = XOR(b[i], carry);
+      carry = XOR(carry, AND(axc, bxc));
+    }
+  }
+  return sum;
+}
+
+std::vector<u32> Builder::sub_mod(std::span<const u32> a,
+                                  std::span<const u32> b) {
+  ABNN2_CHECK_ARG(a.size() == b.size() && !a.empty(), "operand size mismatch");
+  const std::size_t l = a.size();
+  // a - b = a + ~b + 1: fold the +1 into the first full adder (cin = 1).
+  std::vector<u32> diff(l);
+  diff[0] = XOR(a[0], b[0]);  // a0 ^ ~b0 ^ 1 == a0 ^ b0
+  if (l == 1) return diff;
+  // carry0 = majority(a0, ~b0, 1) = a0 | ~b0 = NOT(~a0 & b0)
+  u32 carry = NOT(AND(NOT(a[0]), b[0]));
+  for (std::size_t i = 1; i < l; ++i) {
+    const u32 nb = NOT(b[i]);
+    const u32 axc = XOR(a[i], carry);
+    diff[i] = XOR(axc, nb);
+    if (i + 1 < l) {
+      const u32 bxc = XOR(nb, carry);
+      carry = XOR(carry, AND(axc, bxc));
+    }
+  }
+  return diff;
+}
+
+u32 Builder::less_than(std::span<const u32> a, std::span<const u32> b) {
+  ABNN2_CHECK_ARG(a.size() == b.size() && !a.empty(), "operand size mismatch");
+  // Borrow chain of a - b; final borrow == 1 iff a < b.
+  // borrow' = majority(~a_i, b_i, borrow) = borrow ^ ((~a_i ^ borrow) & (b_i ^ borrow))
+  u32 borrow = AND(NOT(a[0]), b[0]);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const u32 na = NOT(a[i]);
+    const u32 axc = XOR(na, borrow);
+    const u32 bxc = XOR(b[i], borrow);
+    borrow = XOR(borrow, AND(axc, bxc));
+  }
+  return borrow;
+}
+
+std::vector<u32> Builder::mux(u32 sel, std::span<const u32> a,
+                              std::span<const u32> b) {
+  ABNN2_CHECK_ARG(a.size() == b.size(), "operand size mismatch");
+  // out = b ^ (sel & (a ^ b))
+  std::vector<u32> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    out[i] = XOR(b[i], AND(sel, XOR(a[i], b[i])));
+  return out;
+}
+
+std::vector<u32> Builder::and_bit(u32 bit, std::span<const u32> a) {
+  std::vector<u32> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = AND(bit, a[i]);
+  return out;
+}
+
+}  // namespace abnn2::gc

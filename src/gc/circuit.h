@@ -1,0 +1,84 @@
+// Boolean circuit representation and builder for the garbled-circuit
+// protocols (paper section 4.2). Gates are XOR / AND / NOT; XOR and NOT are
+// free under free-XOR garbling, so circuit cost is the AND count.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/defines.h"
+
+namespace abnn2::gc {
+
+enum class Op : u8 { kXor, kAnd, kNot };
+
+struct Gate {
+  Op op;
+  u32 a = 0;
+  u32 b = 0;  // unused for kNot
+  u32 out = 0;
+};
+
+/// A circuit with two input bundles: garbler wires and evaluator wires.
+/// Wires are numbered 0..num_wires-1; inputs first, gate outputs after, in
+/// topological order.
+struct Circuit {
+  std::vector<u32> in_g;   // garbler input wires
+  std::vector<u32> in_e;   // evaluator input wires
+  std::vector<u32> out;    // output wires
+  std::vector<Gate> gates;
+  u32 num_wires = 0;
+
+  std::size_t and_count() const {
+    std::size_t n = 0;
+    for (const Gate& g : gates) n += (g.op == Op::kAnd);
+    return n;
+  }
+};
+
+/// Reference (cleartext) evaluation, used by tests as ground truth.
+std::vector<bool> eval_plain(const Circuit& c, const std::vector<bool>& g_bits,
+                             const std::vector<bool>& e_bits);
+
+/// Incremental builder. Allocate inputs first, then combine with gate
+/// helpers, then mark outputs.
+class Builder {
+ public:
+  /// Allocates `n` garbler (party-G) input wires.
+  std::vector<u32> garbler_inputs(std::size_t n);
+  /// Allocates `n` evaluator (party-E) input wires.
+  std::vector<u32> evaluator_inputs(std::size_t n);
+
+  u32 XOR(u32 a, u32 b);
+  u32 AND(u32 a, u32 b);
+  u32 NOT(u32 a);
+  u32 OR(u32 a, u32 b) { return NOT(AND(NOT(a), NOT(b))); }
+
+  void mark_output(u32 w) { c_.out.push_back(w); }
+  void mark_outputs(std::span<const u32> ws) {
+    for (u32 w : ws) c_.out.push_back(w);
+  }
+
+  /// Finish building; the builder must not be used afterwards.
+  Circuit build() { return std::move(c_); }
+
+  // ---- word-level library (little-endian bit vectors) -----------------
+
+  /// a + b mod 2^l (l = a.size() = b.size()); l-1 AND gates.
+  std::vector<u32> add_mod(std::span<const u32> a, std::span<const u32> b);
+  /// a - b mod 2^l.
+  std::vector<u32> sub_mod(std::span<const u32> a, std::span<const u32> b);
+  /// 1 iff a < b as unsigned integers (borrow out of a - b).
+  u32 less_than(std::span<const u32> a, std::span<const u32> b);
+  /// sel ? a : b, bitwise; |a| AND gates.
+  std::vector<u32> mux(u32 sel, std::span<const u32> a, std::span<const u32> b);
+  /// Bitwise AND of a word with one bit.
+  std::vector<u32> and_bit(u32 bit, std::span<const u32> a);
+
+ private:
+  u32 fresh();
+  Circuit c_;
+  bool inputs_done_ = false;
+};
+
+}  // namespace abnn2::gc

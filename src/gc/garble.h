@@ -1,0 +1,74 @@
+// Half-gates garbling (Zahur-Rosulek-Evans, EUROCRYPT'15) with free-XOR and
+// point-and-permute. Two ciphertexts per AND gate; XOR and NOT are free.
+//
+// The hash is the tweakable circular-correlation-robust hash
+//   H(x, t) = pi(2x ^ t) ^ 2x ^ t
+// over the fixed-key AES permutation pi (JustGarble model), with globally
+// unique tweaks across gates, instances and protocol runs.
+#pragma once
+
+#include <vector>
+
+#include "common/block.h"
+#include "crypto/prg.h"
+#include "gc/circuit.h"
+
+namespace abnn2::gc {
+
+/// Garbled tables plus output-decode bits for a batch of instances of one
+/// circuit. The wire format is:
+///   per instance: [2 blocks per AND gate, in gate order]
+///   then decode bits: one byte per (instance, output wire).  (Kept simple;
+///   bit-packing outputs would save 7/8 of a typically tiny field.)
+struct GarbledBatch {
+  std::vector<Block> tables;     // n_instances * 2 * and_count
+  std::vector<u8> decode_bits;   // n_instances * out.size()
+  std::size_t n_instances = 0;
+};
+
+/// Garbler state for one batch. Holds the global offset Delta and all input
+/// wire zero-labels so the caller can encode inputs.
+class Garbler {
+ public:
+  /// Garbles `n_instances` copies of `c`. `tweak_base` must be unique per
+  /// batch within a session (the protocol layer manages it).
+  Garbler(const Circuit& c, std::size_t n_instances, u64 tweak_base, Prg& prg);
+
+  const GarbledBatch& batch() const { return batch_; }
+  Block delta() const { return delta_; }
+
+  /// Zero-label of garbler input wire `i` of instance `k`.
+  Block g_input_label0(std::size_t k, std::size_t i) const {
+    return in_g_labels_[k * circ_->in_g.size() + i];
+  }
+  /// Zero-label of evaluator input wire `i` of instance `k` (the OT sends
+  /// (label0, label0 ^ Delta)).
+  Block e_input_label0(std::size_t k, std::size_t i) const {
+    return in_e_labels_[k * circ_->in_e.size() + i];
+  }
+
+  /// Label for a concrete input bit.
+  Block encode(Block label0, bool bit) const {
+    return bit ? (label0 ^ delta_) : label0;
+  }
+
+ private:
+  const Circuit* circ_;
+  Block delta_;
+  GarbledBatch batch_;
+  std::vector<Block> in_g_labels_;
+  std::vector<Block> in_e_labels_;
+};
+
+/// Evaluates one batch. Inputs are active labels; outputs are decoded bits.
+class Evaluator {
+ public:
+  /// `g_labels`: n_instances x |in_g| active labels (row-major), `e_labels`
+  /// likewise. Returns n_instances x |out| bits (row-major).
+  static std::vector<u8> eval(const Circuit& c, const GarbledBatch& batch,
+                              u64 tweak_base,
+                              std::span<const Block> g_labels,
+                              std::span<const Block> e_labels);
+};
+
+}  // namespace abnn2::gc

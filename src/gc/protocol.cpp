@@ -1,0 +1,79 @@
+#include "gc/protocol.h"
+
+namespace abnn2::gc {
+
+void GcGarbler::run(Channel& ch, const Circuit& c, std::size_t n,
+                    std::span<const u8> g_bits, Prg& prg) {
+  ABNN2_CHECK_ARG(g_bits.size() == n * c.in_g.size(), "input bit count mismatch");
+  if (!ot_ready_) {
+    ot_.setup(ch, prg);
+    ot_ready_ = true;
+  }
+
+  Garbler garbler(c, n, tweak_, prg);
+  tweak_ += n * c.and_count();
+
+  // Evaluator input labels over OT.
+  const std::size_t m = n * c.in_e.size();
+  if (m > 0) {
+    ot_.extend(ch, m);
+    std::vector<std::array<Block, 2>> pairs(m);
+    for (std::size_t k = 0; k < n; ++k) {
+      for (std::size_t i = 0; i < c.in_e.size(); ++i) {
+        const Block l0 = garbler.e_input_label0(k, i);
+        pairs[k * c.in_e.size() + i] = {l0, l0 ^ garbler.delta()};
+      }
+    }
+    ot_.send_blocks(ch, pairs);
+  }
+
+  // Tables + decode bits + garbler's active input labels.
+  const GarbledBatch& b = garbler.batch();
+  ch.send_blocks(b.tables.data(), b.tables.size());
+  if (!b.decode_bits.empty())
+    ch.send(b.decode_bits.data(), b.decode_bits.size());
+  if (!g_bits.empty()) {
+    std::vector<Block> labels(g_bits.size());
+    for (std::size_t k = 0; k < n; ++k)
+      for (std::size_t i = 0; i < c.in_g.size(); ++i) {
+        const std::size_t idx = k * c.in_g.size() + i;
+        labels[idx] = garbler.encode(garbler.g_input_label0(k, i),
+                                     g_bits[idx] & 1);
+      }
+    ch.send_blocks(labels.data(), labels.size());
+  }
+}
+
+std::vector<u8> GcEvaluator::run(Channel& ch, const Circuit& c, std::size_t n,
+                                 std::span<const u8> e_bits, Prg& prg) {
+  ABNN2_CHECK_ARG(e_bits.size() == n * c.in_e.size(), "input bit count mismatch");
+  if (!ot_ready_) {
+    ot_.setup(ch, prg);
+    ot_ready_ = true;
+  }
+
+  std::vector<Block> e_labels;
+  const std::size_t m = n * c.in_e.size();
+  if (m > 0) {
+    BitVec choices(m);
+    for (std::size_t i = 0; i < m; ++i) choices.set(i, e_bits[i] & 1);
+    ot_.extend(ch, choices);
+    e_labels = ot_.recv_blocks(ch);
+  }
+
+  GarbledBatch b;
+  b.n_instances = n;
+  b.tables.resize(n * 2 * c.and_count());
+  ch.recv_blocks(b.tables.data(), b.tables.size());
+  b.decode_bits.resize(n * c.out.size());
+  if (!b.decode_bits.empty())
+    ch.recv(b.decode_bits.data(), b.decode_bits.size());
+  std::vector<Block> g_labels(n * c.in_g.size());
+  if (!g_labels.empty()) ch.recv_blocks(g_labels.data(), g_labels.size());
+
+  auto out = Evaluator::eval(c, b, tweak_, g_labels, e_labels);
+  tweak_ += n * c.and_count();
+  return out;
+}
+
+}  // namespace abnn2::gc

@@ -1,0 +1,48 @@
+// Two-party garbled circuit protocol: garbler + evaluator sessions over a
+// Channel. Evaluator input labels are transferred with IKNP OT extension;
+// outputs are decoded by the evaluator (matching Algorithm 2 of the paper,
+// where the server S evaluates and obtains the result).
+//
+// A session reuses one OT-extension setup and keeps garbling tweaks unique
+// across runs, so per-layer invocations during inference are cheap.
+#pragma once
+
+#include <vector>
+
+#include "gc/garble.h"
+#include "net/channel.h"
+#include "ot/iknp.h"
+
+namespace abnn2::gc {
+
+class GcGarbler {
+ public:
+  explicit GcGarbler(u64 tag = 0x6C6A'0001) : ot_(tag) {}
+
+  /// Garbles `n` instances of `c` with this party's input bits
+  /// (`g_bits`: row-major n x |in_g|, one byte per bit) and serves the
+  /// evaluator's input labels over OT.
+  void run(Channel& ch, const Circuit& c, std::size_t n,
+           std::span<const u8> g_bits, Prg& prg);
+
+ private:
+  IknpSender ot_;
+  bool ot_ready_ = false;
+  u64 tweak_ = 0;
+};
+
+class GcEvaluator {
+ public:
+  explicit GcEvaluator(u64 tag = 0x6C6A'0001) : ot_(tag) {}
+
+  /// Returns decoded output bits, row-major n x |out|, one byte per bit.
+  std::vector<u8> run(Channel& ch, const Circuit& c, std::size_t n,
+                      std::span<const u8> e_bits, Prg& prg);
+
+ private:
+  IknpReceiver ot_;
+  bool ot_ready_ = false;
+  u64 tweak_ = 0;
+};
+
+}  // namespace abnn2::gc

@@ -1,0 +1,269 @@
+#include "he/bfv.h"
+
+namespace abnn2::he {
+namespace {
+
+// Deterministic parameter derivation: both parties construct identical
+// params from (t_bits, n) alone.
+Prg param_prg(std::size_t t_bits, std::size_t n) {
+  return Prg(Block{0xBF5B'F5B0, (static_cast<u64>(t_bits) << 32) | n});
+}
+
+// Small noise: uniform in [-16, 16]. (A centered binomial would be the
+// production choice; the bound is what the noise analysis uses.)
+i64 small_noise(Prg& prg) { return static_cast<i64>(prg.next_below(33)) - 16; }
+
+u64 to_mod(i64 v, u64 p) {
+  return v >= 0 ? static_cast<u64>(v) % p
+                : p - (static_cast<u64>(-v) % p);
+}
+
+}  // namespace
+
+BfvParams::BfvParams(std::size_t t_bits, std::size_t n)
+    : n_(n), t_bits_(t_bits) {
+  ABNN2_CHECK_ARG(t_bits >= 8 && t_bits <= 64, "t_bits out of range");
+  ABNN2_CHECK_ARG(n >= 16 && (n & (n - 1)) == 0, "n must be a power of two");
+  const std::size_t k = t_bits <= 32 ? 2 : 3;
+  Prg prg = param_prg(t_bits, n);
+  u64 start = u64{1} << 59;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 p = next_ntt_prime(start, 2 * n);
+    primes_.push_back(p);
+    ntt_.push_back(std::make_unique<NttTables>(n, p, prg));
+    start = p + 2 * n;
+  }
+  q_ = BigUint(1);
+  for (u64 p : primes_) q_.mul_small(p);
+  BigUint t(1);
+  t.shift_left_bits(t_bits);
+  delta_ = q_ / t;
+  for (u64 p : primes_)
+    delta_mod_.push_back((delta_ % BigUint(p)).low_u64());
+  for (u64 p : primes_) {
+    const BigUint mi = q_ / BigUint(p);
+    const u64 mi_mod_p = (mi % BigUint(p)).low_u64();
+    const u64 yi = inv_mod(mi_mod_p, p);
+    crt_term_.push_back((mi * yi) % q_);
+  }
+}
+
+RnsPoly RnsPoly::zero(const BfvParams& p) {
+  RnsPoly r;
+  r.c.resize(p.num_primes());
+  for (auto& v : r.c) v.assign(p.n(), 0);
+  return r;
+}
+
+void Ciphertext::serialize(Writer& w) const {
+  for (const auto* poly : {&c0, &c1})
+    for (const auto& v : poly->c) w.bytes(v.data(), v.size() * 8);
+}
+
+Ciphertext Ciphertext::deserialize(Reader& r, const BfvParams& p) {
+  Ciphertext ct;
+  for (auto* poly : {&ct.c0, &ct.c1}) {
+    *poly = RnsPoly::zero(p);
+    for (auto& v : poly->c) r.bytes(v.data(), v.size() * 8);
+  }
+  for (auto* poly : {&ct.c0, &ct.c1})
+    for (std::size_t i = 0; i < p.num_primes(); ++i)
+      for (u64 x : poly->c[i])
+        ABNN2_CHECK(x < p.prime(i), "ciphertext coefficient out of range");
+  return ct;
+}
+
+SecretKey::SecretKey(const BfvParams& p, Prg& prg) {
+  // Ternary key, shared across primes, stored in the evaluation domain.
+  std::vector<i64> s(p.n());
+  for (auto& v : s) v = static_cast<i64>(prg.next_below(3)) - 1;
+  s_ntt_.c.resize(p.num_primes());
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    s_ntt_.c[i].resize(p.n());
+    for (std::size_t j = 0; j < p.n(); ++j)
+      s_ntt_.c[i][j] = to_mod(s[j], p.prime(i));
+    p.ntt(i).forward(s_ntt_.c[i].data());
+  }
+}
+
+Ciphertext SecretKey::encrypt(const BfvParams& p, std::span<const u64> pt,
+                              Prg& prg) const {
+  ABNN2_CHECK_ARG(pt.size() <= p.n(), "plaintext too long");
+  Ciphertext ct;
+  ct.c0 = RnsPoly::zero(p);
+  ct.c1 = RnsPoly::zero(p);
+  // One error polynomial shared across the RNS components (it is a single
+  // integer polynomial).
+  std::vector<i64> e(p.n());
+  for (auto& v : e) v = small_noise(prg);
+  // a is uniform: sample once per prime directly.
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    auto& a = ct.c1.c[i];
+    for (auto& v : a) v = prg.next_below(pi);
+    // as = a * s (negacyclic)
+    std::vector<u64> as(a);
+    p.ntt(i).forward(as.data());
+    for (std::size_t j = 0; j < p.n(); ++j)
+      as[j] = mul_mod(as[j], s_ntt_.c[i][j], pi);
+    p.ntt(i).inverse(as.data());
+    auto& c0 = ct.c0.c[i];
+    const u64 delta = p.delta_mod(i);
+    const u64 tmask = mask_l(p.t_bits());
+    for (std::size_t j = 0; j < p.n(); ++j) {
+      const u64 m = j < pt.size() ? (pt[j] & tmask) : 0;
+      u64 v = sub_mod(to_mod(e[j], pi), as[j], pi);
+      v = add_mod(v, mul_mod(delta, m % pi, pi), pi);
+      c0[j] = v;
+    }
+  }
+  return ct;
+}
+
+std::vector<u64> SecretKey::decrypt(const BfvParams& p,
+                                    const Ciphertext& ct) const {
+  const std::size_t k = p.num_primes();
+  // v = c0 + c1 * s per prime.
+  std::vector<std::vector<u64>> v(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 pi = p.prime(i);
+    std::vector<u64> cs(ct.c1.c[i]);
+    p.ntt(i).forward(cs.data());
+    for (std::size_t j = 0; j < p.n(); ++j)
+      cs[j] = mul_mod(cs[j], s_ntt_.c[i][j], pi);
+    p.ntt(i).inverse(cs.data());
+    v[i].resize(p.n());
+    for (std::size_t j = 0; j < p.n(); ++j)
+      v[i][j] = add_mod(ct.c0.c[i][j], cs[j], pi);
+  }
+  // CRT-compose each coefficient and round-divide by Delta.
+  std::vector<u64> out(p.n());
+  const u64 tmask = mask_l(p.t_bits());
+  for (std::size_t j = 0; j < p.n(); ++j) {
+    BigUint acc;
+    for (std::size_t i = 0; i < k; ++i) {
+      BigUint term = p.crt_term(i);
+      term.mul_small(v[i][j]);
+      acc.add(term);
+    }
+    acc = acc % p.q();
+    auto [q0, r] = acc.divmod(p.delta());
+    BigUint r2 = r;
+    r2.add(r);
+    if (!(r2 < p.delta())) q0.add(BigUint(1));
+    out[j] = q0.low_u64() & tmask;
+  }
+  return out;
+}
+
+Ciphertext mul_plain(const BfvParams& p, const Ciphertext& ct,
+                     std::span<const i64> pt) {
+  ABNN2_CHECK_ARG(pt.size() <= p.n(), "plaintext too long");
+  for (i64 v : pt)
+    ABNN2_CHECK_ARG(v <= (i64{1} << 30) && v >= -(i64{1} << 30),
+                    "plaintext multiplier too large for the noise budget");
+  Ciphertext out;
+  out.c0 = RnsPoly::zero(p);
+  out.c1 = RnsPoly::zero(p);
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    std::vector<u64> w(p.n(), 0);
+    for (std::size_t j = 0; j < pt.size(); ++j) w[j] = to_mod(pt[j], pi);
+    p.ntt(i).forward(w.data());
+    const std::pair<const RnsPoly*, RnsPoly*> polys[2] = {
+        {&ct.c0, &out.c0}, {&ct.c1, &out.c1}};
+    for (const auto& [src, dst] : polys) {
+      std::vector<u64> a(src->c[i]);
+      p.ntt(i).forward(a.data());
+      for (std::size_t j = 0; j < p.n(); ++j)
+        a[j] = mul_mod(a[j], w[j], pi);
+      p.ntt(i).inverse(a.data());
+      dst->c[i] = std::move(a);
+    }
+  }
+  return out;
+}
+
+PlainNtt prepare_plain(const BfvParams& p, std::span<const i64> pt) {
+  ABNN2_CHECK_ARG(pt.size() <= p.n(), "plaintext too long");
+  for (i64 v : pt)
+    ABNN2_CHECK_ARG(v <= (i64{1} << 30) && v >= -(i64{1} << 30),
+                    "plaintext multiplier too large for the noise budget");
+  PlainNtt out;
+  out.c.resize(p.num_primes());
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    out.c[i].assign(p.n(), 0);
+    for (std::size_t j = 0; j < pt.size(); ++j) out.c[i][j] = to_mod(pt[j], pi);
+    p.ntt(i).forward(out.c[i].data());
+  }
+  return out;
+}
+
+CiphertextNtt to_ntt(const BfvParams& p, const Ciphertext& ct) {
+  CiphertextNtt out{ct.c0, ct.c1};
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    p.ntt(i).forward(out.c0.c[i].data());
+    p.ntt(i).forward(out.c1.c[i].data());
+  }
+  return out;
+}
+
+Ciphertext mul_prepared(const BfvParams& p, const CiphertextNtt& ct,
+                        const PlainNtt& w) {
+  Ciphertext out;
+  out.c0 = RnsPoly::zero(p);
+  out.c1 = RnsPoly::zero(p);
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    for (std::size_t j = 0; j < p.n(); ++j) {
+      out.c0.c[i][j] = mul_mod(ct.c0.c[i][j], w.c[i][j], pi);
+      out.c1.c[i][j] = mul_mod(ct.c1.c[i][j], w.c[i][j], pi);
+    }
+    p.ntt(i).inverse(out.c0.c[i].data());
+    p.ntt(i).inverse(out.c1.c[i].data());
+  }
+  return out;
+}
+
+Ciphertext add_ct(const BfvParams& p, const Ciphertext& a,
+                  const Ciphertext& b) {
+  Ciphertext out = a;
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    for (std::size_t j = 0; j < p.n(); ++j) {
+      out.c0.c[i][j] = add_mod(out.c0.c[i][j], b.c0.c[i][j], pi);
+      out.c1.c[i][j] = add_mod(out.c1.c[i][j], b.c1.c[i][j], pi);
+    }
+  }
+  return out;
+}
+
+void add_plain_inplace(const BfvParams& p, Ciphertext& ct,
+                       std::span<const u64> pt) {
+  ABNN2_CHECK_ARG(pt.size() <= p.n(), "plaintext too long");
+  const u64 tmask = mask_l(p.t_bits());
+  for (std::size_t i = 0; i < p.num_primes(); ++i) {
+    const u64 pi = p.prime(i);
+    const u64 delta = p.delta_mod(i);
+    for (std::size_t j = 0; j < pt.size(); ++j)
+      ct.c0.c[i][j] =
+          add_mod(ct.c0.c[i][j], mul_mod(delta, (pt[j] & tmask) % pi, pi), pi);
+  }
+}
+
+void flood_noise_inplace(const BfvParams& p, Ciphertext& ct, Prg& prg,
+                         std::size_t flood_bits) {
+  // Centered uniform noise of ~2^flood_bits, identical across RNS
+  // components (one integer polynomial).
+  for (std::size_t j = 0; j < p.n(); ++j) {
+    const i64 e = static_cast<i64>(prg.next_bits(flood_bits)) -
+                  (i64{1} << (flood_bits - 1));
+    for (std::size_t i = 0; i < p.num_primes(); ++i) {
+      const u64 pi = p.prime(i);
+      ct.c0.c[i][j] = add_mod(ct.c0.c[i][j], to_mod(e, pi), pi);
+    }
+  }
+}
+
+}  // namespace abnn2::he

@@ -1,0 +1,123 @@
+// BFV-style RLWE additively homomorphic encryption with power-of-two
+// plaintext modulus t = 2^l: the lattice-AHE substrate of the MiniONN
+// baseline (DESIGN.md substitution #4).
+//
+// Supported homomorphic operations — exactly what MiniONN's offline
+// triplet generation needs:
+//   - ciphertext addition,
+//   - ciphertext x plaintext-polynomial multiplication (negacyclic
+//     convolution, used for the dot-product packing),
+//   - plaintext addition (the server folds its random blinds in),
+//   - noise flooding (circuit privacy of the server's weights).
+//
+// Parameters: ring dimension n = 4096, coefficient modulus q = product of
+// 2 (l <= 32) or 3 (l <= 64) NTT-friendly ~59-bit primes, chosen so that the
+// invariant-noise budget covers one plaintext multiplication by a polynomial
+// of 1-norm up to n * 2^8 plus 2^40 flooding noise. Encryption is symmetric
+// (the client owns the key; the server only computes homomorphically).
+#pragma once
+
+#include <memory>
+
+#include "he/bigint.h"
+#include "he/ntt.h"
+#include "net/channel.h"
+
+namespace abnn2::he {
+
+class BfvParams {
+ public:
+  /// `t_bits` in [8, 64]; n defaults to 4096 (use smaller powers of two for
+  /// tests).
+  BfvParams(std::size_t t_bits, std::size_t n = 4096);
+
+  std::size_t n() const { return n_; }
+  std::size_t t_bits() const { return t_bits_; }
+  std::size_t num_primes() const { return primes_.size(); }
+  u64 prime(std::size_t i) const { return primes_[i]; }
+  const NttTables& ntt(std::size_t i) const { return *ntt_[i]; }
+
+  /// floor(q / t) reduced mod prime i (the Delta scaling).
+  u64 delta_mod(std::size_t i) const { return delta_mod_[i]; }
+  const BigUint& q() const { return q_; }
+  const BigUint& delta() const { return delta_; }
+  /// CRT composition helpers: garner_[i] = (q / p_i) * ((q/p_i)^-1 mod p_i).
+  const BigUint& crt_term(std::size_t i) const { return crt_term_[i]; }
+
+  /// Ciphertext size on the wire in bytes (2 polys x n x num_primes x 8).
+  std::size_t ciphertext_bytes() const { return 2 * n_ * num_primes() * 8; }
+
+ private:
+  std::size_t n_, t_bits_;
+  std::vector<u64> primes_;
+  std::vector<std::unique_ptr<NttTables>> ntt_;
+  std::vector<u64> delta_mod_;
+  BigUint q_, delta_;
+  std::vector<BigUint> crt_term_;
+};
+
+/// An RNS polynomial: per-prime coefficient vectors.
+struct RnsPoly {
+  std::vector<std::vector<u64>> c;  // c[prime][coeff]
+
+  static RnsPoly zero(const BfvParams& p);
+};
+
+struct Ciphertext {
+  RnsPoly c0, c1;
+
+  void serialize(Writer& w) const;
+  static Ciphertext deserialize(Reader& r, const BfvParams& p);
+};
+
+class SecretKey {
+ public:
+  /// Fresh ternary key.
+  SecretKey(const BfvParams& p, Prg& prg);
+
+  /// Encrypts a plaintext polynomial with coefficients mod t (given as
+  /// ring elements of Z_{2^t_bits}).
+  Ciphertext encrypt(const BfvParams& p, std::span<const u64> pt,
+                     Prg& prg) const;
+
+  /// Decrypts to coefficients mod t.
+  std::vector<u64> decrypt(const BfvParams& p, const Ciphertext& ct) const;
+
+ private:
+  RnsPoly s_ntt_;  // key kept in evaluation domain
+};
+
+/// ct * pt-polynomial (negacyclic convolution); pt coefficients are SIGNED
+/// integers (weights).
+Ciphertext mul_plain(const BfvParams& p, const Ciphertext& ct,
+                     std::span<const i64> pt);
+
+/// Precomputed NTT-domain plaintext polynomial: amortizes the forward
+/// transform of a weight block across all batch columns.
+struct PlainNtt {
+  std::vector<std::vector<u64>> c;
+};
+PlainNtt prepare_plain(const BfvParams& p, std::span<const i64> pt);
+
+/// Ciphertext transformed to the evaluation domain once, multiplied by many
+/// prepared plaintexts.
+struct CiphertextNtt {
+  RnsPoly c0, c1;
+};
+CiphertextNtt to_ntt(const BfvParams& p, const Ciphertext& ct);
+Ciphertext mul_prepared(const BfvParams& p, const CiphertextNtt& ct,
+                        const PlainNtt& w);
+
+/// ct + ct.
+Ciphertext add_ct(const BfvParams& p, const Ciphertext& a,
+                  const Ciphertext& b);
+
+/// ct + Delta * pt (plaintext addition, pt mod t).
+void add_plain_inplace(const BfvParams& p, Ciphertext& ct,
+                       std::span<const u64> pt);
+
+/// Adds uniform flooding noise of ~2^flood_bits to c0 (circuit privacy).
+void flood_noise_inplace(const BfvParams& p, Ciphertext& ct, Prg& prg,
+                         std::size_t flood_bits = 40);
+
+}  // namespace abnn2::he

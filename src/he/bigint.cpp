@@ -1,0 +1,175 @@
+#include "he/bigint.h"
+
+namespace abnn2::he {
+
+std::size_t BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  return 32 * (limbs_.size() - 1) +
+         (32 - static_cast<std::size_t>(__builtin_clz(limbs_.back())));
+}
+
+BigUint& BigUint::add(const BigUint& o) {
+  limbs_.resize(std::max(limbs_.size(), o.limbs_.size()) + 1, 0);
+  u64 carry = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    u64 s = carry + limbs_[i];
+    if (i < o.limbs_.size()) s += o.limbs_[i];
+    limbs_[i] = static_cast<u32>(s);
+    carry = s >> 32;
+  }
+  ABNN2_CHECK(carry == 0, "bigint add overflow");
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::sub(const BigUint& o) {
+  ABNN2_CHECK(compare(*this, o) >= 0, "bigint sub underflow");
+  i64 borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    i64 s = static_cast<i64>(limbs_[i]) - borrow;
+    if (i < o.limbs_.size()) s -= static_cast<i64>(o.limbs_[i]);
+    borrow = s < 0;
+    limbs_[i] = static_cast<u32>(s + (borrow << 32));
+  }
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::mul_small(u64 v) {
+  const u32 lo = static_cast<u32>(v), hi = static_cast<u32>(v >> 32);
+  BigUint a = *this, b = *this;
+  // *this * lo
+  u64 carry = 0;
+  for (auto& limb : a.limbs_) {
+    const u64 p = static_cast<u64>(limb) * lo + carry;
+    limb = static_cast<u32>(p);
+    carry = p >> 32;
+  }
+  if (carry) a.limbs_.push_back(static_cast<u32>(carry));
+  if (hi) {
+    carry = 0;
+    for (auto& limb : b.limbs_) {
+      const u64 p = static_cast<u64>(limb) * hi + carry;
+      limb = static_cast<u32>(p);
+      carry = p >> 32;
+    }
+    if (carry) b.limbs_.push_back(static_cast<u32>(carry));
+    b.limbs_.insert(b.limbs_.begin(), 0);  // * 2^32
+    a.add(b);
+  }
+  a.trim();
+  *this = std::move(a);
+  return *this;
+}
+
+BigUint& BigUint::shift_left_bits(std::size_t bits) {
+  if (is_zero() || bits == 0) return *this;
+  const std::size_t words = bits / 32, rem = bits % 32;
+  limbs_.insert(limbs_.begin(), words, 0);
+  if (rem) {
+    u32 carry = 0;
+    for (std::size_t i = words; i < limbs_.size(); ++i) {
+      const u32 nc = limbs_[i] >> (32 - rem);
+      limbs_[i] = (limbs_[i] << rem) | carry;
+      carry = nc;
+    }
+    if (carry) limbs_.push_back(carry);
+  }
+  return *this;
+}
+
+int BigUint::compare(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::pair<BigUint, BigUint> BigUint::divmod(const BigUint& d) const {
+  ABNN2_CHECK_ARG(!d.is_zero(), "division by zero");
+  if (compare(*this, d) < 0) return {BigUint{}, *this};
+  if (d.limbs_.size() == 1) {  // short division
+    BigUint q;
+    q.limbs_.resize(limbs_.size());
+    u64 rem = 0;
+    const u64 dv = d.limbs_[0];
+    for (std::size_t i = limbs_.size(); i-- > 0;) {
+      const u64 cur = (rem << 32) | limbs_[i];
+      q.limbs_[i] = static_cast<u32>(cur / dv);
+      rem = cur % dv;
+    }
+    q.trim();
+    return {q, BigUint(rem)};
+  }
+
+  // Knuth Algorithm D (TAOCP 4.3.1), base 2^32.
+  const std::size_t shift =
+      static_cast<std::size_t>(__builtin_clz(d.limbs_.back()));
+  BigUint u = *this, v = d;
+  u.shift_left_bits(shift);
+  v.shift_left_bits(shift);
+  const std::size_t n = v.limbs_.size();
+  const std::size_t m = u.limbs_.size() - n;
+  u.limbs_.push_back(0);
+
+  BigUint q;
+  q.limbs_.resize(m + 1, 0);
+  const u64 vtop = v.limbs_[n - 1];
+  const u64 vsec = v.limbs_[n - 2];
+
+  for (std::size_t j = m + 1; j-- > 0;) {
+    const u64 num = (static_cast<u64>(u.limbs_[j + n]) << 32) | u.limbs_[j + n - 1];
+    u64 qhat = num / vtop;
+    u64 rhat = num % vtop;
+    while (qhat >= (u64{1} << 32) ||
+           qhat * vsec > ((rhat << 32) | u.limbs_[j + n - 2])) {
+      --qhat;
+      rhat += vtop;
+      if (rhat >= (u64{1} << 32)) break;
+    }
+    // u[j..j+n] -= qhat * v
+    i64 borrow = 0;
+    u64 carry = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 p = qhat * v.limbs_[i] + carry;
+      carry = p >> 32;
+      const i64 t = static_cast<i64>(u.limbs_[i + j]) -
+                    static_cast<i64>(p & 0xffffffffu) - borrow;
+      u.limbs_[i + j] = static_cast<u32>(t);
+      borrow = t < 0;
+    }
+    const i64 t = static_cast<i64>(u.limbs_[j + n]) - static_cast<i64>(carry) -
+                  borrow;
+    u.limbs_[j + n] = static_cast<u32>(t);
+    if (t < 0) {  // add back
+      --qhat;
+      u64 c2 = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const u64 s = static_cast<u64>(u.limbs_[i + j]) + v.limbs_[i] + c2;
+        u.limbs_[i + j] = static_cast<u32>(s);
+        c2 = s >> 32;
+      }
+      u.limbs_[j + n] = static_cast<u32>(u.limbs_[j + n] + c2);
+    }
+    q.limbs_[j] = static_cast<u32>(qhat);
+  }
+  q.trim();
+  // Remainder = u[0..n) >> shift.
+  BigUint r;
+  r.limbs_.assign(u.limbs_.begin(), u.limbs_.begin() + static_cast<std::ptrdiff_t>(n));
+  r.trim();
+  if (shift) {
+    u32 carry = 0;
+    for (std::size_t i = r.limbs_.size(); i-- > 0;) {
+      const u32 nc = r.limbs_[i] << (32 - shift);
+      r.limbs_[i] = (r.limbs_[i] >> shift) | carry;
+      carry = nc;
+    }
+    r.trim();
+  }
+  return {q, r};
+}
+
+}  // namespace abnn2::he

@@ -1,0 +1,69 @@
+// Minimal unsigned big integer on base-2^32 limbs. Only what BFV decryption
+// needs: CRT composition, addition, multiplication by small values,
+// comparison and Knuth-D division. Sizes stay tiny (<= 256 bits), so
+// simplicity beats asymptotics.
+#pragma once
+
+#include <vector>
+
+#include "common/defines.h"
+
+namespace abnn2::he {
+
+class BigUint {
+ public:
+  BigUint() = default;
+  explicit BigUint(u64 v) {
+    limbs_ = {static_cast<u32>(v), static_cast<u32>(v >> 32)};
+    trim();
+  }
+
+  static BigUint from_u128(u128 v) {
+    BigUint b;
+    for (int i = 0; i < 4; ++i)
+      b.limbs_.push_back(static_cast<u32>(v >> (32 * i)));
+    b.trim();
+    return b;
+  }
+
+  bool is_zero() const { return limbs_.empty(); }
+  std::size_t bit_length() const;
+
+  /// Low 64 bits.
+  u64 low_u64() const {
+    u64 v = 0;
+    for (std::size_t i = 0; i < limbs_.size() && i < 2; ++i)
+      v |= static_cast<u64>(limbs_[i]) << (32 * i);
+    return v;
+  }
+
+  BigUint& add(const BigUint& o);
+  BigUint& sub(const BigUint& o);  // requires *this >= o
+  BigUint& mul_small(u64 v);
+  BigUint& shift_left_bits(std::size_t bits);
+
+  static int compare(const BigUint& a, const BigUint& b);
+  friend bool operator<(const BigUint& a, const BigUint& b) {
+    return compare(a, b) < 0;
+  }
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a.add(b); }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a.sub(b); }
+  friend BigUint operator*(BigUint a, u64 b) { return a.mul_small(b); }
+  BigUint operator%(const BigUint& m) const { return divmod(m).second; }
+  BigUint operator/(const BigUint& m) const { return divmod(m).first; }
+
+  /// Knuth Algorithm D. `d` must be non-zero.
+  std::pair<BigUint, BigUint> divmod(const BigUint& d) const;
+
+ private:
+  void trim() {
+    while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+  }
+  std::vector<u32> limbs_;  // little-endian base 2^32
+};
+
+}  // namespace abnn2::he

@@ -1,0 +1,54 @@
+#include "he/modarith.h"
+
+namespace abnn2::he {
+
+bool is_prime(u64 n) {
+  if (n < 2) return false;
+  for (u64 p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  u64 d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  // Witness set proven sufficient for all n < 3.3e24.
+  for (u64 a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
+                29ull, 31ull, 37ull}) {
+    u64 x = pow_mod(a % n, d, n);
+    if (x == 0 || x == 1 || x == n - 1) continue;
+    bool witness = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = mul_mod(x, x, n);
+      if (x == n - 1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+u64 next_ntt_prime(u64 start, u64 modulus_step) {
+  u64 p = start - (start % modulus_step) + 1;
+  if (p < start) p += modulus_step;
+  while (!is_prime(p)) p += modulus_step;
+  return p;
+}
+
+u64 find_primitive_root(u64 p, u64 two_n, Prg& prg) {
+  ABNN2_CHECK_ARG((p - 1) % two_n == 0, "2n does not divide p-1");
+  const u64 cofactor = (p - 1) / two_n;
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const u64 x = prg.next_below(p - 2) + 2;
+    const u64 r = pow_mod(x, cofactor, p);
+    // r has order dividing 2n; it is primitive iff r^n == -1.
+    if (pow_mod(r, two_n / 2, p) == p - 1) return r;
+  }
+  throw ProtocolError("no primitive root found");
+}
+
+}  // namespace abnn2::he

@@ -1,0 +1,48 @@
+// 64-bit modular arithmetic, deterministic Miller-Rabin primality, and
+// NTT-friendly prime / primitive-root search. Substrate for the RLWE
+// additively-homomorphic scheme used by the MiniONN baseline.
+#pragma once
+
+#include <vector>
+
+#include "common/defines.h"
+#include "crypto/prg.h"
+
+namespace abnn2::he {
+
+inline u64 add_mod(u64 a, u64 b, u64 p) {
+  const u64 s = a + b;
+  return (s >= p || s < a) ? s - p : s;
+}
+
+inline u64 sub_mod(u64 a, u64 b, u64 p) { return a >= b ? a - b : a + p - b; }
+
+inline u64 mul_mod(u64 a, u64 b, u64 p) {
+  return static_cast<u64>((static_cast<u128>(a) * b) % p);
+}
+
+inline u64 pow_mod(u64 base, u64 exp, u64 p) {
+  u64 r = 1 % p;
+  base %= p;
+  while (exp) {
+    if (exp & 1) r = mul_mod(r, base, p);
+    base = mul_mod(base, base, p);
+    exp >>= 1;
+  }
+  return r;
+}
+
+inline u64 inv_mod(u64 a, u64 p) { return pow_mod(a, p - 2, p); }  // p prime
+
+/// Deterministic Miller-Rabin for 64-bit integers (fixed witness set that is
+/// proven complete below 3.3 * 10^24).
+bool is_prime(u64 n);
+
+/// Smallest prime p >= start with p = 1 (mod modulus_step); used to find
+/// NTT-friendly primes (step = 2n).
+u64 next_ntt_prime(u64 start, u64 modulus_step);
+
+/// A primitive 2n-th root of unity mod p (requires 2n | p-1).
+u64 find_primitive_root(u64 p, u64 two_n, Prg& prg);
+
+}  // namespace abnn2::he

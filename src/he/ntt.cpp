@@ -1,0 +1,77 @@
+#include "he/ntt.h"
+
+namespace abnn2::he {
+namespace {
+
+u32 bit_reverse(u32 x, int bits) {
+  u32 r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+NttTables::NttTables(std::size_t n, u64 p, Prg& prg) : n_(n), p_(p) {
+  ABNN2_CHECK_ARG(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two");
+  ABNN2_CHECK_ARG((p - 1) % (2 * n) == 0, "p must be 1 mod 2n");
+  const u64 psi = find_primitive_root(p, 2 * n, prg);
+  const u64 psi_inv = inv_mod(psi, p);
+  const int bits = __builtin_ctzll(n);
+  psi_.resize(n);
+  psi_inv_.resize(n);
+  u64 pw = 1, pwi = 1;
+  std::vector<u64> fwd(n), inv(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd[i] = pw;
+    inv[i] = pwi;
+    pw = mul_mod(pw, psi, p);
+    pwi = mul_mod(pwi, psi_inv, p);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    psi_[i] = fwd[bit_reverse(static_cast<u32>(i), bits)];
+    psi_inv_[i] = inv[bit_reverse(static_cast<u32>(i), bits)];
+  }
+  n_inv_ = inv_mod(n, p);
+}
+
+void NttTables::forward(u64* a) const {
+  // Harvey-style CT butterflies (plain Barrett via u128 here).
+  std::size_t t = n_ >> 1;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const u64 s = psi_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = mul_mod(a[j + t], s, p_);
+        a[j] = add_mod(u, v, p_);
+        a[j + t] = sub_mod(u, v, p_);
+      }
+    }
+    t >>= 1;
+  }
+}
+
+void NttTables::inverse(u64* a) const {
+  // Gentleman-Sande butterflies.
+  std::size_t t = 1;
+  for (std::size_t m = n_ >> 1; m >= 1; m >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const u64 s = psi_inv_[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const u64 u = a[j];
+        const u64 v = a[j + t];
+        a[j] = add_mod(u, v, p_);
+        a[j + t] = mul_mod(sub_mod(u, v, p_), s, p_);
+      }
+    }
+    t <<= 1;
+  }
+  for (std::size_t i = 0; i < n_; ++i) a[i] = mul_mod(a[i], n_inv_, p_);
+}
+
+}  // namespace abnn2::he

@@ -1,0 +1,33 @@
+// Negacyclic number-theoretic transform over Z_p[x]/(x^n + 1) (n a power of
+// two, p = 1 mod 2n). Standard Cooley-Tukey / Gentleman-Sande butterflies
+// with the 2n-th root powers folded in, so pointwise products realize
+// negacyclic convolution directly.
+#pragma once
+
+#include <vector>
+
+#include "he/modarith.h"
+
+namespace abnn2::he {
+
+class NttTables {
+ public:
+  NttTables(std::size_t n, u64 p, Prg& prg);
+
+  std::size_t n() const { return n_; }
+  u64 modulus() const { return p_; }
+
+  /// In-place forward NTT (coefficient -> evaluation domain).
+  void forward(u64* a) const;
+  /// In-place inverse NTT.
+  void inverse(u64* a) const;
+
+ private:
+  std::size_t n_;
+  u64 p_;
+  std::vector<u64> psi_;      // psi powers, bit-reversed order
+  std::vector<u64> psi_inv_;  // inverse psi powers, bit-reversed order
+  u64 n_inv_;
+};
+
+}  // namespace abnn2::he

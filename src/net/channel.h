@@ -1,0 +1,112 @@
+// Transport abstraction for two-party protocols.
+//
+// All protocol code is written against Channel, so the same protocol runs
+// over an in-process MemChannel (tests, benchmarks) or a TCP SocketChannel
+// (real deployments). The base class meters traffic: bytes in each direction
+// and communication rounds (a round is counted whenever the direction flips
+// from sending to receiving), which feeds the LAN/WAN NetworkModel.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/block.h"
+#include "common/defines.h"
+#include "common/serial.h"
+
+namespace abnn2 {
+
+struct ChannelStats {
+  u64 bytes_sent = 0;
+  u64 bytes_received = 0;
+  u64 messages_sent = 0;
+  u64 rounds = 0;  // direction changes send->recv observed at this endpoint
+
+  u64 total_bytes() const { return bytes_sent + bytes_received; }
+};
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  void send(const void* data, std::size_t n) {
+    stats_.bytes_sent += n;
+    ++stats_.messages_sent;
+    sent_since_recv_ = true;
+    do_send(data, n);
+  }
+  void recv(void* data, std::size_t n) {
+    if (sent_since_recv_) {
+      ++stats_.rounds;
+      sent_since_recv_ = false;
+    }
+    do_recv(data, n);
+    stats_.bytes_received += n;
+  }
+
+  // ---- typed helpers -------------------------------------------------
+  void send_u64(u64 v) { send(&v, 8); }
+  u64 recv_u64() { u64 v; recv(&v, 8); return v; }
+
+  void send_block(const Block& b) { send(b.w.data(), 16); }
+  Block recv_block() { Block b; recv(b.w.data(), 16); return b; }
+
+  void send_blocks(const Block* p, std::size_t n) { send(p, n * 16); }
+  void recv_blocks(Block* p, std::size_t n) { recv(p, n * 16); }
+
+  void send_u64s(const u64* p, std::size_t n) { send(p, n * 8); }
+  void recv_u64s(u64* p, std::size_t n) { recv(p, n * 8); }
+
+  /// Length-prefixed message send/recv (for variable-size payloads).
+  void send_msg(std::span<const u8> payload) {
+    send_u64(payload.size());
+    if (!payload.empty()) send(payload.data(), payload.size());
+  }
+  void send_msg(const Writer& w) { send_msg(std::span<const u8>(w.data())); }
+  std::vector<u8> recv_msg(std::size_t max_size = std::size_t{1} << 33) {
+    const u64 n = recv_u64();
+    ABNN2_CHECK(n <= max_size, "oversized message");
+    std::vector<u8> v(n);
+    if (n) recv(v.data(), n);
+    return v;
+  }
+
+  const ChannelStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; sent_since_recv_ = false; }
+
+ protected:
+  virtual void do_send(const void* data, std::size_t n) = 0;
+  virtual void do_recv(void* data, std::size_t n) = 0;
+
+ private:
+  ChannelStats stats_;
+  bool sent_since_recv_ = false;
+};
+
+/// Network cost model used to translate metered traffic into simulated
+/// wall-clock time (see DESIGN.md substitution #2).
+struct NetworkModel {
+  double bandwidth_bytes_per_s;
+  double rtt_s;
+  const char* name;
+
+  /// Simulated elapsed time for a protocol run: compute time plus transfer
+  /// time for all traffic plus one RTT per communication round.
+  double simulate(double compute_s, const ChannelStats& a,
+                  const ChannelStats& b) const {
+    const double bytes =
+        static_cast<double>(a.bytes_sent) + static_cast<double>(b.bytes_sent);
+    const double rounds = static_cast<double>(a.rounds + b.rounds);
+    return compute_s + bytes / bandwidth_bytes_per_s + rounds * rtt_s;
+  }
+};
+
+/// LAN model (paper does not state parameters; typical 1 GbE loopback-ish).
+inline constexpr NetworkModel kLan{1.0e9, 0.2e-3, "LAN"};
+/// WAN model of Table 3: 9 MB/s bandwidth, 72 ms RTT.
+inline constexpr NetworkModel kWanTable3{9.0e6, 72e-3, "WAN(9MB/s,72ms)"};
+/// WAN model of Tables 4-5 (QUOTIENT setting): 24.3 MB/s, 40 ms RTT.
+inline constexpr NetworkModel kWanQuotient{24.3e6, 40e-3, "WAN(24.3MB/s,40ms)"};
+
+}  // namespace abnn2

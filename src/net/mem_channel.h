@@ -1,0 +1,87 @@
+// In-process duplex channel: two endpoints connected by a pair of byte
+// pipes. Thread-safe; recv blocks until the requested bytes are available or
+// the peer endpoint is destroyed (then throws ChannelError).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "net/channel.h"
+
+namespace abnn2 {
+
+namespace detail {
+
+class BytePipe {
+ public:
+  void write(const void* data, std::size_t n) {
+    const u8* p = static_cast<const u8*>(data);
+    std::lock_guard lk(mu_);
+    if (closed_) throw ChannelError("write on closed mem channel");
+    buf_.insert(buf_.end(), p, p + n);
+    cv_.notify_one();
+  }
+
+  void read(void* data, std::size_t n) {
+    u8* p = static_cast<u8*>(data);
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [&] { return buf_.size() >= n || closed_; });
+    if (buf_.size() < n)
+      throw ChannelError("mem channel closed with pending read");
+    std::copy(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n), p);
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+
+  void close() {
+    std::lock_guard lk(mu_);
+    closed_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<u8> buf_;
+  bool closed_ = false;
+};
+
+}  // namespace detail
+
+class MemChannel final : public Channel {
+ public:
+  /// Creates a connected pair of endpoints.
+  static std::pair<std::unique_ptr<MemChannel>, std::unique_ptr<MemChannel>>
+  make_pair() {
+    auto ab = std::make_shared<detail::BytePipe>();
+    auto ba = std::make_shared<detail::BytePipe>();
+    auto a = std::unique_ptr<MemChannel>(new MemChannel(ab, ba));
+    auto b = std::unique_ptr<MemChannel>(new MemChannel(ba, ab));
+    return {std::move(a), std::move(b)};
+  }
+
+  ~MemChannel() override { close(); }
+
+  /// Tears down both directions; any blocked or future peer operation throws
+  /// ChannelError. Used to unblock the peer when this party fails.
+  void close() {
+    out_->close();
+    in_->close();
+  }
+
+ protected:
+  void do_send(const void* data, std::size_t n) override { out_->write(data, n); }
+  void do_recv(void* data, std::size_t n) override { in_->read(data, n); }
+
+ private:
+  MemChannel(std::shared_ptr<detail::BytePipe> out,
+             std::shared_ptr<detail::BytePipe> in)
+      : out_(std::move(out)), in_(std::move(in)) {}
+
+  std::shared_ptr<detail::BytePipe> out_;
+  std::shared_ptr<detail::BytePipe> in_;
+};
+
+}  // namespace abnn2

@@ -1,0 +1,88 @@
+// Runs the two protocol parties as threads over a MemChannel pair and
+// propagates exceptions. The standard driver for tests and benchmarks.
+#pragma once
+
+#include <chrono>
+#include <exception>
+#include <functional>
+#include <thread>
+#include <utility>
+
+#include "net/mem_channel.h"
+
+namespace abnn2 {
+
+/// Result of a two-party run: per-party return values, channel stats and the
+/// wall-clock compute time (both parties interleaved on shared cores).
+template <class R0, class R1>
+struct TwoPartyResult {
+  R0 party0;
+  R1 party1;
+  ChannelStats stats0;
+  ChannelStats stats1;
+  double wall_seconds = 0;
+
+  u64 total_comm_bytes() const { return stats0.bytes_sent + stats1.bytes_sent; }
+  double simulated_seconds(const NetworkModel& net) const {
+    return net.simulate(wall_seconds, stats0, stats1);
+  }
+};
+
+/// Runs `f0` (party 0 / server) and `f1` (party 1 / client), each receiving a
+/// Channel&. Exceptions from either party are re-thrown in the caller (party
+/// 0's first).
+template <class F0, class F1>
+auto run_two_parties(F0&& f0, F1&& f1)
+    -> TwoPartyResult<std::invoke_result_t<F0, Channel&>,
+                      std::invoke_result_t<F1, Channel&>> {
+  using R0 = std::invoke_result_t<F0, Channel&>;
+  using R1 = std::invoke_result_t<F1, Channel&>;
+  auto [c0, c1] = MemChannel::make_pair();
+
+  R0 r0{};
+  R1 r1{};
+  std::exception_ptr e0, e1;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::thread t1([&] {
+    try {
+      r1 = f1(*c1);
+    } catch (...) {
+      e1 = std::current_exception();
+      c1->close();  // unblock party 0
+    }
+  });
+  try {
+    r0 = f0(*c0);
+  } catch (...) {
+    e0 = std::current_exception();
+    c0->close();  // unblock party 1
+  }
+  t1.join();
+  const auto stop = std::chrono::steady_clock::now();
+
+  // Prefer the root cause: when one party fails, the peer usually dies with
+  // a consequent ChannelError from the torn-down pipe.
+  const auto is_channel_error = [](const std::exception_ptr& e) {
+    try {
+      std::rethrow_exception(e);
+    } catch (const ChannelError&) {
+      return true;
+    } catch (...) {
+      return false;
+    }
+  };
+  if (e0 && e1) std::rethrow_exception(is_channel_error(e0) ? e1 : e0);
+  if (e0) std::rethrow_exception(e0);
+  if (e1) std::rethrow_exception(e1);
+
+  TwoPartyResult<R0, R1> res;
+  res.party0 = std::move(r0);
+  res.party1 = std::move(r1);
+  res.stats0 = c0->stats();
+  res.stats1 = c1->stats();
+  res.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  return res;
+}
+
+}  // namespace abnn2

@@ -1,0 +1,103 @@
+#include "net/socket_channel.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace abnn2 {
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw ChannelError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+std::unique_ptr<SocketChannel> SocketChannel::listen(u16 port) {
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(lfd);
+    throw_errno("bind");
+  }
+  if (::listen(lfd, 1) < 0) {
+    ::close(lfd);
+    throw_errno("listen");
+  }
+  const int fd = ::accept(lfd, nullptr, nullptr);
+  ::close(lfd);
+  if (fd < 0) throw_errno("accept");
+  set_nodelay(fd);
+  return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
+}
+
+std::unique_ptr<SocketChannel> SocketChannel::connect(const std::string& host,
+                                                      u16 port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    throw ChannelError("bad address: " + host);
+  for (int attempt = 0;; ++attempt) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket");
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+      set_nodelay(fd);
+      return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
+    }
+    ::close(fd);
+    if (attempt >= 200) throw_errno("connect");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+SocketChannel::~SocketChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketChannel::do_send(const void* data, std::size_t n) {
+  const u8* p = static_cast<const u8*>(data);
+  while (n > 0) {
+    const ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void SocketChannel::do_recv(void* data, std::size_t n) {
+  u8* p = static_cast<u8*>(data);
+  while (n > 0) {
+    const ssize_t r = ::recv(fd_, p, n, 0);
+    if (r == 0) throw ChannelError("peer closed connection");
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("recv");
+    }
+    p += r;
+    n -= static_cast<std::size_t>(r);
+  }
+}
+
+}  // namespace abnn2

@@ -1,0 +1,35 @@
+// TCP transport. Used by deployments (and exercised by tests over loopback);
+// benchmarks use MemChannel + NetworkModel instead (DESIGN.md, substitution
+// #2).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+
+namespace abnn2 {
+
+class SocketChannel final : public Channel {
+ public:
+  /// Listen on `port` (loopback) and accept one connection.
+  static std::unique_ptr<SocketChannel> listen(u16 port);
+  /// Connect to host:port, retrying briefly so a races with listen() in
+  /// another thread resolve.
+  static std::unique_ptr<SocketChannel> connect(const std::string& host,
+                                                u16 port);
+
+  ~SocketChannel() override;
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+ protected:
+  void do_send(const void* data, std::size_t n) override;
+  void do_recv(void* data, std::size_t n) override;
+
+ private:
+  explicit SocketChannel(int fd) : fd_(fd) {}
+  int fd_;
+};
+
+}  // namespace abnn2

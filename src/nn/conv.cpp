@@ -1,0 +1,70 @@
+#include "nn/conv.h"
+
+namespace abnn2::nn {
+
+MatU64 im2col(const ConvSpec& spec, const MatU64& x) {
+  ABNN2_CHECK_ARG(x.rows() == spec.in_size(), "input shape mismatch");
+  const std::size_t batch = x.cols();
+  const std::size_t oh = spec.out_h(), ow = spec.out_w();
+  MatU64 out(spec.patch_size(), oh * ow * batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    for (std::size_t oy = 0; oy < oh; ++oy) {
+      for (std::size_t ox = 0; ox < ow; ++ox) {
+        const std::size_t col = b * oh * ow + oy * ow + ox;
+        for (std::size_t c = 0; c < spec.in_c; ++c) {
+          for (std::size_t ky = 0; ky < spec.k_h; ++ky) {
+            for (std::size_t kx = 0; kx < spec.k_w; ++kx) {
+              const std::size_t row = (c * spec.k_h + ky) * spec.k_w + kx;
+              const i64 iy = static_cast<i64>(oy * spec.stride + ky) -
+                             static_cast<i64>(spec.pad);
+              const i64 ix = static_cast<i64>(ox * spec.stride + kx) -
+                             static_cast<i64>(spec.pad);
+              if (iy < 0 || ix < 0 || iy >= static_cast<i64>(spec.in_h) ||
+                  ix >= static_cast<i64>(spec.in_w))
+                continue;  // zero padding
+              const std::size_t src =
+                  (c * spec.in_h + static_cast<std::size_t>(iy)) * spec.in_w +
+                  static_cast<std::size_t>(ix);
+              out.at(row, col) = x.at(src, b);
+            }
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+MatU64 conv_plain(const ss::Ring& ring, const ConvSpec& spec,
+                  const MatU64& kernel_values, const MatU64& x) {
+  ABNN2_CHECK_ARG(kernel_values.rows() == spec.out_c &&
+                      kernel_values.cols() == spec.patch_size(),
+                  "kernel shape mismatch");
+  const MatU64 patches = im2col(spec, x);
+  MatU64 y(spec.out_c, patches.cols());
+  for (std::size_t i = 0; i < spec.out_c; ++i)
+    for (std::size_t j = 0; j < spec.patch_size(); ++j) {
+      const u64 w = ring.reduce(kernel_values.at(i, j));
+      if (w == 0) continue;
+      const u64* src = patches.row(j);
+      u64* dst = y.row(i);
+      for (std::size_t k = 0; k < patches.cols(); ++k)
+        dst[k] = ring.add(dst[k], ring.mul(w, src[k]));
+    }
+  return y;
+}
+
+MatU64 flatten_conv_output(const ConvSpec& spec, const MatU64& y,
+                           std::size_t batch) {
+  const std::size_t pos = spec.out_positions();
+  ABNN2_CHECK_ARG(y.rows() == spec.out_c && y.cols() == pos * batch,
+                  "conv output shape mismatch");
+  MatU64 out(spec.out_c * pos, batch);
+  for (std::size_t c = 0; c < spec.out_c; ++c)
+    for (std::size_t b = 0; b < batch; ++b)
+      for (std::size_t p = 0; p < pos; ++p)
+        out.at(c * pos + p, b) = y.at(c, b * pos + p);
+  return out;
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,54 @@
+// Convolution support (extension beyond the paper's FC-only evaluation,
+// following how MiniONN/SecureML handle conv layers): a convolution is
+// lowered to a matrix product via im2col. Crucially, im2col is a PUBLIC
+// data rearrangement (duplication of entries at known positions), so each
+// party applies it to its own additive share locally and the existing
+// triplet machinery runs unchanged on the lowered matrices.
+//
+// Layouts: an image batch is a matrix of shape (C*H*W) x B, channel-major
+// rows (c, then y, then x); kernels form a matrix (out_c) x (C*kh*kw).
+#pragma once
+
+#include "nn/tensor.h"
+#include "ss/additive.h"
+
+namespace abnn2::nn {
+
+struct ConvSpec {
+  std::size_t in_c, in_h, in_w;
+  std::size_t k_h, k_w;
+  std::size_t out_c;
+  std::size_t stride = 1;
+  std::size_t pad = 0;
+
+  std::size_t out_h() const {
+    ABNN2_CHECK_ARG(in_h + 2 * pad >= k_h, "kernel taller than padded input");
+    return (in_h + 2 * pad - k_h) / stride + 1;
+  }
+  std::size_t out_w() const {
+    ABNN2_CHECK_ARG(in_w + 2 * pad >= k_w, "kernel wider than padded input");
+    return (in_w + 2 * pad - k_w) / stride + 1;
+  }
+  std::size_t in_size() const { return in_c * in_h * in_w; }
+  std::size_t patch_size() const { return in_c * k_h * k_w; }
+  std::size_t out_positions() const { return out_h() * out_w(); }
+};
+
+/// Lowers x ((C*H*W) x B) to patches ((C*kh*kw) x (out_h*out_w*B)); padding
+/// contributes zeros. Column order: batch-major, then output position
+/// (row-major over out_h x out_w).
+MatU64 im2col(const ConvSpec& spec, const MatU64& x);
+
+/// Reference conv: kernels (out_c x C*kh*kw) * im2col, returning
+/// (out_c) x (out_positions*B) in the same column order.
+MatU64 conv_plain(const ss::Ring& ring, const ConvSpec& spec,
+                  const MatU64& kernel_values, const MatU64& x);
+
+/// Reshapes a conv output (out_c x out_positions*B, batch-major columns)
+/// into the activation layout of the next layer
+/// ((out_c*out_positions) x B, channel-major rows). Pure data movement, so
+/// each party applies it to its share locally.
+MatU64 flatten_conv_output(const ConvSpec& spec, const MatU64& y,
+                           std::size_t batch);
+
+}  // namespace abnn2::nn

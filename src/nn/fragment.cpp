@@ -1,0 +1,134 @@
+#include "nn/fragment.h"
+
+#include <sstream>
+
+namespace abnn2::nn {
+namespace {
+
+std::string tuple_name(const std::vector<u32>& bits, bool is_signed) {
+  std::ostringstream os;
+  if (is_signed) os << 's';
+  os << '(';
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (i) os << ',';
+    os << bits[i];
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+FragScheme FragScheme::unsigned_bits(const std::vector<u32>& bits) {
+  ABNN2_CHECK_ARG(!bits.empty(), "empty fragment tuple");
+  FragScheme s;
+  u32 shift = 0;
+  for (u32 b : bits) {
+    ABNN2_CHECK_ARG(b >= 1 && b <= 8, "fragment width must be in [1,8]");
+    Fragment f;
+    f.shift = shift;
+    f.bits = b;
+    f.values.resize(std::size_t{1} << b);
+    for (u32 j = 0; j < f.values.size(); ++j)
+      f.values[j] = static_cast<i64>(j) << shift;
+    shift += b;
+    s.frags_.push_back(std::move(f));
+  }
+  ABNN2_CHECK_ARG(shift <= 32, "eta too large");
+  s.eta_ = shift;
+  s.name_ = tuple_name(bits, false);
+  return s;
+}
+
+FragScheme FragScheme::signed_bits(const std::vector<u32>& bits) {
+  FragScheme s = unsigned_bits(bits);
+  // Reinterpret the top fragment in two's complement: its high bit carries
+  // weight -2^(shift+bits-1) instead of +2^(shift+bits-1).
+  Fragment& top = s.frags_.back();
+  const u32 half = u32{1} << (top.bits - 1);
+  for (u32 j = half; j < top.values.size(); ++j)
+    top.values[j] =
+        (static_cast<i64>(j) - (i64{1} << top.bits)) << top.shift;
+  s.signed_ = true;
+  std::vector<u32> widths;
+  for (const auto& f : s.frags_) widths.push_back(f.bits);
+  s.name_ = tuple_name(widths, true);
+  return s;
+}
+
+FragScheme FragScheme::ternary() {
+  FragScheme s;
+  Fragment f;
+  f.shift = 0;
+  f.bits = 0;
+  f.values = {-1, 0, 1};
+  s.frags_.push_back(std::move(f));
+  s.eta_ = 2;  // the paper counts ternary as 2-bit
+  s.signed_ = true;
+  s.table_coded_ = true;
+  s.name_ = "ternary";
+  return s;
+}
+
+FragScheme FragScheme::binary() {
+  FragScheme s;
+  Fragment f;
+  f.shift = 0;
+  f.bits = 0;
+  f.values = {0, 1};
+  s.frags_.push_back(std::move(f));
+  s.eta_ = 1;
+  s.signed_ = false;
+  s.table_coded_ = true;
+  s.name_ = "binary";
+  return s;
+}
+
+FragScheme FragScheme::parse(const std::string& spec) {
+  if (spec == "ternary") return ternary();
+  if (spec == "binary") return binary();
+  std::string t = spec;
+  bool sgn = false;
+  if (!t.empty() && t[0] == 's') {
+    sgn = true;
+    t = t.substr(1);
+  }
+  ABNN2_CHECK_ARG(t.size() >= 3 && t.front() == '(' && t.back() == ')',
+                  "bad fragment spec: " + spec);
+  std::vector<u32> bits;
+  std::stringstream ss(t.substr(1, t.size() - 2));
+  std::string item;
+  while (std::getline(ss, item, ','))
+    bits.push_back(static_cast<u32>(std::stoul(item)));
+  return sgn ? signed_bits(bits) : unsigned_bits(bits);
+}
+
+u32 FragScheme::max_n() const {
+  u32 n = 0;
+  for (const auto& f : frags_) n = std::max(n, static_cast<u32>(f.values.size()));
+  return n;
+}
+
+u32 FragScheme::choice(u64 code, std::size_t f) const {
+  const Fragment& fr = frags_.at(f);
+  if (table_coded_) {
+    ABNN2_CHECK_ARG(code < fr.values.size(), "code out of table range");
+    return static_cast<u32>(code);
+  }
+  ABNN2_CHECK_ARG(code < (u64{1} << eta_), "code exceeds eta bits");
+  return static_cast<u32>((code >> fr.shift) & mask_l(fr.bits));
+}
+
+i64 FragScheme::interpret(u64 code) const {
+  i64 v = 0;
+  for (std::size_t f = 0; f < frags_.size(); ++f)
+    v += frags_[f].values[choice(code, f)];
+  return v;
+}
+
+u64 FragScheme::code_space() const {
+  if (table_coded_) return frags_[0].values.size();
+  return u64{1} << eta_;
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,87 @@
+// Fragment schemes: the N-base decomposition of quantized weights that gives
+// ABNN2 its arbitrary-bitwidth support (paper section 4.1.1, equation 2, and
+// the tuples of Table 2).
+//
+// A weight is stored as an eta-bit CODE. A scheme splits the code into
+// gamma fragments; fragment f contributes value_f(j_f) to the weight's ring
+// value, where j_f in [0, N_f) is the fragment's choice index. The protocol
+// invariant, checked by tests for every scheme:
+//
+//     sum_f value(f, choice(code, f))  ==  interpret(code)   (mod 2^l)
+//
+// Supported schemes:
+//   - unsigned_bits({b0,...}): plain base-2^b decomposition, tuple ordered
+//     from the lowest bits to the highest (paper's (2,2,2,2), (3,3,2), ...).
+//   - signed_bits({b0,...}): same slices, but the top fragment is two's
+//     complement, so eta-bit codes represent signed weights.
+//   - ternary(): one fragment, codes {0,1,2} -> values {-1,0,+1}.
+//   - binary(): one fragment, codes {0,1} -> values {0,1}.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/defines.h"
+#include "ss/additive.h"
+
+namespace abnn2::nn {
+
+class FragScheme {
+ public:
+  /// One fragment: how to extract the choice index from a code and the
+  /// candidate signed values it contributes.
+  struct Fragment {
+    u32 shift;                // bit offset of this fragment inside the code
+    u32 bits;                 // fragment width (N = 2^bits) -- 0 for tables
+    std::vector<i64> values;  // values[j] = signed contribution of choice j
+  };
+
+  static FragScheme unsigned_bits(const std::vector<u32>& bits);
+  static FragScheme signed_bits(const std::vector<u32>& bits);
+  static FragScheme ternary();
+  static FragScheme binary();
+
+  /// Parses "(2,2,2,2)", "ternary", "binary", "s(3,3,2)" (signed).
+  static FragScheme parse(const std::string& spec);
+
+  std::size_t gamma() const { return frags_.size(); }
+  std::size_t eta() const { return eta_; }
+  bool is_signed() const { return signed_; }
+  const std::string& name() const { return name_; }
+
+  /// Number of candidate values of fragment f (the protocol's N).
+  u32 table_size(std::size_t f) const {
+    return static_cast<u32>(frags_.at(f).values.size());
+  }
+  /// Largest N over all fragments.
+  u32 max_n() const;
+
+  /// Choice index of fragment f for a weight code.
+  u32 choice(u64 code, std::size_t f) const;
+
+  /// Ring value contributed by fragment f at choice j.
+  u64 value(std::size_t f, u32 j, const ss::Ring& ring) const {
+    return ring.from_signed(frags_.at(f).values.at(j));
+  }
+
+  /// Signed value the full code represents.
+  i64 interpret(u64 code) const;
+  /// Ring encoding of interpret(code).
+  u64 interpret_ring(u64 code, const ss::Ring& ring) const {
+    return ring.from_signed(interpret(code));
+  }
+
+  /// Number of valid codes (2^eta, or 3 for ternary).
+  u64 code_space() const;
+
+  const std::vector<Fragment>& fragments() const { return frags_; }
+
+ private:
+  std::vector<Fragment> frags_;
+  std::size_t eta_ = 0;
+  bool signed_ = false;
+  bool table_coded_ = false;  // ternary-style: code is a table index
+  std::string name_;
+};
+
+}  // namespace abnn2::nn

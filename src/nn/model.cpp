@@ -1,0 +1,175 @@
+#include "nn/model.h"
+
+namespace abnn2::nn {
+
+std::size_t Model::num_weights() const {
+  std::size_t n = 0;
+  for (const auto& l : layers) n += l.codes.size();
+  return n;
+}
+
+void Model::validate() const {
+  ABNN2_CHECK_ARG(!layers.empty(), "model has no layers");
+  for (std::size_t i = 0; i + 1 < layers.size(); ++i)
+    ABNN2_CHECK_ARG(layers[i].out_dim() == layers[i + 1].in_dim(),
+                    "layer dimension mismatch");
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const auto& l = layers[i];
+    if (l.pool) {
+      ABNN2_CHECK_ARG(i + 1 < layers.size(),
+                      "pooling after the final layer is not supported");
+      ABNN2_CHECK_ARG(l.pool->in_size() == l.linear_out_dim(),
+                      "pool geometry inconsistent with layer output");
+    }
+    if (l.conv) {
+      ABNN2_CHECK_ARG(l.codes.rows() == l.conv->out_c &&
+                          l.codes.cols() == l.conv->patch_size(),
+                      "conv kernel matrix shape mismatch");
+      ABNN2_CHECK_ARG(l.bias.empty() || l.bias.size() == l.conv->out_c,
+                      "conv bias dimension mismatch");
+    } else {
+      ABNN2_CHECK_ARG(l.bias.empty() || l.bias.size() == l.out_dim(),
+                      "bias dimension mismatch");
+    }
+    for (u64 c : l.codes.data())
+      ABNN2_CHECK_ARG(c < l.scheme.code_space(), "weight code out of range");
+  }
+}
+
+MatU64 matmul_codes(const ss::Ring& ring, const MatU64& codes,
+                    const FragScheme& scheme, const MatU64& x) {
+  ABNN2_CHECK_ARG(codes.cols() == x.rows(), "matmul dimension mismatch");
+  MatU64 y(codes.rows(), x.cols());
+  for (std::size_t i = 0; i < codes.rows(); ++i) {
+    for (std::size_t j = 0; j < codes.cols(); ++j) {
+      const u64 w = scheme.interpret_ring(codes.at(i, j), ring);
+      if (w == 0) continue;
+      const u64* xr = x.row(j);
+      u64* yr = y.row(i);
+      for (std::size_t k = 0; k < x.cols(); ++k)
+        yr[k] = ring.add(yr[k], ring.mul(w, xr[k]));
+    }
+  }
+  return y;
+}
+
+void relu_inplace(const ss::Ring& ring, MatU64& y) {
+  for (auto& v : y.data())
+    if (ring.msb(v)) v = 0;
+}
+
+MatU64 infer_plain(const Model& model, const MatU64& x) {
+  model.validate();
+  ABNN2_CHECK_ARG(x.rows() == model.input_dim(), "input dimension mismatch");
+  MatU64 act = x;
+  for (std::size_t li = 0; li < model.layers.size(); ++li) {
+    const FcLayer& l = model.layers[li];
+    MatU64 y;
+    if (l.conv) {
+      const MatU64 patches = im2col(*l.conv, act);
+      y = matmul_codes(model.ring, l.codes, l.scheme, patches);
+      if (!l.bias.empty())
+        for (std::size_t i = 0; i < y.rows(); ++i)
+          for (std::size_t k = 0; k < y.cols(); ++k)
+            y.at(i, k) = model.ring.add(y.at(i, k), l.bias[i]);
+      y = flatten_conv_output(*l.conv, y, act.cols());
+    } else {
+      y = matmul_codes(model.ring, l.codes, l.scheme, act);
+      if (!l.bias.empty())
+        for (std::size_t i = 0; i < y.rows(); ++i)
+          for (std::size_t k = 0; k < y.cols(); ++k)
+            y.at(i, k) = model.ring.add(y.at(i, k), l.bias[i]);
+    }
+    if (li + 1 < model.layers.size()) {
+      if (l.pool) {
+        y = relu_maxpool_plain(model.ring, *l.pool, y);
+      } else {
+        relu_inplace(model.ring, y);
+      }
+    }
+    act = std::move(y);
+  }
+  return act;
+}
+
+std::vector<std::size_t> argmax_logits(const ss::Ring& ring, const MatU64& y) {
+  std::vector<std::size_t> out(y.cols(), 0);
+  for (std::size_t k = 0; k < y.cols(); ++k) {
+    i64 best = ring.to_signed(y.at(0, k));
+    for (std::size_t i = 1; i < y.rows(); ++i) {
+      const i64 v = ring.to_signed(y.at(i, k));
+      if (v > best) {
+        best = v;
+        out[k] = i;
+      }
+    }
+  }
+  return out;
+}
+
+Model random_model(const ss::Ring& ring, const FragScheme& scheme,
+                   const std::vector<std::size_t>& dims, Block seed) {
+  ABNN2_CHECK_ARG(dims.size() >= 2, "need at least input and output dims");
+  Model m(ring);
+  Prg prg(seed);
+  for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+    FcLayer l{MatU64(dims[i + 1], dims[i]), {}, scheme, {}, {}};
+    for (auto& c : l.codes.data()) c = prg.next_below(scheme.code_space());
+    m.layers.push_back(std::move(l));
+  }
+  m.validate();
+  return m;
+}
+
+Model fig4_model(const ss::Ring& ring, const FragScheme& scheme, Block seed) {
+  return random_model(ring, scheme, {784, 128, 128, 10}, seed);
+}
+
+Model small_cnn_model(const ss::Ring& ring, const FragScheme& scheme,
+                      Block seed) {
+  Model m(ring);
+  Prg prg(seed);
+  const ConvSpec spec{/*in_c=*/1, /*in_h=*/10, /*in_w=*/10, /*k_h=*/3,
+                      /*k_w=*/3, /*out_c=*/4, /*stride=*/1, /*pad=*/0};
+  FcLayer conv{MatU64(spec.out_c, spec.patch_size()), {}, scheme, spec, {}};
+  for (auto& c : conv.codes.data()) c = prg.next_below(scheme.code_space());
+  m.layers.push_back(std::move(conv));
+
+  FcLayer fc{MatU64(10, spec.out_c * spec.out_positions()), {}, scheme, {}, {}};
+  for (auto& c : fc.codes.data()) c = prg.next_below(scheme.code_space());
+  m.layers.push_back(std::move(fc));
+  m.validate();
+  return m;
+}
+
+Model pooled_cnn_model(const ss::Ring& ring, const FragScheme& scheme,
+                       Block seed) {
+  Model m(ring);
+  Prg prg(seed);
+  const ConvSpec conv_spec{/*in_c=*/1, /*in_h=*/12, /*in_w=*/12, /*k_h=*/3,
+                           /*k_w=*/3, /*out_c=*/4, /*stride=*/1, /*pad=*/0};
+  const PoolSpec pool_spec{/*c=*/4, /*h=*/10, /*w=*/10,
+                           /*win_h=*/2, /*win_w=*/2, /*stride=*/2};
+  FcLayer conv{MatU64(conv_spec.out_c, conv_spec.patch_size()), {}, scheme,
+               conv_spec, pool_spec};
+  for (auto& c : conv.codes.data()) c = prg.next_below(scheme.code_space());
+  m.layers.push_back(std::move(conv));
+
+  FcLayer fc{MatU64(10, pool_spec.out_size()), {}, scheme, {}, {}};
+  for (auto& c : fc.codes.data()) c = prg.next_below(scheme.code_space());
+  m.layers.push_back(std::move(fc));
+  m.validate();
+  return m;
+}
+
+MatU64 synthetic_images(std::size_t features, std::size_t batch,
+                        std::size_t frac_bits, const ss::Ring& ring,
+                        Block seed) {
+  ABNN2_CHECK_ARG(frac_bits < ring.bits(), "frac_bits must fit the ring");
+  MatU64 x(features, batch);
+  Prg prg(seed);
+  for (auto& v : x.data()) v = prg.next_bits(frac_bits);  // in [0, 1) fixed-point
+  return x;
+}
+
+}  // namespace abnn2::nn

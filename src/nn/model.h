@@ -1,0 +1,101 @@
+// Quantized neural network model container, plaintext reference inference,
+// the paper's Fig-4 MNIST network and synthetic data generation.
+//
+// A model is a stack of fully connected layers with ReLU between them
+// (Fig 2 / Fig 4 of the paper). Weights are quantized codes under a
+// FragScheme; activations are ring elements (fixed-point). The plaintext
+// reference computes exactly what the secure protocol computes — in the ring
+// Z_{2^l}, with ReLU defined by the two's-complement sign bit — so secure and
+// plaintext results must match bit-for-bit (tested).
+#pragma once
+
+#include <vector>
+
+#include <optional>
+
+#include "nn/conv.h"
+#include "nn/fragment.h"
+#include "nn/pool.h"
+#include "nn/quantize.h"
+#include "nn/tensor.h"
+
+namespace abnn2::nn {
+
+/// One linear layer. Fully connected when `conv` is empty; convolutional
+/// otherwise (extension beyond the paper's FC-only evaluation): the codes
+/// then form the (out_c x C*kh*kw) kernel matrix and the layer is lowered to
+/// a matmul via local im2col on each party's shares. When `pool` is set
+/// (non-final layers only), the activation between this layer and the next
+/// is fused ReLU + max-pool instead of plain ReLU.
+struct FcLayer {
+  MatU64 codes;            // m x n weight codes (kernel matrix for conv)
+  std::vector<u64> bias;   // per-output-row ring elements (empty = no bias)
+  FragScheme scheme;
+  std::optional<ConvSpec> conv;
+  std::optional<PoolSpec> pool;
+
+  /// Rows of the linear product W*x (before any pooling).
+  std::size_t linear_out_dim() const {
+    return conv ? conv->out_c * conv->out_positions() : codes.rows();
+  }
+  /// Logical activation dimensions (what the next layer sees).
+  std::size_t out_dim() const {
+    return pool ? pool->out_size() : linear_out_dim();
+  }
+  std::size_t in_dim() const { return conv ? conv->in_size() : codes.cols(); }
+};
+
+struct Model {
+  ss::Ring ring;
+  std::vector<FcLayer> layers;  // ReLU applied between consecutive layers
+
+  explicit Model(ss::Ring r) : ring(r) {}
+
+  std::size_t input_dim() const { return layers.front().in_dim(); }
+  std::size_t output_dim() const { return layers.back().out_dim(); }
+
+  /// Total number of weights (the paper's sum over m*n).
+  std::size_t num_weights() const;
+
+  void validate() const;
+};
+
+/// W * X in the ring, interpreting codes through the scheme.
+MatU64 matmul_codes(const ss::Ring& ring, const MatU64& codes,
+                    const FragScheme& scheme, const MatU64& x);
+
+/// Element-wise ReLU on ring elements (two's-complement sign).
+void relu_inplace(const ss::Ring& ring, MatU64& y);
+
+/// Full plaintext inference: returns logits (out_dim x batch).
+MatU64 infer_plain(const Model& model, const MatU64& x);
+
+/// Index of the largest (signed) logit per batch column.
+std::vector<std::size_t> argmax_logits(const ss::Ring& ring, const MatU64& y);
+
+/// The 3-layer network of Fig 4: 784 -> 128 -> 128 -> 10, random quantized
+/// weights under `scheme`.
+Model fig4_model(const ss::Ring& ring, const FragScheme& scheme, Block seed);
+
+/// A model with arbitrary layer sizes, random codes.
+Model random_model(const ss::Ring& ring, const FragScheme& scheme,
+                   const std::vector<std::size_t>& dims, Block seed);
+
+/// A small CNN (extension): conv(1x10x10 image, 3x3 kernels, 4 output
+/// channels) -> ReLU -> FC(256 -> 10), random codes.
+Model small_cnn_model(const ss::Ring& ring, const FragScheme& scheme,
+                      Block seed);
+
+/// CNN with pooling (extension): conv(1x12x12, 3x3 -> 4 channels) ->
+/// fused ReLU+maxpool(2x2, stride 2) -> FC(100 -> 10), random codes.
+Model pooled_cnn_model(const ss::Ring& ring, const FragScheme& scheme,
+                       Block seed);
+
+/// Deterministic synthetic MNIST-like inputs: `batch` columns of
+/// `features` fixed-point values in [0, 1) with `frac_bits` fractional bits
+/// (see DESIGN.md substitution #3).
+MatU64 synthetic_images(std::size_t features, std::size_t batch,
+                        std::size_t frac_bits, const ss::Ring& ring,
+                        Block seed);
+
+}  // namespace abnn2::nn

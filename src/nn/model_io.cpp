@@ -1,0 +1,154 @@
+#include "nn/model_io.h"
+
+#include <fstream>
+
+#include "common/packing.h"
+#include "common/serial.h"
+
+namespace abnn2::nn {
+namespace {
+
+constexpr char kMagic[8] = {'A', 'B', 'N', 'N', '2', 'M', 'D', 'L'};
+constexpr u32 kVersion = 2;
+
+std::size_t code_bits(const FragScheme& s) {
+  std::size_t b = 1;
+  while ((u64{1} << b) < s.code_space()) ++b;
+  return b;
+}
+
+void put_string(Writer& w, const std::string& s) {
+  w.u64_(s.size());
+  w.bytes(s.data(), s.size());
+}
+
+std::string get_string(Reader& r) {
+  const u64 n = r.u64_();
+  ABNN2_CHECK(n < 4096, "oversized string in model file");
+  std::string s(n, '\0');
+  r.bytes(s.data(), n);
+  return s;
+}
+
+}  // namespace
+
+std::vector<u8> serialize_model(const Model& m) {
+  m.validate();
+  Writer w;
+  w.bytes(kMagic, sizeof(kMagic));
+  w.u32_(kVersion);
+  w.u64_(m.ring.bits());
+  w.u64_(m.layers.size());
+  for (const auto& l : m.layers) {
+    put_string(w, l.scheme.name());
+    w.u8_(l.conv.has_value());
+    if (l.conv) {
+      const auto& cv = *l.conv;
+      for (u64 v : {cv.in_c, cv.in_h, cv.in_w, cv.k_h, cv.k_w, cv.out_c,
+                    cv.stride, cv.pad})
+        w.u64_(v);
+    }
+    w.u8_(l.pool.has_value());
+    if (l.pool) {
+      const auto& pl = *l.pool;
+      for (u64 v : {pl.c, pl.h, pl.w, pl.win_h, pl.win_w, pl.stride})
+        w.u64_(v);
+    }
+    w.u64_(l.codes.rows());
+    w.u64_(l.codes.cols());
+    const auto packed = pack_bits(l.codes.data(), code_bits(l.scheme));
+    w.u64_(packed.size());
+    w.bytes(packed.data(), packed.size());
+    w.u64_(l.bias.size());
+    if (!l.bias.empty()) {
+      const auto pb = pack_bits(l.bias, m.ring.bits());
+      w.u64_(pb.size());
+      w.bytes(pb.data(), pb.size());
+    }
+  }
+  return w.take();
+}
+
+Model deserialize_model(std::span<const u8> bytes) {
+  Reader r(bytes);
+  char magic[8];
+  r.bytes(magic, 8);
+  ABNN2_CHECK(std::memcmp(magic, kMagic, 8) == 0, "not an ABNN2 model file");
+  const u32 version = r.u32_();
+  ABNN2_CHECK(version >= 1 && version <= kVersion,
+              "unsupported model file version");
+  const u64 ring_bits = r.u64_();
+  ABNN2_CHECK(ring_bits >= 1 && ring_bits <= 64, "bad ring width");
+  Model m{ss::Ring(ring_bits)};
+  const u64 n_layers = r.u64_();
+  ABNN2_CHECK(n_layers >= 1 && n_layers <= 1024, "bad layer count");
+  for (u64 i = 0; i < n_layers; ++i) {
+    FcLayer l{{}, {}, FragScheme::parse(get_string(r)), {}, {}};
+    if (r.u8_()) {
+      ConvSpec cv{};
+      cv.in_c = r.u64_();
+      cv.in_h = r.u64_();
+      cv.in_w = r.u64_();
+      cv.k_h = r.u64_();
+      cv.k_w = r.u64_();
+      cv.out_c = r.u64_();
+      cv.stride = r.u64_();
+      cv.pad = r.u64_();
+      l.conv = cv;
+    }
+    if (version >= 2 && r.u8_()) {
+      PoolSpec pl{};
+      pl.c = r.u64_();
+      pl.h = r.u64_();
+      pl.w = r.u64_();
+      pl.win_h = r.u64_();
+      pl.win_w = r.u64_();
+      pl.stride = r.u64_();
+      l.pool = pl;
+    }
+    const u64 rows = r.u64_();
+    const u64 cols = r.u64_();
+    ABNN2_CHECK(rows >= 1 && cols >= 1 && rows * cols <= (u64{1} << 28),
+                "bad layer shape");
+    const u64 packed_size = r.u64_();
+    std::vector<u8> packed(packed_size);
+    r.bytes(packed.data(), packed_size);
+    l.codes = MatU64(rows, cols);
+    l.codes.data() = unpack_bits(packed, code_bits(l.scheme), rows * cols);
+    const u64 bias_len = r.u64_();
+    if (bias_len > 0) {
+      ABNN2_CHECK(bias_len == rows, "bias length mismatch");
+      const u64 pb_size = r.u64_();
+      std::vector<u8> pb(pb_size);
+      r.bytes(pb.data(), pb_size);
+      l.bias = unpack_bits(pb, ring_bits, bias_len);
+    }
+    m.layers.push_back(std::move(l));
+  }
+  ABNN2_CHECK(r.done(), "trailing bytes in model file");
+  m.validate();
+  return m;
+}
+
+void save_model(const Model& m, const std::string& path) {
+  const auto bytes = serialize_model(m);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ABNN2_CHECK(f.good(), "cannot open model file for writing: " + path);
+  f.write(reinterpret_cast<const char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  ABNN2_CHECK(f.good(), "short write to model file: " + path);
+}
+
+Model load_model(const std::string& path) {
+  std::ifstream f(path, std::ios::binary | std::ios::ate);
+  ABNN2_CHECK(f.good(), "cannot open model file: " + path);
+  const auto size = static_cast<std::size_t>(f.tellg());
+  f.seekg(0);
+  std::vector<u8> bytes(size);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(size));
+  ABNN2_CHECK(f.good(), "short read from model file: " + path);
+  return deserialize_model(bytes);
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,30 @@
+// Model (de)serialization: a compact binary format so a quantized model can
+// be produced once (tools/abnn2_genmodel) and served forever
+// (tools/abnn2_server). Format, little-endian:
+//
+//   magic "ABNN2MDL", u32 version, u64 ring_bits, u64 n_layers,
+//   per layer:
+//     scheme-name string (u64 len + bytes)
+//     u8 has_conv [+ 8 x u64 conv fields]
+//     u8 has_pool [+ 5 x u64 pool fields]   (version >= 2)
+//     u64 rows, u64 cols, codes packed to ceil(log2 code_space) bits each
+//     u64 bias_len + bias values packed to ring_bits
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "nn/model.h"
+
+namespace abnn2::nn {
+
+/// Serializes to a byte buffer / file. Throws on I/O failure.
+std::vector<u8> serialize_model(const Model& m);
+void save_model(const Model& m, const std::string& path);
+
+/// Deserializes; validates shapes and code ranges. Throws ProtocolError on
+/// malformed input.
+Model deserialize_model(std::span<const u8> bytes);
+Model load_model(const std::string& path);
+
+}  // namespace abnn2::nn

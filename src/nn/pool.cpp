@@ -1,0 +1,37 @@
+#include "nn/pool.h"
+
+namespace abnn2::nn {
+
+std::vector<std::size_t> pool_window_rows(const PoolSpec& spec,
+                                          std::size_t widx) {
+  const std::size_t oh = spec.out_h(), ow = spec.out_w();
+  ABNN2_CHECK_ARG(widx < spec.c * oh * ow, "window index out of range");
+  const std::size_t ch = widx / (oh * ow);
+  const std::size_t oy = (widx / ow) % oh;
+  const std::size_t ox = widx % ow;
+  std::vector<std::size_t> rows;
+  rows.reserve(spec.window_elems());
+  for (std::size_t ky = 0; ky < spec.win_h; ++ky)
+    for (std::size_t kx = 0; kx < spec.win_w; ++kx)
+      rows.push_back((ch * spec.h + oy * spec.stride + ky) * spec.w +
+                     ox * spec.stride + kx);
+  return rows;
+}
+
+MatU64 relu_maxpool_plain(const ss::Ring& ring, const PoolSpec& spec,
+                          const MatU64& y) {
+  ABNN2_CHECK_ARG(y.rows() == spec.in_size(), "pool input shape mismatch");
+  MatU64 out(spec.out_size(), y.cols());
+  for (std::size_t widx = 0; widx < spec.out_size(); ++widx) {
+    const auto rows = pool_window_rows(spec, widx);
+    for (std::size_t b = 0; b < y.cols(); ++b) {
+      i64 best = ring.to_signed(y.at(rows[0], b));
+      for (std::size_t e = 1; e < rows.size(); ++e)
+        best = std::max(best, ring.to_signed(y.at(rows[e], b)));
+      out.at(widx, b) = best > 0 ? ring.from_signed(best) : 0;
+    }
+  }
+  return out;
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,45 @@
+// Max-pooling geometry and the plaintext reference for the fused
+// ReLU+max-pool layer (extension; CNN baselines like MiniONN evaluate
+// conv -> ReLU -> maxpool stacks). Because max is monotone,
+// max(ReLU(x_i)) == ReLU(max(x_i)), so the secure layer garbles one fused
+// circuit per window (see core/maxpool.h).
+//
+// Activations use the channel-major layout of nn/conv.h: row c*h*w index
+// (c, y, x), one batch item per column.
+#pragma once
+
+#include <vector>
+
+#include "nn/tensor.h"
+#include "ss/additive.h"
+
+namespace abnn2::nn {
+
+struct PoolSpec {
+  std::size_t c, h, w;          // input geometry (c*h*w rows)
+  std::size_t win_h, win_w;
+  std::size_t stride;           // typically == win_h == win_w
+
+  std::size_t in_size() const { return c * h * w; }
+  std::size_t out_h() const {
+    ABNN2_CHECK_ARG(h >= win_h && stride >= 1, "bad pool geometry");
+    return (h - win_h) / stride + 1;
+  }
+  std::size_t out_w() const {
+    ABNN2_CHECK_ARG(w >= win_w && stride >= 1, "bad pool geometry");
+    return (w - win_w) / stride + 1;
+  }
+  std::size_t out_size() const { return c * out_h() * out_w(); }
+  std::size_t window_elems() const { return win_h * win_w; }
+};
+
+/// Input row indices of pool window `widx` (windows ordered channel-major,
+/// then output row-major).
+std::vector<std::size_t> pool_window_rows(const PoolSpec& spec,
+                                          std::size_t widx);
+
+/// Plaintext fused ReLU + max-pool: out = ReLU(max(window)) per window.
+MatU64 relu_maxpool_plain(const ss::Ring& ring, const PoolSpec& spec,
+                          const MatU64& y);
+
+}  // namespace abnn2::nn

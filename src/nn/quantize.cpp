@@ -1,0 +1,90 @@
+#include "nn/quantize.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace abnn2::nn {
+
+Quantized quantize(const MatF& w, const FragScheme& scheme) {
+  Quantized out;
+  out.codes = MatU64(w.rows(), w.cols());
+
+  if (scheme.name() == "binary") {
+    out.scale = 1.0;
+    for (std::size_t i = 0; i < w.data().size(); ++i)
+      out.codes.data()[i] = w.data()[i] > 0 ? 1 : 0;
+    return out;
+  }
+  if (scheme.name() == "ternary") {
+    // Ternary weight networks: threshold at 0.7 * mean(|w|).
+    double mean_abs = 0;
+    for (double v : w.data()) mean_abs += std::abs(v);
+    mean_abs /= static_cast<double>(w.data().empty() ? 1 : w.data().size());
+    const double thr = 0.7 * mean_abs;
+    out.scale = std::max(mean_abs, 1e-12);
+    for (std::size_t i = 0; i < w.data().size(); ++i) {
+      const double v = w.data()[i];
+      out.codes.data()[i] = v > thr ? 2 : (v < -thr ? 0 : 1);
+    }
+    return out;
+  }
+
+  // Uniform quantization over the scheme's representable signed range.
+  i64 lo = 0, hi = 0;
+  for (u64 c = 0; c < scheme.code_space(); ++c) {
+    const i64 v = scheme.interpret(c);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  double max_abs = 0;
+  for (double v : w.data()) max_abs = std::max(max_abs, std::abs(v));
+  // Anchor the scale on the positive max so round-off stays within half a
+  // step (two's-complement ranges are asymmetric: |lo| = hi + 1).
+  const double limit = static_cast<double>(hi);
+  out.scale = max_abs > 0 ? max_abs / std::max(limit, 1.0) : 1.0;
+  for (std::size_t i = 0; i < w.data().size(); ++i) {
+    i64 q = static_cast<i64>(std::llround(w.data()[i] / out.scale));
+    q = std::clamp<i64>(q, lo, hi);
+    // Encode back to a code: for bit-sliced schemes the code is the eta-bit
+    // two's complement (signed) or plain value (unsigned).
+    out.codes.data()[i] =
+        static_cast<u64>(q) & mask_l(scheme.eta());
+  }
+  return out;
+}
+
+MatF dequantize(const Quantized& q, const FragScheme& scheme) {
+  MatF out(q.codes.rows(), q.codes.cols());
+  for (std::size_t i = 0; i < out.data().size(); ++i)
+    out.data()[i] =
+        static_cast<double>(scheme.interpret(q.codes.data()[i])) * q.scale;
+  return out;
+}
+
+u64 encode_fixed(double x, std::size_t frac_bits, const ss::Ring& ring) {
+  const double scaled = x * static_cast<double>(u64{1} << frac_bits);
+  return ring.from_signed(static_cast<i64>(std::llround(scaled)));
+}
+
+double decode_fixed(u64 v, std::size_t frac_bits, const ss::Ring& ring) {
+  return static_cast<double>(ring.to_signed(v)) /
+         static_cast<double>(u64{1} << frac_bits);
+}
+
+MatU64 encode_fixed_mat(const MatF& x, std::size_t frac_bits,
+                        const ss::Ring& ring) {
+  MatU64 out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i)
+    out.data()[i] = encode_fixed(x.data()[i], frac_bits, ring);
+  return out;
+}
+
+MatF decode_fixed_mat(const MatU64& x, std::size_t frac_bits,
+                      const ss::Ring& ring) {
+  MatF out(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i)
+    out.data()[i] = decode_fixed(x.data()[i], frac_bits, ring);
+  return out;
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,33 @@
+// Float -> quantized-code conversion (symmetric uniform quantization for
+// bit-width schemes, threshold quantization for ternary, sign for binary)
+// and the fixed-point encoding of activations (paper section 2.2:
+// "activations will be in float-point form and be encoded as fixed-point").
+#pragma once
+
+#include "nn/fragment.h"
+#include "nn/tensor.h"
+
+namespace abnn2::nn {
+
+struct Quantized {
+  MatU64 codes;   // weight codes, consumed by the secure protocols
+  double scale;   // real value of a unit step: w_real ~ interpret(code)*scale
+};
+
+/// Quantizes a real weight matrix under `scheme`.
+Quantized quantize(const MatF& w, const FragScheme& scheme);
+
+/// Real value represented by a code matrix.
+MatF dequantize(const Quantized& q, const FragScheme& scheme);
+
+/// Fixed-point encoding of activations/inputs with `frac_bits` fractional
+/// bits into the ring.
+u64 encode_fixed(double x, std::size_t frac_bits, const ss::Ring& ring);
+double decode_fixed(u64 v, std::size_t frac_bits, const ss::Ring& ring);
+
+MatU64 encode_fixed_mat(const MatF& x, std::size_t frac_bits,
+                        const ss::Ring& ring);
+MatF decode_fixed_mat(const MatU64& x, std::size_t frac_bits,
+                      const ss::Ring& ring);
+
+}  // namespace abnn2::nn

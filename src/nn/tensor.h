@@ -1,0 +1,58 @@
+// Minimal row-major matrix/vector containers for ring elements and weight
+// codes. Dimensions follow the paper: a linear layer computes
+// Y (m x o) = W (m x n) * X (n x o), where o is the prediction batch size.
+#pragma once
+
+#include <vector>
+
+#include "common/defines.h"
+#include "crypto/prg.h"
+
+namespace abnn2::nn {
+
+template <class T>
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), d_(rows * cols, init) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return d_.size(); }
+
+  T& at(std::size_t r, std::size_t c) {
+    ABNN2_CHECK_ARG(r < rows_ && c < cols_, "matrix index out of range");
+    return d_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    ABNN2_CHECK_ARG(r < rows_ && c < cols_, "matrix index out of range");
+    return d_[r * cols_ + c];
+  }
+
+  T* row(std::size_t r) { return d_.data() + r * cols_; }
+  const T* row(std::size_t r) const { return d_.data() + r * cols_; }
+
+  std::vector<T>& data() { return d_; }
+  const std::vector<T>& data() const { return d_; }
+
+  friend bool operator==(const Matrix&, const Matrix&) = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<T> d_;
+};
+
+using MatU64 = Matrix<u64>;
+using MatF = Matrix<double>;
+
+/// Uniformly random ring-element matrix.
+inline MatU64 random_mat(std::size_t rows, std::size_t cols, std::size_t l,
+                         Prg& prg) {
+  MatU64 m(rows, cols);
+  const u64 mask = mask_l(l);
+  for (auto& v : m.data()) v = prg.next_u64() & mask;
+  return m;
+}
+
+}  // namespace abnn2::nn

@@ -1,0 +1,73 @@
+#include "ot/base_ot.h"
+
+#include "crypto/ro.h"
+#include "ec/ed25519.h"
+
+namespace abnn2 {
+namespace {
+
+constexpr u64 kBaseOtTag = 0xB05E'0000;
+
+ec::Scalar random_scalar(Prg& prg) {
+  ec::Scalar s;
+  prg.bytes(s.data(), 32);
+  s[31] &= 0x1f;  // keep scalars < 2^253 (tidy; any value would work)
+  return s;
+}
+
+Block key_from_point(std::size_t i, const ec::Point& p) {
+  const auto enc = p.encode();
+  return ro_hash(kBaseOtTag, i, enc).block0();
+}
+
+}  // namespace
+
+std::vector<std::array<Block, 2>> base_ot_send(Channel& ch, std::size_t n,
+                                               Prg& prg) {
+  ABNN2_CHECK_ARG(n > 0, "need at least one OT");
+  const ec::Scalar y = random_scalar(prg);
+  const ec::Point a = ec::Point::base().mul(y);
+  const auto a_enc = a.encode();
+  ch.send(a_enc.data(), a_enc.size());
+
+  const ec::Point t = a.mul(y);  // y^2 * B
+  std::vector<std::array<Block, 2>> out(n);
+  std::vector<u8> rs(32 * n);
+  ch.recv(rs.data(), rs.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    std::array<u8, 32> enc;
+    std::memcpy(enc.data(), rs.data() + 32 * i, 32);
+    auto r = ec::Point::decode(enc);
+    ABNN2_CHECK(r.has_value(), "base OT: receiver sent invalid point");
+    const ec::Point yr = r->mul(y);
+    out[i][0] = key_from_point(i, yr);
+    out[i][1] = key_from_point(i, yr.sub(t));
+  }
+  return out;
+}
+
+std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg) {
+  const std::size_t n = choices.size();
+  ABNN2_CHECK_ARG(n > 0, "need at least one OT");
+  std::array<u8, 32> a_enc;
+  ch.recv(a_enc.data(), a_enc.size());
+  auto a = ec::Point::decode(a_enc);
+  ABNN2_CHECK(a.has_value(), "base OT: sender sent invalid point");
+
+  std::vector<ec::Scalar> xs(n);
+  std::vector<u8> rs(32 * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    xs[i] = random_scalar(prg);
+    ec::Point r = ec::Point::base().mul(xs[i]);
+    if (choices[i]) r = r.add(*a);
+    const auto enc = r.encode();
+    std::memcpy(rs.data() + 32 * i, enc.data(), 32);
+  }
+  ch.send(rs.data(), rs.size());
+
+  std::vector<Block> out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = key_from_point(i, a->mul(xs[i]));
+  return out;
+}
+
+}  // namespace abnn2

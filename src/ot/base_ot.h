@@ -1,0 +1,31 @@
+// Chou-Orlandi "Simplest OT" (CRYPTO'15) over the Ed25519 group.
+//
+// Produces the seed OTs consumed by the IKNP and KK13 extensions. Sender
+// obtains n random block pairs (x_i^0, x_i^1); receiver with choice bits c_i
+// obtains x_i^{c_i}. Security in the random-oracle model under CDH.
+//
+// Protocol (additive notation, base point B):
+//   S: y <-R Z, sends A = yB, keeps T = yA
+//   R: for each i, x_i <-R Z, sends R_i = c_i*A + x_i*B
+//   S: x_i^j = H(i, y*R_i - j*T)   for j in {0,1}
+//   R: x_i^{c_i} = H(i, x_i * A)
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "crypto/prg.h"
+#include "net/channel.h"
+
+namespace abnn2 {
+
+/// Sender side: returns n pairs of random 128-bit messages.
+std::vector<std::array<Block, 2>> base_ot_send(Channel& ch, std::size_t n,
+                                               Prg& prg);
+
+/// Receiver side: returns the chosen message per OT.
+std::vector<Block> base_ot_recv(Channel& ch, const BitVec& choices, Prg& prg);
+
+}  // namespace abnn2

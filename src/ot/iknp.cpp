@@ -1,0 +1,140 @@
+#include "ot/iknp.h"
+
+namespace abnn2 {
+namespace {
+
+std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
+  return {m.row(i), m.row_bytes()};
+}
+
+}  // namespace
+
+void IknpSender::setup(Channel& ch, Prg& prg) {
+  ABNN2_CHECK(!setup_done_, "setup called twice");
+  s_.resize(kKappa);
+  for (std::size_t j = 0; j < kKappa; ++j) s_.set(j, prg.next_bit());
+  const std::vector<Block> seeds = base_ot_recv(ch, s_, prg);
+  seed_prg_.reserve(kKappa);
+  for (std::size_t j = 0; j < kKappa; ++j) seed_prg_.emplace_back(seeds[j], tag_);
+  setup_done_ = true;
+}
+
+void IknpSender::extend(Channel& ch, std::size_t m) {
+  ABNN2_CHECK(setup_done_, "extend before setup");
+  ABNN2_CHECK_ARG(m > 0, "empty extension");
+  index_base_ += count();
+  const std::size_t row_bytes = bytes_for_bits(m);
+  // Column-major: row j of `cols` is column j of the logical m x kKappa
+  // matrix Q.
+  BitMatrix cols(kKappa, m);
+  std::vector<u8> u(row_bytes);
+  for (std::size_t j = 0; j < kKappa; ++j) {
+    seed_prg_[j].bytes(cols.row(j), row_bytes);
+    ch.recv(u.data(), row_bytes);
+    if (s_[j]) cols.xor_row(j, u.data());
+  }
+  q_ = cols.transpose();
+}
+
+RoDigest IknpSender::pad(std::size_t i, bool which) const {
+  ABNN2_CHECK_ARG(i < q_.rows(), "instance out of range");
+  if (!which) return ro_hash(tag_, index_base_ + i, row_span(q_, i));
+  u8 tmp[kKappa / 8];
+  std::memcpy(tmp, q_.row(i), sizeof(tmp));
+  const u64* sw = s_.words();
+  u64 w[2];
+  std::memcpy(w, tmp, 16);
+  w[0] ^= sw[0];
+  w[1] ^= sw[1];
+  std::memcpy(tmp, w, 16);
+  return ro_hash(tag_, index_base_ + i, std::span<const u8>(tmp, sizeof(tmp)));
+}
+
+void IknpSender::send_blocks(Channel& ch,
+                             std::span<const std::array<Block, 2>> msgs) {
+  ABNN2_CHECK_ARG(msgs.size() == count(), "message count mismatch");
+  std::vector<Block> wire(2 * msgs.size());
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    wire[2 * i] = msgs[i][0] ^ pad(i, false).block0();
+    wire[2 * i + 1] = msgs[i][1] ^ pad(i, true).block0();
+  }
+  ch.send_blocks(wire.data(), wire.size());
+}
+
+std::vector<u64> IknpSender::send_correlated(Channel& ch,
+                                             std::span<const u64> deltas,
+                                             std::size_t l) {
+  ABNN2_CHECK_ARG(deltas.size() == count(), "delta count mismatch");
+  ABNN2_CHECK_ARG(l >= 1 && l <= 64, "ring width out of range");
+  const u64 mask = mask_l(l);
+  std::vector<u64> share(deltas.size());
+  std::vector<u64> adj(deltas.size());
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const u64 h0 = pad(i, false).low_bits(l);
+    const u64 h1 = pad(i, true).low_bits(l);
+    share[i] = h0;
+    adj[i] = (deltas[i] + h0 - h1) & mask;
+  }
+  ch.send_u64s(adj.data(), adj.size());
+  return share;
+}
+
+void IknpReceiver::setup(Channel& ch, Prg& prg) {
+  ABNN2_CHECK(!setup_done_, "setup called twice");
+  const auto seeds = base_ot_send(ch, kKappa, prg);
+  seed_prg_.reserve(kKappa);
+  for (std::size_t j = 0; j < kKappa; ++j)
+    seed_prg_.push_back({Prg(seeds[j][0], tag_), Prg(seeds[j][1], tag_)});
+  setup_done_ = true;
+}
+
+void IknpReceiver::extend(Channel& ch, const BitVec& choices) {
+  ABNN2_CHECK(setup_done_, "extend before setup");
+  ABNN2_CHECK_ARG(choices.size() > 0, "empty extension");
+  index_base_ += count();
+  choices_ = choices;
+  const std::size_t m = choices.size();
+  const std::size_t row_bytes = bytes_for_bits(m);
+  std::vector<u8> cbytes(row_bytes);
+  choices.to_bytes(cbytes.data());
+
+  BitMatrix cols(kKappa, m);
+  std::vector<u8> u(row_bytes);
+  for (std::size_t j = 0; j < kKappa; ++j) {
+    seed_prg_[j][0].bytes(cols.row(j), row_bytes);   // t0 column
+    seed_prg_[j][1].bytes(u.data(), row_bytes);      // t1 column
+    for (std::size_t b = 0; b < row_bytes; ++b)
+      u[b] ^= cols.row(j)[b] ^ cbytes[b];
+    ch.send(u.data(), row_bytes);
+  }
+  t_ = cols.transpose();
+}
+
+RoDigest IknpReceiver::pad(std::size_t i) const {
+  ABNN2_CHECK_ARG(i < t_.rows(), "instance out of range");
+  return ro_hash(tag_, index_base_ + i, row_span(t_, i));
+}
+
+std::vector<Block> IknpReceiver::recv_blocks(Channel& ch) {
+  std::vector<Block> wire(2 * count());
+  ch.recv_blocks(wire.data(), wire.size());
+  std::vector<Block> out(count());
+  for (std::size_t i = 0; i < count(); ++i)
+    out[i] = wire[2 * i + (choices_[i] ? 1 : 0)] ^ pad(i).block0();
+  return out;
+}
+
+std::vector<u64> IknpReceiver::recv_correlated(Channel& ch, std::size_t l) {
+  ABNN2_CHECK_ARG(l >= 1 && l <= 64, "ring width out of range");
+  const u64 mask = mask_l(l);
+  std::vector<u64> adj(count());
+  ch.recv_u64s(adj.data(), adj.size());
+  std::vector<u64> out(count());
+  for (std::size_t i = 0; i < count(); ++i) {
+    const u64 hb = pad(i).low_bits(l);
+    out[i] = choices_[i] ? ((adj[i] + hb) & mask) : hb;
+  }
+  return out;
+}
+
+}  // namespace abnn2

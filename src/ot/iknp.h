@@ -1,0 +1,89 @@
+// IKNP 1-out-of-2 OT extension (Ishai-Kilian-Nissim-Petrank, CRYPTO'03) with
+// the standard optimizations: seed OTs from Chou-Orlandi base OT, AES-CTR
+// column expansion, packed bit-matrix transpose, random-oracle message
+// masking. Also provides the correlated-OT (C-OT) variant over Z_{2^l} used
+// by the SecureML baseline (Gilboa multiplication) and random OT used by the
+// GC input-label transfer.
+//
+// A setup() runs kKappa base OTs once; extend() can then be called any
+// number of times, each producing `m` OT instances with globally unique
+// random-oracle indices.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/bitmatrix.h"
+#include "common/bitvec.h"
+#include "crypto/prg.h"
+#include "crypto/ro.h"
+#include "net/channel.h"
+#include "ot/base_ot.h"
+
+namespace abnn2 {
+
+class IknpSender {
+ public:
+  explicit IknpSender(u64 tag = 0x1C19'0001) : tag_(tag) {}
+
+  /// Runs kKappa base OTs (as base-OT receiver with secret choice string s).
+  void setup(Channel& ch, Prg& prg);
+
+  /// Receives the receiver's correction matrix for `m` OT instances and
+  /// prepares the pad rows q_i. Must follow setup().
+  void extend(Channel& ch, std::size_t m);
+
+  std::size_t count() const { return q_.rows(); }
+
+  /// Random-oracle pad for instance i and message index `which`:
+  /// H(i, q_i ^ which*s).
+  RoDigest pad(std::size_t i, bool which) const;
+
+  /// Chosen-message OT: transfers msgs[i][0], msgs[i][1] (one Block each).
+  void send_blocks(Channel& ch, std::span<const std::array<Block, 2>> msgs);
+
+  /// Correlated OT over Z_{2^l}: receiver with choice b_i learns
+  /// b_i * delta_i + x_i, sender learns x_i (returned). l <= 64.
+  std::vector<u64> send_correlated(Channel& ch, std::span<const u64> deltas,
+                                   std::size_t l);
+
+ private:
+  u64 tag_;
+  BitVec s_;                 // secret choice string (kKappa bits)
+  std::vector<Prg> seed_prg_;  // one PRG per base OT seed
+  BitMatrix q_;              // m x kKappa pad rows of the current extend
+  u64 index_base_ = 0;       // RO index of instance 0 of current extend
+  bool setup_done_ = false;
+};
+
+class IknpReceiver {
+ public:
+  explicit IknpReceiver(u64 tag = 0x1C19'0001) : tag_(tag) {}
+
+  /// Runs kKappa base OTs (as base-OT sender).
+  void setup(Channel& ch, Prg& prg);
+
+  /// Derives and sends the correction matrix for `choices`.
+  void extend(Channel& ch, const BitVec& choices);
+
+  std::size_t count() const { return t_.rows(); }
+
+  /// H(i, t_i): the pad of the chosen message of instance i.
+  RoDigest pad(std::size_t i) const;
+
+  std::vector<Block> recv_blocks(Channel& ch);
+
+  std::vector<u64> recv_correlated(Channel& ch, std::size_t l);
+
+ private:
+  u64 tag_;
+  std::vector<std::array<Prg, 2>> seed_prg_;
+  BitMatrix t_;              // m x kKappa rows t_i
+  BitVec choices_;
+  u64 index_base_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace abnn2

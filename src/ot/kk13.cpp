@@ -1,0 +1,121 @@
+#include "ot/kk13.h"
+
+namespace abnn2 {
+namespace {
+
+std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
+  return {m.row(i), m.row_bytes()};
+}
+
+}  // namespace
+
+void Kk13Sender::setup(Channel& ch, Prg& prg) {
+  ABNN2_CHECK(!setup_done_, "setup called twice");
+  BitVec s_bits(kKkCodeBits);
+  for (std::size_t j = 0; j < kKkCodeBits; ++j) s_bits.set(j, prg.next_bit());
+  s_[0] = Block{s_bits.words()[1], s_bits.words()[0]};
+  s_[1] = Block{s_bits.words()[3], s_bits.words()[2]};
+  const std::vector<Block> seeds = base_ot_recv(ch, s_bits, prg);
+  seed_prg_.reserve(kKkCodeBits);
+  for (std::size_t j = 0; j < kKkCodeBits; ++j) seed_prg_.emplace_back(seeds[j], tag_);
+  setup_done_ = true;
+}
+
+void Kk13Sender::extend(Channel& ch, std::size_t m) {
+  ABNN2_CHECK(setup_done_, "extend before setup");
+  ABNN2_CHECK_ARG(m > 0, "empty extension");
+  index_base_ += count();
+  const std::size_t row_bytes = bytes_for_bits(m);
+  BitMatrix cols(kKkCodeBits, m);
+  std::vector<u8> u(row_bytes);
+  for (std::size_t j = 0; j < kKkCodeBits; ++j) {
+    seed_prg_[j].bytes(cols.row(j), row_bytes);
+    ch.recv(u.data(), row_bytes);
+    const bool sj = (j < 128) ? s_[0].bit(j) : s_[1].bit(j - 128);
+    if (sj) cols.xor_row(j, u.data());
+  }
+  q_ = cols.transpose();
+}
+
+RoDigest Kk13Sender::pad(std::size_t i, u32 j) const {
+  ABNN2_CHECK_ARG(i < q_.rows(), "instance out of range");
+  const CodeWord masked = cw_and(wh_table()[j], s_);
+  u8 tmp[kKkCodeBits / 8];
+  std::memcpy(tmp, q_.row(i), sizeof(tmp));
+  Block lo = Block::from_bytes(tmp) ^ masked[0];
+  Block hi = Block::from_bytes(tmp + 16) ^ masked[1];
+  lo.to_bytes(tmp);
+  hi.to_bytes(tmp + 16);
+  return ro_hash(tag_, index_base_ + i, std::span<const u8>(tmp, sizeof(tmp)));
+}
+
+void Kk13Sender::send_blocks(Channel& ch, std::span<const Block> msgs, u32 n) {
+  ABNN2_CHECK_ARG(n >= 2 && n <= kKkMaxN, "n out of range");
+  ABNN2_CHECK_ARG(msgs.size() == count() * n, "message count mismatch");
+  std::vector<Block> wire(msgs.size());
+  for (std::size_t i = 0; i < count(); ++i)
+    for (u32 j = 0; j < n; ++j)
+      wire[i * n + j] = msgs[i * n + j] ^ pad(i, j).block0();
+  ch.send_blocks(wire.data(), wire.size());
+}
+
+void Kk13Receiver::setup(Channel& ch, Prg& prg) {
+  ABNN2_CHECK(!setup_done_, "setup called twice");
+  const auto seeds = base_ot_send(ch, kKkCodeBits, prg);
+  seed_prg_.reserve(kKkCodeBits);
+  for (std::size_t j = 0; j < kKkCodeBits; ++j)
+    seed_prg_.push_back({Prg(seeds[j][0], tag_), Prg(seeds[j][1], tag_)});
+  setup_done_ = true;
+}
+
+void Kk13Receiver::extend(Channel& ch, std::span<const u32> choices) {
+  ABNN2_CHECK(setup_done_, "extend before setup");
+  ABNN2_CHECK_ARG(!choices.empty(), "empty extension");
+  for (u32 w : choices) ABNN2_CHECK_ARG(w < kKkMaxN, "choice exceeds code size");
+  index_base_ += count();
+  choices_.assign(choices.begin(), choices.end());
+  const std::size_t m = choices.size();
+  const std::size_t row_bytes = bytes_for_bits(m);
+
+  // Codeword matrix D (m x 256): row i = c(w_i); transposed to column-major
+  // so each correction row can be XORed bytewise.
+  BitMatrix d_rows(m, kKkCodeBits);
+  const auto& table = wh_table();
+  for (std::size_t i = 0; i < m; ++i) {
+    const CodeWord& c = table[choices[i]];
+    c[0].to_bytes(d_rows.row(i));
+    c[1].to_bytes(d_rows.row(i) + 16);
+  }
+  const BitMatrix d_cols = d_rows.transpose();
+
+  BitMatrix cols(kKkCodeBits, m);
+  std::vector<u8> u(row_bytes);
+  for (std::size_t j = 0; j < kKkCodeBits; ++j) {
+    seed_prg_[j][0].bytes(cols.row(j), row_bytes);  // t0 column
+    seed_prg_[j][1].bytes(u.data(), row_bytes);     // t1 column
+    const u8* d = d_cols.row(j);
+    u8* t0 = cols.row(j);
+    for (std::size_t b = 0; b < row_bytes; ++b) u[b] ^= t0[b] ^ d[b];
+    ch.send(u.data(), row_bytes);
+  }
+  t_ = cols.transpose();
+}
+
+RoDigest Kk13Receiver::pad(std::size_t i) const {
+  ABNN2_CHECK_ARG(i < t_.rows(), "instance out of range");
+  return ro_hash(tag_, index_base_ + i, row_span(t_, i));
+}
+
+std::vector<Block> Kk13Receiver::recv_blocks(Channel& ch, u32 n) {
+  ABNN2_CHECK_ARG(n >= 2 && n <= kKkMaxN, "n out of range");
+  std::vector<Block> wire(count() * n);
+  ch.recv_blocks(wire.data(), wire.size());
+  std::vector<Block> out(count());
+  for (std::size_t i = 0; i < count(); ++i) {
+    ABNN2_CHECK(choices_[i] < n, "stored choice exceeds n");
+    out[i] = wire[i * n + choices_[i]] ^ pad(i).block0();
+  }
+  return out;
+}
+
+}  // namespace abnn2

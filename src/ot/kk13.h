@@ -1,0 +1,91 @@
+// KK13 1-out-of-N OT extension (Kolesnikov-Kumaresan, CRYPTO'13), the
+// building block of the ABNN2 matrix multiplication protocol (paper
+// section 4.1, reference [6]).
+//
+// The sender holds N messages per instance, the receiver a choice
+// w_i in [0, N). IKNP's repetition code is replaced by the Walsh-Hadamard
+// code over 2*kappa = 256 columns, so a single extension instance
+// transfers one of up to 256 messages for the cost of 256 bits of
+// correction matrix.
+//
+// After extend(), the SENDER can compute the pad of every candidate value j:
+//     pad(i, j) = H(i, q_i ^ (c(j) & s))
+// and the RECEIVER can compute only the pad of its choice:
+//     pad(i)    = H(i, t_i) = sender's pad(i, w_i).
+//
+// The higher-level triplet protocols (core/triplet_gen) build the actual
+// masked messages from these pads: N x (o*l)-bit messages in the multi-batch
+// scheme (paper 4.1.2), or N-1 messages with the pad-of-0-as-share C-OT trick
+// in the one-batch scheme (paper 4.1.3).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bitmatrix.h"
+#include "crypto/prg.h"
+#include "crypto/ro.h"
+#include "net/channel.h"
+#include "ot/base_ot.h"
+#include "ot/wh_code.h"
+
+namespace abnn2 {
+
+class Kk13Sender {
+ public:
+  explicit Kk13Sender(u64 tag = 0x1C13'0001) : tag_(tag) {}
+
+  /// Runs 2*kappa base OTs (as base-OT receiver with secret s).
+  void setup(Channel& ch, Prg& prg);
+
+  /// Receives the correction matrix for `m` instances.
+  void extend(Channel& ch, std::size_t m);
+
+  std::size_t count() const { return q_.rows(); }
+
+  /// Pad digest for instance i and candidate value j < kKkMaxN.
+  RoDigest pad(std::size_t i, u32 j) const;
+
+  /// Chosen-message 1-out-of-n OT: transfers one of `n` 128-bit messages per
+  /// instance. `msgs` is row-major count() x n. (The ABNN2 triplet protocols
+  /// build their own packed messages from pad(); this is the generic API.)
+  void send_blocks(Channel& ch, std::span<const Block> msgs, u32 n);
+
+ private:
+  u64 tag_;
+  CodeWord s_{};                 // secret 256-bit string
+  std::vector<Prg> seed_prg_;
+  BitMatrix q_;                  // m x 256
+  u64 index_base_ = 0;
+  bool setup_done_ = false;
+};
+
+class Kk13Receiver {
+ public:
+  explicit Kk13Receiver(u64 tag = 0x1C13'0001) : tag_(tag) {}
+
+  void setup(Channel& ch, Prg& prg);
+
+  /// Sends the correction matrix; choices[i] in [0, kKkMaxN).
+  void extend(Channel& ch, std::span<const u32> choices);
+
+  std::size_t count() const { return t_.rows(); }
+
+  /// Pad digest of the chosen value of instance i.
+  RoDigest pad(std::size_t i) const;
+
+  /// Receives the chosen message of each instance (see Kk13Sender).
+  std::vector<Block> recv_blocks(Channel& ch, u32 n);
+
+  u32 choice(std::size_t i) const { return choices_.at(i); }
+
+ private:
+  u64 tag_;
+  std::vector<std::array<Prg, 2>> seed_prg_;
+  BitMatrix t_;                  // m x 256
+  std::vector<u32> choices_;
+  u64 index_base_ = 0;
+  bool setup_done_ = false;
+};
+
+}  // namespace abnn2

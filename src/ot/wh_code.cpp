@@ -1,0 +1,14 @@
+#include "ot/wh_code.h"
+
+namespace abnn2 {
+
+const std::array<CodeWord, kKkMaxN>& wh_table() {
+  static const std::array<CodeWord, kKkMaxN> kTable = [] {
+    std::array<CodeWord, kKkMaxN> t;
+    for (u32 v = 0; v < kKkMaxN; ++v) t[v] = wh_codeword(v);
+    return t;
+  }();
+  return kTable;
+}
+
+}  // namespace abnn2

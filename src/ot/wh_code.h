@@ -1,0 +1,44 @@
+// Walsh-Hadamard code used by the KK13 1-out-of-N OT extension.
+//
+// Codeword of value v (0 <= v < 256) is the v-th row of the 256x256 Hadamard
+// matrix in {0,1} form: bit j = <v, j> (inner product of the bit
+// decompositions, i.e. parity of v & j). Any two distinct codewords differ in
+// exactly 128 of the 256 positions, giving kappa = 128 bits of security for
+// N up to 256 (KK13, section 4).
+#pragma once
+
+#include <array>
+
+#include "common/block.h"
+#include "common/defines.h"
+
+namespace abnn2 {
+
+/// 256-bit codeword as two 128-bit blocks (bits 0..127, 128..255).
+using CodeWord = std::array<Block, 2>;
+
+inline constexpr std::size_t kKkCodeBits = 256;
+inline constexpr std::size_t kKkMaxN = 256;
+
+/// Codeword of value v.
+inline CodeWord wh_codeword(u32 v) {
+  ABNN2_CHECK_ARG(v < kKkMaxN, "value exceeds code size");
+  CodeWord c{kZeroBlock, kZeroBlock};
+  for (u32 j = 0; j < kKkCodeBits; ++j) {
+    const bool bit = __builtin_popcount(v & j) & 1;
+    if (bit) c[j / 128].set_bit(j % 128, true);
+  }
+  return c;
+}
+
+/// All 256 codewords, built once.
+const std::array<CodeWord, kKkMaxN>& wh_table();
+
+inline CodeWord cw_xor(const CodeWord& a, const CodeWord& b) {
+  return {a[0] ^ b[0], a[1] ^ b[1]};
+}
+inline CodeWord cw_and(const CodeWord& a, const CodeWord& b) {
+  return {a[0] & b[0], a[1] & b[1]};
+}
+
+}  // namespace abnn2

@@ -1,0 +1,89 @@
+// Additive arithmetic secret sharing over Z_{2^l} (paper section 2.3).
+//
+// A value x is split as x = <x>_0 + <x>_1 (mod 2^l). The ring width l is a
+// runtime parameter in [1, 64]; elements are stored in u64 masked to l bits.
+#pragma once
+
+#include <vector>
+
+#include "common/defines.h"
+#include "crypto/prg.h"
+
+namespace abnn2::ss {
+
+/// The ring Z_{2^l}. A small value type passed around by the protocols.
+class Ring {
+ public:
+  explicit Ring(std::size_t l) : l_(l), mask_(mask_l(l)) {
+    ABNN2_CHECK_ARG(l >= 1 && l <= 64, "ring width must be in [1,64]");
+  }
+
+  std::size_t bits() const { return l_; }
+  u64 mask() const { return mask_; }
+
+  u64 reduce(u64 x) const { return x & mask_; }
+  u64 add(u64 a, u64 b) const { return (a + b) & mask_; }
+  u64 sub(u64 a, u64 b) const { return (a - b) & mask_; }
+  u64 mul(u64 a, u64 b) const { return (a * b) & mask_; }
+  u64 neg(u64 a) const { return (0 - a) & mask_; }
+
+  /// Two's-complement interpretation of an l-bit value.
+  i64 to_signed(u64 x) const {
+    x &= mask_;
+    if (l_ == 64) return static_cast<i64>(x);
+    const u64 sign = u64{1} << (l_ - 1);
+    return (x & sign) ? static_cast<i64>(x) - static_cast<i64>(u64{1} << l_)
+                      : static_cast<i64>(x);
+  }
+  /// Encode a signed integer into the ring.
+  u64 from_signed(i64 x) const { return static_cast<u64>(x) & mask_; }
+
+  /// MSB = sign bit of the two's-complement interpretation.
+  bool msb(u64 x) const { return (x >> (l_ - 1)) & 1; }
+
+  u64 random(Prg& prg) const { return prg.next_u64() & mask_; }
+
+  friend bool operator==(const Ring&, const Ring&) = default;
+
+ private:
+  std::size_t l_;
+  u64 mask_;
+};
+
+/// A pair of shares of one value.
+struct SharePair {
+  u64 s0 = 0;
+  u64 s1 = 0;
+};
+
+/// Share(x): <x>_1 = r, <x>_0 = x - r (matches the paper's client-side
+/// sharing where the random share stays with the sharer).
+inline SharePair share(const Ring& ring, u64 x, Prg& prg) {
+  const u64 r = ring.random(prg);
+  return {ring.sub(x, r), r};
+}
+
+/// Reconst(<x>_0, <x>_1).
+inline u64 reconst(const Ring& ring, u64 s0, u64 s1) { return ring.add(s0, s1); }
+
+/// Element-wise sharing of a vector.
+inline std::pair<std::vector<u64>, std::vector<u64>> share_vec(
+    const Ring& ring, const std::vector<u64>& xs, Prg& prg) {
+  std::vector<u64> s0(xs.size()), s1(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const auto p = share(ring, xs[i], prg);
+    s0[i] = p.s0;
+    s1[i] = p.s1;
+  }
+  return {std::move(s0), std::move(s1)};
+}
+
+inline std::vector<u64> reconst_vec(const Ring& ring, const std::vector<u64>& a,
+                                    const std::vector<u64>& b) {
+  ABNN2_CHECK_ARG(a.size() == b.size(), "share vector size mismatch");
+  std::vector<u64> out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = ring.add(a[i], b[i]);
+  return out;
+}
+
+}  // namespace abnn2::ss

@@ -1,0 +1,244 @@
+// Tests for the SecureML, MiniONN and QUOTIENT baselines: triplet
+// correctness and end-to-end inference equivalence through the shared
+// engine.
+#include <gtest/gtest.h>
+
+#include "baselines/minionn.h"
+#include "baselines/quotient.h"
+#include "baselines/secureml.h"
+#include "core/inference.h"
+#include "net/party_runner.h"
+
+namespace abnn2::baselines {
+namespace {
+
+using nn::MatU64;
+using ss::Ring;
+
+class SecureMlTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SecureMlTest, TripletsReconstructToProduct) {
+  const std::size_t l = GetParam();
+  const Ring ring(l);
+  Prg dprg(Block{1, l});
+  const std::size_t m = 3, n = 4, o = 2;
+  MatU64 w = nn::random_mat(m, n, l, dprg);
+  MatU64 r = nn::random_mat(n, o, l, dprg);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        IknpReceiver ot;
+        ot.setup(ch, prg);
+        return secureml_triplet_server(ch, ot, w, o, ring);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        IknpSender ot;
+        ot.setup(ch, prg);
+        return secureml_triplet_client(ch, ot, r, m, ring, prg);
+      });
+
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = 0; k < o; ++k) {
+      u64 want = 0;
+      for (std::size_t j = 0; j < n; ++j)
+        want = ring.add(want, ring.mul(w.at(i, j), r.at(j, k)));
+      EXPECT_EQ(ring.add(res.party0.at(i, k), res.party1.at(i, k)), want)
+          << l << " " << i << "," << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SecureMlTest, ::testing::Values(8, 32, 64));
+
+TEST(SecureMl, ChunkBoundariesDoNotMatter) {
+  const Ring ring(16);
+  Prg dprg(Block{3, 3});
+  MatU64 w = nn::random_mat(2, 3, 16, dprg);
+  MatU64 r = nn::random_mat(3, 2, 16, dprg);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{4, 1});
+        IknpReceiver ot;
+        ot.setup(ch, prg);
+        return secureml_triplet_server(ch, ot, w, 2, ring, /*chunk=*/5);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{4, 2});
+        IknpSender ot;
+        ot.setup(ch, prg);
+        return secureml_triplet_client(ch, ot, r, 2, ring, prg, /*chunk=*/5);
+      });
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t k = 0; k < 2; ++k) {
+      u64 want = 0;
+      for (std::size_t j = 0; j < 3; ++j)
+        want = ring.add(want, ring.mul(w.at(i, j), r.at(j, k)));
+      EXPECT_EQ(ring.add(res.party0.at(i, k), res.party1.at(i, k)), want);
+    }
+}
+
+class QuotientTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(QuotientTest, TernaryTripletsReconstruct) {
+  const std::size_t o = GetParam();
+  const Ring ring(32);
+  Prg dprg(Block{5, o});
+  const std::size_t m = 4, n = 6;
+  MatU64 codes(m, n);
+  for (auto& c : codes.data()) c = dprg.next_below(3);
+  MatU64 r = nn::random_mat(n, o, 32, dprg);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{6, 1});
+        IknpReceiver ot;
+        ot.setup(ch, prg);
+        return quotient_triplet_server(ch, ot, codes, o, ring);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{6, 2});
+        IknpSender ot;
+        ot.setup(ch, prg);
+        return quotient_triplet_client(ch, ot, r, m, ring);
+      });
+
+  const auto scheme = nn::FragScheme::ternary();
+  const MatU64 want = nn::matmul_codes(ring, codes, scheme, r);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = 0; k < o; ++k)
+      EXPECT_EQ(ring.add(res.party0.at(i, k), res.party1.at(i, k)),
+                want.at(i, k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, QuotientTest, ::testing::Values(1, 3, 8));
+
+TEST(Quotient, RejectsNonTernaryCodes) {
+  const Ring ring(32);
+  MatU64 codes(1, 1);
+  codes.at(0, 0) = 3;
+  auto [c0, c1] = MemChannel::make_pair();
+  IknpReceiver ot;
+  Prg prg(Block{1, 1});
+  EXPECT_THROW(
+      {
+        // setup would block; validation happens before any OT, so call the
+        // chunk path directly with an un-setup extension and expect the
+        // validation error first.
+        quotient_triplet_server(*c0, ot, codes, 1, ring);
+      },
+      std::exception);
+}
+
+class MinionnTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MinionnTest, TripletsReconstructToProduct) {
+  const std::size_t l = GetParam();
+  const Ring ring(l);
+  Prg dprg(Block{7, l});
+  // n_in = 8 with ring 64 -> 8 rows per ciphertext; m = 10 spans 2 blocks.
+  const std::size_t m = 10, n = 8, o = 2;
+  nn::Matrix<i64> w(m, n);
+  for (auto& v : w.data()) v = static_cast<i64>(dprg.next_below(257)) - 128;
+  MatU64 r = nn::random_mat(n, o, l, dprg);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{8, 1});
+        MinionnServer srv(l <= 32 ? 32 : 64, /*ring_n=*/64);
+        return srv.triplet_gen(ch, w, o, ring, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{8, 2});
+        MinionnClient cli(l <= 32 ? 32 : 64, prg, /*ring_n=*/64);
+        return cli.triplet_gen(ch, r, m, ring, prg);
+      });
+
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = 0; k < o; ++k) {
+      u64 want = 0;
+      for (std::size_t j = 0; j < n; ++j)
+        want = ring.add(want,
+                        ring.mul(ring.from_signed(w.at(i, j)), r.at(j, k)));
+      EXPECT_EQ(ring.add(res.party0.at(i, k), res.party1.at(i, k)), want)
+          << l << " " << i << "," << k;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MinionnTest, ::testing::Values(32, 64));
+
+TEST(Minionn, RejectsTooWideLayer) {
+  const Ring ring(32);
+  Prg prg(Block{9, 9});
+  MinionnServer srv(32, 64);
+  nn::Matrix<i64> w(1, 100);  // 100 > ring_n = 64
+  auto [c0, c1] = MemChannel::make_pair();
+  EXPECT_THROW(srv.triplet_gen(*c0, w, 1, ring, prg), std::invalid_argument);
+}
+
+// ---- end-to-end through the shared engine -------------------------------
+
+void check_backend_inference(core::Backend backend, const std::string& spec,
+                             std::size_t l) {
+  const Ring ring(l);
+  const auto scheme = nn::FragScheme::parse(spec);
+  const auto model = nn::random_model(ring, scheme, {12, 8, 4}, Block{10, l});
+  const auto x = nn::synthetic_images(12, 2, l / 2, ring, Block{11, 11});
+
+  core::InferenceConfig cfg(ring);
+  cfg.backend = backend;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        return client.run_online(ch, x);
+      });
+  EXPECT_EQ(res.party1, nn::infer_plain(model, x));
+}
+
+TEST(BackendInference, SecureMlMatchesPlain) {
+  check_backend_inference(core::Backend::kSecureML, "s(2,2,2,2)", 32);
+}
+
+TEST(BackendInference, QuotientMatchesPlain) {
+  check_backend_inference(core::Backend::kQuotient, "ternary", 32);
+}
+
+TEST(BackendInference, MinionnMatchesPlain) {
+  check_backend_inference(core::Backend::kMiniONN, "s(2,2)", 32);
+}
+
+TEST(BackendInference, MinionnMatchesPlain64) {
+  check_backend_inference(core::Backend::kMiniONN, "ternary", 64);
+}
+
+TEST(BackendInference, BackendMismatchDetected) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::binary(), {4, 2},
+                                      Block{12, 12});
+  core::InferenceConfig scfg(ring), ccfg(ring);
+  scfg.backend = core::Backend::kAbnn2;
+  ccfg.backend = core::Backend::kSecureML;
+  EXPECT_THROW(run_two_parties(
+                   [&](Channel& ch) {
+                     core::InferenceServer server(model, scfg);
+                     server.run_offline(ch);
+                     return 0;
+                   },
+                   [&](Channel& ch) {
+                     core::InferenceClient client(ccfg);
+                     client.run_offline(ch, 1);
+                     return 0;
+                   }),
+               std::exception);
+}
+
+}  // namespace
+}  // namespace abnn2::baselines

@@ -1,0 +1,193 @@
+// Tests for src/common: Block, BitVec, BitMatrix, serialization.
+#include <gtest/gtest.h>
+
+#include "common/bitmatrix.h"
+#include "common/bitvec.h"
+#include "common/block.h"
+#include "common/serial.h"
+#include "crypto/prg.h"
+
+namespace abnn2 {
+namespace {
+
+TEST(Block, XorAndEquality) {
+  Block a{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  Block b{0xffffffffffffffffull, 0x0ull};
+  EXPECT_EQ((a ^ b).hi(), ~a.hi());
+  EXPECT_EQ((a ^ b).lo(), a.lo());
+  EXPECT_EQ(a ^ b ^ b, a);
+  EXPECT_NE(a, b);
+  EXPECT_EQ((a & kZeroBlock), kZeroBlock);
+  EXPECT_EQ((a & kAllOneBlock), a);
+}
+
+TEST(Block, BitAccess) {
+  Block b = kZeroBlock;
+  b.set_bit(0, true);
+  EXPECT_TRUE(b.lsb());
+  b.set_bit(127, true);
+  EXPECT_TRUE(b.bit(127));
+  EXPECT_EQ(b.hi(), u64{1} << 63);
+  b.set_bit(127, false);
+  EXPECT_EQ(b.hi(), 0u);
+}
+
+TEST(Block, BytesRoundTrip) {
+  Prg prg(Block{1, 2});
+  for (int i = 0; i < 16; ++i) {
+    Block b = prg.next_block();
+    u8 raw[16];
+    b.to_bytes(raw);
+    EXPECT_EQ(Block::from_bytes(raw), b);
+  }
+}
+
+TEST(Block, GfDoubleMatchesShiftForSmall) {
+  Block one = kOneBlock;
+  Block two = one.gf_double();
+  EXPECT_EQ(two, (Block{0, 2}));
+  // Doubling the top bit wraps into the reduction polynomial 0x87.
+  Block top{u64{1} << 63, 0};
+  EXPECT_EQ(top.gf_double(), (Block{0, 0x87}));
+}
+
+TEST(Block, HexFormat) {
+  EXPECT_EQ(kZeroBlock.hex(), std::string(32, '0'));
+  EXPECT_EQ((Block{0, 1}).hex(), "00000000000000000000000000000001");
+}
+
+TEST(BitVec, SetGetResize) {
+  BitVec v(130);
+  EXPECT_EQ(v.size(), 130u);
+  EXPECT_EQ(v.popcount(), 0u);
+  v.set(0, true);
+  v.set(129, true);
+  EXPECT_TRUE(v[0]);
+  EXPECT_TRUE(v[129]);
+  EXPECT_FALSE(v[64]);
+  EXPECT_EQ(v.popcount(), 2u);
+  v.resize(1);
+  EXPECT_EQ(v.popcount(), 1u);
+}
+
+TEST(BitVec, XorAnd) {
+  BitVec a(65), b(65);
+  a.set(3, true);
+  a.set(64, true);
+  b.set(3, true);
+  b.set(10, true);
+  BitVec x = a ^ b;
+  EXPECT_FALSE(x[3]);
+  EXPECT_TRUE(x[10]);
+  EXPECT_TRUE(x[64]);
+  BitVec n = a & b;
+  EXPECT_EQ(n.popcount(), 1u);
+  EXPECT_TRUE(n[3]);
+}
+
+TEST(BitVec, OutOfRangeThrows) {
+  BitVec v(8);
+  EXPECT_THROW(v.get(8), std::invalid_argument);
+  EXPECT_THROW(v.set(100, true), std::invalid_argument);
+  BitVec w(9);
+  EXPECT_THROW(v ^= w, std::invalid_argument);
+}
+
+TEST(BitVec, BytesRoundTrip) {
+  Prg prg(Block{7, 7});
+  std::vector<u8> raw(17);
+  prg.bytes(raw.data(), raw.size());
+  BitVec v;
+  v.from_bytes(raw.data(), 131);
+  std::vector<u8> out(bytes_for_bits(131));
+  v.to_bytes(out.data());
+  // All bits below 131 must round-trip.
+  for (std::size_t i = 0; i < 131; ++i) {
+    EXPECT_EQ((out[i / 8] >> (i % 8)) & 1, (raw[i / 8] >> (i % 8)) & 1);
+  }
+}
+
+class BitMatrixTransposeTest : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BitMatrixTransposeTest, TransposeIsCorrect) {
+  auto [r, c] = GetParam();
+  BitMatrix m(static_cast<std::size_t>(r), static_cast<std::size_t>(c));
+  Prg prg(Block{static_cast<u64>(r), static_cast<u64>(c)});
+  prg.bytes(m.data(), m.size_bytes());
+  // Zero tail bits beyond `c` in each row so transpose precondition holds.
+  for (int i = 0; i < r; ++i)
+    for (int j = c; j < static_cast<int>(m.row_bytes() * 8); ++j)
+      m.row(static_cast<std::size_t>(i))[j >> 3] &= static_cast<u8>(~(1u << (j & 7)));
+  BitMatrix t = m.transpose();
+  ASSERT_EQ(t.rows(), static_cast<std::size_t>(c));
+  ASSERT_EQ(t.cols(), static_cast<std::size_t>(r));
+  for (int i = 0; i < r; ++i)
+    for (int j = 0; j < c; ++j)
+      ASSERT_EQ(m.get(static_cast<std::size_t>(i), static_cast<std::size_t>(j)),
+                t.get(static_cast<std::size_t>(j), static_cast<std::size_t>(i)))
+          << i << "," << j;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BitMatrixTransposeTest,
+    ::testing::Values(std::pair{1, 1}, std::pair{8, 8}, std::pair{128, 128},
+                      std::pair{7, 9}, std::pair{129, 255}, std::pair{1000, 256},
+                      std::pair{3, 64}, std::pair{64, 3}, std::pair{255, 129}));
+
+TEST(BitMatrix, DoubleTransposeIsIdentity) {
+  BitMatrix m(77, 190);
+  Prg prg(Block{3, 4});
+  for (std::size_t i = 0; i < m.rows(); ++i)
+    for (std::size_t j = 0; j < m.cols(); ++j)
+      m.set(i, j, prg.next_bit());
+  EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+TEST(Serial, RoundTrip) {
+  Writer w;
+  w.u8_(7);
+  w.u32_(0xdeadbeef);
+  w.u64_(~u64{0});
+  w.block(Block{1, 2});
+  w.vec_u64({1, 2, 3});
+  w.vec_block({kOneBlock, kZeroBlock});
+
+  Reader r(w.data());
+  EXPECT_EQ(r.u8_(), 7);
+  EXPECT_EQ(r.u32_(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64_(), ~u64{0});
+  EXPECT_EQ(r.block(), (Block{1, 2}));
+  EXPECT_EQ(r.vec_u64(), (std::vector<u64>{1, 2, 3}));
+  EXPECT_EQ(r.vec_block(), (std::vector<Block>{kOneBlock, kZeroBlock}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, TruncatedThrows) {
+  Writer w;
+  w.u32_(5);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64_(), ProtocolError);
+}
+
+TEST(Serial, TruncatedVectorThrows) {
+  Writer w;
+  w.u64_(1000);  // claims 1000 elements, provides none
+  Reader r(w.data());
+  EXPECT_THROW(r.vec_u64(), ProtocolError);
+}
+
+TEST(Defines, MaskAndRounding) {
+  EXPECT_EQ(mask_l(0), 0u);
+  EXPECT_EQ(mask_l(1), 1u);
+  EXPECT_EQ(mask_l(32), 0xffffffffull);
+  EXPECT_EQ(mask_l(64), ~u64{0});
+  EXPECT_EQ(bytes_for_bits(0), 0u);
+  EXPECT_EQ(bytes_for_bits(1), 1u);
+  EXPECT_EQ(bytes_for_bits(8), 1u);
+  EXPECT_EQ(bytes_for_bits(9), 2u);
+  EXPECT_EQ(ceil_div(10, 3), 4u);
+  EXPECT_EQ(round_up(10, 8), 16u);
+}
+
+}  // namespace
+}  // namespace abnn2

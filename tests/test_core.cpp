@@ -1,0 +1,518 @@
+// Tests for the ABNN2 core protocols: triplet generation (Alg 1 + the
+// one-batch and multi-batch optimizations), the ReLU protocols (Alg 2 and
+// the optimized variant), and end-to-end secure inference vs the plaintext
+// reference.
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "core/nonlinear.h"
+#include "core/triplet_gen.h"
+#include "net/party_runner.h"
+
+namespace abnn2::core {
+namespace {
+
+using nn::FragScheme;
+using nn::MatU64;
+using ss::Ring;
+
+// Runs triplet generation for given shapes and verifies U + V == W * R.
+void check_triplets(const std::string& spec, std::size_t l, std::size_t m,
+                    std::size_t n, std::size_t o, BatchMode mode,
+                    std::size_t chunk = 8192) {
+  const Ring ring(l);
+  const FragScheme scheme = FragScheme::parse(spec);
+  Prg wprg(Block{1, static_cast<u64>(l + m + n + o)});
+  MatU64 codes(m, n);
+  for (auto& c : codes.data()) c = wprg.next_below(scheme.code_space());
+  MatU64 r = nn::random_mat(n, o, l, wprg);
+
+  TripletConfig cfg(ring);
+  cfg.mode = mode;
+  cfg.chunk_instances = chunk;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return triplet_gen_server(ch, ot, codes, scheme, o, cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return triplet_gen_client(ch, ot, r, scheme, m, cfg, prg);
+      });
+
+  const MatU64 want = nn::matmul_codes(ring, codes, scheme, r);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t k = 0; k < o; ++k)
+      ASSERT_EQ(ring.add(res.party0.at(i, k), res.party1.at(i, k)),
+                want.at(i, k))
+          << spec << " l=" << l << " (" << i << "," << k << ")";
+}
+
+struct TripletCase {
+  const char* spec;
+  std::size_t l;
+};
+
+class TripletSchemeTest : public ::testing::TestWithParam<TripletCase> {};
+
+TEST_P(TripletSchemeTest, OneBatchCot) {
+  check_triplets(GetParam().spec, GetParam().l, 4, 9, 1,
+                 BatchMode::kOneBatchCot);
+}
+
+TEST_P(TripletSchemeTest, MultiBatch) {
+  check_triplets(GetParam().spec, GetParam().l, 4, 9, 5,
+                 BatchMode::kMultiBatch);
+}
+
+TEST_P(TripletSchemeTest, MultiBatchWithBatchOne) {
+  // Multi-batch mode must also be correct at o == 1.
+  check_triplets(GetParam().spec, GetParam().l, 3, 4, 1,
+                 BatchMode::kMultiBatch);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, TripletSchemeTest,
+    ::testing::Values(TripletCase{"(1,1,1,1,1,1,1,1)", 32},
+                      TripletCase{"(2,2,2,2)", 32}, TripletCase{"(3,3,2)", 32},
+                      TripletCase{"(4,4)", 32}, TripletCase{"(2,2,2)", 32},
+                      TripletCase{"(3,3)", 32}, TripletCase{"(2,2)", 32},
+                      TripletCase{"(4)", 32}, TripletCase{"(2,1)", 32},
+                      TripletCase{"(3)", 32}, TripletCase{"s(2,2,2,2)", 32},
+                      TripletCase{"s(4,4)", 32}, TripletCase{"ternary", 32},
+                      TripletCase{"binary", 32}, TripletCase{"(2,2,2,2)", 64},
+                      TripletCase{"ternary", 64}, TripletCase{"binary", 8},
+                      TripletCase{"s(2,1)", 16}));
+
+TEST(Triplets, SmallChunksMatchLargeChunks) {
+  // Chunked processing must not change results: force tiny chunks that do
+  // not divide the instance count.
+  check_triplets("(2,2,2)", 32, 5, 7, 3, BatchMode::kMultiBatch, /*chunk=*/11);
+  check_triplets("(3,3,2)", 32, 5, 7, 1, BatchMode::kOneBatchCot, /*chunk=*/7);
+}
+
+TEST(Triplets, SingleElementShapes) {
+  check_triplets("(2,2)", 32, 1, 1, 1, BatchMode::kOneBatchCot);
+  check_triplets("ternary", 32, 1, 1, 4, BatchMode::kMultiBatch);
+}
+
+TEST(Triplets, AutoModePicksByBatch) {
+  EXPECT_EQ(resolve_mode(BatchMode::kAuto, 1), BatchMode::kOneBatchCot);
+  EXPECT_EQ(resolve_mode(BatchMode::kAuto, 2), BatchMode::kMultiBatch);
+  EXPECT_EQ(resolve_mode(BatchMode::kMultiBatch, 1), BatchMode::kMultiBatch);
+}
+
+TEST(Triplets, OneBatchModeRejectsLargerBatch) {
+  const Ring ring(32);
+  TripletConfig cfg(ring);
+  cfg.mode = BatchMode::kOneBatchCot;
+  auto [c0, c1] = MemChannel::make_pair();
+  Kk13Receiver ot;
+  MatU64 codes(2, 2);
+  EXPECT_THROW(triplet_gen_server(*c0, ot, codes, FragScheme::binary(), 3, cfg),
+               std::invalid_argument);
+}
+
+TEST(Triplets, DotProductWrapper) {
+  const Ring ring(32);
+  const FragScheme scheme = FragScheme::parse("(2,2,2,2)");
+  Prg wprg(Block{3, 3});
+  std::vector<u64> w(16), r(16);
+  for (auto& c : w) c = wprg.next_below(scheme.code_space());
+  for (auto& x : r) x = ring.random(wprg);
+  TripletConfig cfg(ring);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{4, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return dot_triplet_server(ch, ot, w, scheme, cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{4, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return dot_triplet_client(ch, ot, r, scheme, cfg, prg);
+      });
+  u64 want = 0;
+  for (std::size_t j = 0; j < w.size(); ++j)
+    want = ring.add(want, ring.mul(scheme.interpret_ring(w[j], ring), r[j]));
+  EXPECT_EQ(ring.add(res.party0, res.party1), want);
+}
+
+// ---- ReLU protocols ------------------------------------------------------
+
+void check_relu(ReluMode mode, std::size_t l, std::size_t n) {
+  const Ring ring(l);
+  Prg dprg(Block{5, static_cast<u64>(l * 100 + n)});
+  std::vector<u64> y(n), y0(n), y1(n), z1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = ring.random(dprg);
+    const auto sh = ss::share(ring, y[i], dprg);
+    y0[i] = sh.s0;
+    y1[i] = sh.s1;
+    z1[i] = ring.random(dprg);
+  }
+  // Make sure both signs appear.
+  y[0] = ring.from_signed(-7);
+  y[1] = ring.from_signed(7);
+  for (std::size_t i : {std::size_t{0}, std::size_t{1}}) {
+    y0[i] = ring.sub(y[i], y1[i]);
+  }
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{6, 1});
+        ReluServer srv(ring, mode);
+        return srv.run(ch, y0, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{6, 2});
+        ReluClient cli(ring, mode);
+        cli.run(ch, y1, z1, prg);
+        return 0;
+      });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 relu = ring.msb(y[i]) ? 0 : y[i];
+    EXPECT_EQ(ring.add(res.party0[i], z1[i]), relu)
+        << "i=" << i << " y=" << ring.to_signed(y[i]);
+  }
+}
+
+class ReluTest
+    : public ::testing::TestWithParam<std::tuple<ReluMode, std::size_t>> {};
+
+TEST_P(ReluTest, SharesReconstructToRelu) {
+  auto [mode, l] = GetParam();
+  check_relu(mode, l, 40);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndWidths, ReluTest,
+    ::testing::Combine(::testing::Values(ReluMode::kGeneric,
+                                         ReluMode::kOptimized),
+                       ::testing::Values(std::size_t{8}, std::size_t{16},
+                                         std::size_t{32}, std::size_t{64})));
+
+TEST(Relu, AllNegativeAndAllPositiveBatches) {
+  const Ring ring(32);
+  for (const bool positive : {false, true}) {
+    const std::size_t n = 10;
+    Prg dprg(Block{7, positive ? 1u : 0u});
+    std::vector<u64> y(n), y0(n), y1(n), z1(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const i64 v = static_cast<i64>(dprg.next_below(1000)) + 1;
+      y[i] = ring.from_signed(positive ? v : -v);
+      y1[i] = ring.random(dprg);
+      y0[i] = ring.sub(y[i], y1[i]);
+      z1[i] = ring.random(dprg);
+    }
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          Prg prg(Block{8, 1});
+          ReluServer srv(ring, ReluMode::kOptimized);
+          return srv.run(ch, y0, prg);
+        },
+        [&](Channel& ch) {
+          Prg prg(Block{8, 2});
+          ReluClient cli(ring, ReluMode::kOptimized);
+          cli.run(ch, y1, z1, prg);
+          return 0;
+        });
+    for (std::size_t i = 0; i < n; ++i) {
+      const u64 want = positive ? y[i] : 0;
+      EXPECT_EQ(ring.add(res.party0[i], z1[i]), want);
+    }
+  }
+}
+
+TEST(Relu, OptimizedSendsLessGcForNegativeNeurons) {
+  // The optimization's whole point: mostly-negative batches cost less
+  // communication than the generic protocol.
+  const Ring ring(32);
+  const std::size_t n = 64;
+  std::vector<u64> y0(n), y1(n), z1(n);
+  Prg dprg(Block{9, 9});
+  for (std::size_t i = 0; i < n; ++i) {
+    const u64 y = ring.from_signed(-static_cast<i64>(dprg.next_below(1000)) - 1);
+    y1[i] = ring.random(dprg);
+    y0[i] = ring.sub(y, y1[i]);
+    z1[i] = ring.random(dprg);
+  }
+  auto run = [&](ReluMode mode) {
+    return run_two_parties(
+        [&](Channel& ch) {
+          Prg prg(Block{10, 1});
+          ReluServer srv(ring, mode);
+          return srv.run(ch, y0, prg);
+        },
+        [&](Channel& ch) {
+          Prg prg(Block{10, 2});
+          ReluClient cli(ring, mode);
+          cli.run(ch, y1, z1, prg);
+          return 0;
+        });
+  };
+  const auto generic = run(ReluMode::kGeneric);
+  const auto optimized = run(ReluMode::kOptimized);
+  EXPECT_LT(optimized.total_comm_bytes(), generic.total_comm_bytes());
+}
+
+TEST(Relu, CircuitGateCounts) {
+  // Generic Alg 2 circuit ~ 3l ANDs; sign circuit ~ l ANDs; reshare ~ 2l.
+  const auto g = relu_generic_circuit(32);
+  const auto s = sign_circuit(32);
+  const auto r = reshare_circuit(32);
+  EXPECT_EQ(s.and_count(), 31u);
+  EXPECT_EQ(r.and_count(), 62u);
+  EXPECT_EQ(g.and_count(), 94u);
+  EXPECT_LT(s.and_count() + r.and_count(), 2 * g.and_count());
+}
+
+TEST(Relu, MismatchedShareSizesThrow) {
+  const Ring ring(32);
+  ReluClient cli(ring, ReluMode::kGeneric);
+  auto [c0, c1] = MemChannel::make_pair();
+  Prg prg(Block{1, 1});
+  std::vector<u64> y1(4), z1(3);
+  EXPECT_THROW(cli.run(*c1, y1, z1, prg), std::invalid_argument);
+}
+
+// ---- end-to-end inference -------------------------------------------------
+
+void check_inference(const std::string& spec, std::size_t l, std::size_t batch,
+                     ReluMode relu, const std::vector<std::size_t>& dims) {
+  const Ring ring(l);
+  const FragScheme scheme = FragScheme::parse(spec);
+  const auto model = nn::random_model(ring, scheme, dims, Block{11, batch});
+  const auto x = nn::synthetic_images(dims[0], batch, l / 2, ring,
+                                      Block{12, static_cast<u64>(l)});
+
+  InferenceConfig cfg(ring);
+  cfg.relu = relu;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x);
+      });
+
+  const MatU64 want = nn::infer_plain(model, x);
+  EXPECT_EQ(res.party1, want) << spec << " l=" << l << " batch=" << batch;
+}
+
+struct E2eCase {
+  const char* spec;
+  std::size_t l;
+  std::size_t batch;
+  ReluMode relu;
+};
+
+class InferenceTest : public ::testing::TestWithParam<E2eCase> {};
+
+TEST_P(InferenceTest, SecureMatchesPlainExactly) {
+  const auto& p = GetParam();
+  check_inference(p.spec, p.l, p.batch, p.relu, {12, 8, 8, 4});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, InferenceTest,
+    ::testing::Values(E2eCase{"(2,2)", 32, 1, ReluMode::kOptimized},
+                      E2eCase{"(2,2)", 32, 5, ReluMode::kOptimized},
+                      E2eCase{"(2,1)", 32, 2, ReluMode::kGeneric},
+                      E2eCase{"s(2,2,2,2)", 32, 3, ReluMode::kOptimized},
+                      E2eCase{"ternary", 32, 4, ReluMode::kOptimized},
+                      E2eCase{"binary", 32, 1, ReluMode::kGeneric},
+                      E2eCase{"ternary", 64, 2, ReluMode::kOptimized},
+                      E2eCase{"(3,3,2)", 64, 1, ReluMode::kGeneric},
+                      E2eCase{"(2,2,2,2)", 16, 2, ReluMode::kOptimized}));
+
+TEST(Inference, SingleLayerModel) {
+  check_inference("ternary", 32, 2, ReluMode::kOptimized, {5, 3});
+}
+
+TEST(Inference, RepeatedBatchesReuseSetup) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::parse("(2,2)"),
+                                      {6, 5, 3}, Block{13, 13});
+  const auto x1 = nn::synthetic_images(6, 2, 8, ring, Block{14, 1});
+  const auto x2 = nn::synthetic_images(6, 2, 8, ring, Block{14, 2});
+  InferenceConfig cfg(ring);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        auto a = client.run_online(ch, x1);
+        client.run_offline(ch, 2);
+        auto b = client.run_online(ch, x2);
+        return std::pair{a, b};
+      });
+  EXPECT_EQ(res.party1.first, nn::infer_plain(model, x1));
+  EXPECT_EQ(res.party1.second, nn::infer_plain(model, x2));
+}
+
+TEST(Inference, ArgmaxRevealReturnsOnlyClasses) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::parse("s(2,2)"),
+                                      {10, 8, 5}, Block{21, 21});
+  const auto x = nn::synthetic_images(10, 3, 12, ring, Block{22, 22});
+  InferenceConfig cfg(ring);
+  cfg.reveal = Reveal::kArgmax;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        InferenceClient client(cfg);
+        client.run_offline(ch, 3);
+        return client.run_online(ch, x);
+      });
+
+  ASSERT_EQ(res.party1.rows(), 1u);
+  ASSERT_EQ(res.party1.cols(), 3u);
+  const auto want = nn::argmax_logits(ring, nn::infer_plain(model, x));
+  for (std::size_t k = 0; k < 3; ++k)
+    EXPECT_EQ(res.party1.at(0, k), want[k]) << k;
+}
+
+TEST(Inference, RevealModeMismatchDetected) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::binary(), {4, 2},
+                                      Block{23, 23});
+  InferenceConfig scfg(ring), ccfg(ring);
+  scfg.reveal = Reveal::kLogits;
+  ccfg.reveal = Reveal::kArgmax;
+  EXPECT_THROW(run_two_parties(
+                   [&](Channel& ch) {
+                     InferenceServer server(model, scfg);
+                     server.run_offline(ch);
+                     return 0;
+                   },
+                   [&](Channel& ch) {
+                     InferenceClient client(ccfg);
+                     client.run_offline(ch, 1);
+                     return 0;
+                   }),
+               ProtocolError);
+}
+
+TEST(Inference, OnlineBeforeOfflineThrows) {
+  const Ring ring(32);
+  InferenceConfig cfg(ring);
+  auto [c0, c1] = MemChannel::make_pair();
+  InferenceClient client(cfg);
+  nn::MatU64 x(4, 1);
+  EXPECT_THROW(client.run_online(*c1, x), ProtocolError);
+}
+
+TEST(Inference, MismatchedReluModesDetectedInHandshake) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::binary(), {4, 2},
+                                      Block{15, 15});
+  InferenceConfig scfg(ring);
+  scfg.relu = ReluMode::kGeneric;
+  InferenceConfig ccfg(ring);
+  ccfg.relu = ReluMode::kOptimized;
+  EXPECT_THROW(run_two_parties(
+                   [&](Channel& ch) {
+                     InferenceServer server(model, scfg);
+                     server.run_offline(ch);
+                     return 0;
+                   },
+                   [&](Channel& ch) {
+                     InferenceClient client(ccfg);
+                     client.run_offline(ch, 1);
+                     return 0;
+                   }),
+               std::exception);
+}
+
+TEST(Inference, TruncationTracksIntegerReferenceWithinError) {
+  // Extension feature: local share truncation rescales activations by
+  // 2^-trunc after every linear layer. Compare against an integer reference
+  // that applies the same arithmetic shift; the probabilistic truncation
+  // contributes at most +-1 per element per layer, amplified by the next
+  // layer's fan-in.
+  const Ring ring(32);
+  const std::size_t frac = 10, trunc = 4;
+  const auto scheme = nn::FragScheme::ternary();
+  const auto model = nn::random_model(ring, scheme, {8, 6, 4}, Block{16, 16});
+  const auto x = nn::synthetic_images(8, 2, frac, ring, Block{17, 17});
+
+  InferenceConfig cfg(ring);
+  cfg.trunc_bits = trunc;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        return client.run_online(ch, x);
+      });
+
+  // Integer reference with the same per-layer arithmetic shift.
+  std::vector<std::vector<i64>> act(2);
+  for (std::size_t k = 0; k < 2; ++k) {
+    act[k].resize(8);
+    for (std::size_t j = 0; j < 8; ++j)
+      act[k][j] = static_cast<i64>(x.at(j, k));
+  }
+  for (std::size_t li = 0; li < model.layers.size(); ++li) {
+    const auto& layer = model.layers[li];
+    for (std::size_t k = 0; k < 2; ++k) {
+      std::vector<i64> y(layer.out_dim());
+      for (std::size_t i = 0; i < layer.out_dim(); ++i) {
+        i64 acc = 0;
+        for (std::size_t j = 0; j < layer.in_dim(); ++j)
+          acc += scheme.interpret(layer.codes.at(i, j)) * act[k][j];
+        acc >>= trunc;
+        if (li + 1 < model.layers.size()) acc = std::max<i64>(acc, 0);
+        y[i] = acc;
+      }
+      act[k] = std::move(y);
+    }
+  }
+  // Error budget: +-1 per truncation, amplified through fan-in-8 layers.
+  for (std::size_t k = 0; k < 2; ++k)
+    for (std::size_t i = 0; i < 4; ++i) {
+      const i64 got = ring.to_signed(res.party1.at(i, k));
+      EXPECT_NEAR(static_cast<double>(got), static_cast<double>(act[k][i]),
+                  12.0)
+          << "col " << k << " row " << i;
+    }
+}
+
+}  // namespace
+}  // namespace abnn2::core

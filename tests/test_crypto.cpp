@@ -1,0 +1,209 @@
+// Known-answer and property tests for AES-128, SHA-256, the PRG and the
+// random oracle.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "crypto/aes.h"
+#include "crypto/prg.h"
+#include "crypto/ro.h"
+#include "crypto/sha256.h"
+
+namespace abnn2 {
+namespace {
+
+// AES test vectors are byte strings: hex digit pair i is state byte i.
+Block block_from_hex(const std::string& hex) {
+  u8 raw[16];
+  for (int i = 0; i < 16; ++i)
+    raw[i] = static_cast<u8>(std::stoul(hex.substr(2 * static_cast<std::size_t>(i), 2),
+                                        nullptr, 16));
+  return Block::from_bytes(raw);
+}
+
+std::string bytes_hex(const Block& b) {
+  u8 raw[16];
+  b.to_bytes(raw);
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (u8 byte : raw) {
+    s.push_back(d[byte >> 4]);
+    s.push_back(d[byte & 15]);
+  }
+  return s;
+}
+
+// FIPS-197 Appendix B: key 2b7e151628aed2a6abf7158809cf4f3c,
+// plaintext 3243f6a8885a308d313198a2e0370734 ->
+// ciphertext 3925841d02dc09fbdc118597196a0b32.
+TEST(Aes128, Fips197KnownAnswer) {
+  Aes128 aes(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+  Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+  Block ct = aes.encrypt(pt);
+  EXPECT_EQ(bytes_hex(ct), "3925841d02dc09fbdc118597196a0b32");
+}
+
+// NIST AESAVS KAT: all-zero key, all-zero plaintext.
+TEST(Aes128, ZeroKeyKnownAnswer) {
+  Aes128 aes(kZeroBlock);
+  EXPECT_EQ(bytes_hex(aes.encrypt(kZeroBlock)), "66e94bd4ef8a2c3b884cfa59ca342b2e");
+}
+
+TEST(Aes128, BatchMatchesSingle) {
+  Aes128 aes(Block{42, 43});
+  Prg prg(Block{1, 1});
+  std::vector<Block> in = prg.blocks(33);
+  std::vector<Block> out(33);
+  aes.encrypt_blocks(in.data(), out.data(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i)
+    EXPECT_EQ(out[i], aes.encrypt(in[i]));
+}
+
+TEST(Aes128, EncryptIsPermutation) {
+  Aes128 aes(Block{9, 9});
+  std::set<std::string> seen;
+  for (u64 i = 0; i < 256; ++i)
+    seen.insert(bytes_hex(aes.encrypt(Block{0, i})));
+  EXPECT_EQ(seen.size(), 256u);
+}
+
+TEST(Sha256, NistKnownAnswers) {
+  // "abc"
+  EXPECT_EQ(Sha256::hex(Sha256::hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+  // empty string
+  EXPECT_EQ(Sha256::hex(Sha256::hash("", 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+  // two-block message
+  const char* m2 = "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(Sha256::hex(Sha256::hash(m2, std::strlen(m2))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk.data(), chunk.size());
+  EXPECT_EQ(Sha256::hex(h.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  std::string msg(517, '\0');
+  Prg prg(Block{5, 5});
+  prg.bytes(msg.data(), msg.size());
+  auto one = Sha256::hash(msg.data(), msg.size());
+  for (std::size_t split : {1u, 63u, 64u, 65u, 200u, 516u}) {
+    Sha256 h;
+    h.update(msg.data(), split);
+    h.update(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(h.digest(), one) << "split=" << split;
+  }
+}
+
+TEST(Prg, DeterministicFromSeed) {
+  Prg a(Block{11, 22}), b(Block{11, 22});
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Prg, DistinctSeedsAndStreamsDiffer) {
+  Prg a(Block{11, 22}), b(Block{11, 23}), c(Block{11, 22}, 1);
+  EXPECT_NE(a.next_u64(), b.next_u64());
+  Prg a2(Block{11, 22});
+  EXPECT_NE(a2.next_u64(), c.next_u64());
+}
+
+TEST(Prg, BytesMatchesBlocks) {
+  Prg a(Block{3, 1}), b(Block{3, 1});
+  std::vector<u8> bytes(16 * 10);
+  a.bytes(bytes.data(), bytes.size());
+  auto blocks = b.blocks(10);
+  EXPECT_EQ(std::memcmp(bytes.data(), blocks.data(), bytes.size()), 0);
+}
+
+TEST(Prg, UnalignedBytesAreConsistentStream) {
+  // Reading the stream in odd chunks must equal reading it in one shot.
+  Prg a(Block{8, 8}), b(Block{8, 8});
+  std::vector<u8> one(100), parts(100);
+  a.bytes(one.data(), 100);
+  std::size_t off = 0;
+  for (std::size_t chunk : {3u, 17u, 1u, 31u, 48u}) {
+    b.bytes(parts.data() + off, chunk);
+    off += chunk;
+  }
+  EXPECT_EQ(off, 100u);
+  EXPECT_EQ(one, parts);
+}
+
+TEST(Prg, NextBelowIsInRangeAndCoversValues) {
+  Prg prg(Block{4, 2});
+  std::map<u64, int> hist;
+  for (int i = 0; i < 3000; ++i) {
+    u64 v = prg.next_below(10);
+    ASSERT_LT(v, 10u);
+    hist[v]++;
+  }
+  EXPECT_EQ(hist.size(), 10u);  // every residue hit
+  EXPECT_THROW(prg.next_below(0), std::invalid_argument);
+}
+
+TEST(Prg, NextBitsMasksCorrectly) {
+  Prg prg(Block{6, 6});
+  for (std::size_t l : {1u, 5u, 31u, 32u, 63u, 64u}) {
+    for (int i = 0; i < 50; ++i) {
+      u64 v = prg.next_bits(l);
+      if (l < 64) {
+        ASSERT_LT(v, u64{1} << l);
+      }
+    }
+  }
+}
+
+TEST(Prg, MonobitSanity) {
+  // ~50% ones over 64k bits.
+  Prg prg(Block{10, 20});
+  std::size_t ones = 0;
+  for (int i = 0; i < 1024; ++i)
+    ones += static_cast<std::size_t>(__builtin_popcountll(prg.next_u64()));
+  EXPECT_NEAR(static_cast<double>(ones), 32768.0, 700.0);
+}
+
+TEST(RandomOracle, DeterministicAndDomainSeparated) {
+  std::vector<u8> data{1, 2, 3, 4};
+  auto a = ro_hash(1, 7, data);
+  auto b = ro_hash(1, 7, data);
+  EXPECT_EQ(a.d, b.d);
+  EXPECT_NE(ro_hash(2, 7, data).d, a.d);  // tag separation
+  EXPECT_NE(ro_hash(1, 8, data).d, a.d);  // index separation
+  data[0] ^= 1;
+  EXPECT_NE(ro_hash(1, 7, data).d, a.d);  // data separation
+}
+
+TEST(RandomOracle, ExpandSingleUsesDigestBits) {
+  std::vector<u8> data{9, 9};
+  auto d = ro_hash(3, 3, data);
+  u64 one;
+  ro_expand_u64(d, 32, &one, 1);
+  EXPECT_EQ(one, d.low_bits(32));
+  EXPECT_LT(one, u64{1} << 32);
+}
+
+TEST(RandomOracle, ExpandDeterministicAndMasked) {
+  std::vector<u8> data{5};
+  auto d = ro_hash(0, 0, data);
+  std::vector<u64> a(100), b(100);
+  ro_expand_u64(d, 17, a.data(), a.size());
+  ro_expand_u64(d, 17, b.data(), b.size());
+  EXPECT_EQ(a, b);
+  for (u64 v : a) EXPECT_LT(v, u64{1} << 17);
+}
+
+TEST(FixedKeyAes, IsStableAcrossCalls) {
+  Block x{123, 456};
+  EXPECT_EQ(fixed_key_aes().encrypt(x), fixed_key_aes().encrypt(x));
+  EXPECT_NE(fixed_key_aes().encrypt(x), x);
+}
+
+}  // namespace
+}  // namespace abnn2

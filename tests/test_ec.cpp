@@ -1,0 +1,176 @@
+// Tests for the GF(2^255-19) field and the Ed25519 group.
+#include <gtest/gtest.h>
+
+#include "crypto/prg.h"
+#include "ec/ed25519.h"
+#include "ec/fe25519.h"
+
+namespace abnn2::ec {
+namespace {
+
+Fe random_fe(Prg& prg) {
+  u8 b[32];
+  prg.bytes(b, 32);
+  b[31] &= 0x7f;
+  return Fe::from_bytes(b);
+}
+
+Scalar random_scalar(Prg& prg) {
+  Scalar s;
+  prg.bytes(s.data(), 32);
+  return s;
+}
+
+std::string hex32(const std::array<u8, 32>& b) {
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (u8 x : b) {
+    s.push_back(d[x >> 4]);
+    s.push_back(d[x & 15]);
+  }
+  return s;
+}
+
+TEST(Fe25519, AddSubRoundTrip) {
+  Prg prg(Block{1, 2});
+  for (int i = 0; i < 50; ++i) {
+    Fe a = random_fe(prg), b = random_fe(prg);
+    EXPECT_EQ((a + b) - b, a);
+    EXPECT_EQ(a - a, Fe::zero());
+    EXPECT_EQ(a + Fe::zero(), a);
+  }
+}
+
+TEST(Fe25519, MulProperties) {
+  Prg prg(Block{3, 4});
+  for (int i = 0; i < 30; ++i) {
+    Fe a = random_fe(prg), b = random_fe(prg), c = random_fe(prg);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * Fe::one(), a);
+    EXPECT_EQ(a.square(), a * a);
+  }
+}
+
+TEST(Fe25519, InverseIsInverse) {
+  Prg prg(Block{5, 6});
+  for (int i = 0; i < 20; ++i) {
+    Fe a = random_fe(prg);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(a * a.invert(), Fe::one());
+  }
+  EXPECT_EQ(Fe::zero().invert(), Fe::zero());
+}
+
+TEST(Fe25519, SqrtM1Squared) {
+  EXPECT_EQ(fe_sqrtm1().square(), Fe::zero() - Fe::one());
+}
+
+TEST(Fe25519, CanonicalEncoding) {
+  // p encodes to the same bytes as 0; p+1 as 1.
+  u8 p_bytes[32];
+  std::memset(p_bytes, 0xff, 32);
+  p_bytes[0] = 0xed;
+  p_bytes[31] = 0x7f;
+  Fe p = Fe::from_bytes(p_bytes);
+  EXPECT_TRUE(p.is_zero());
+  u8 out[32];
+  p.to_bytes(out);
+  u8 zero[32] = {};
+  EXPECT_EQ(std::memcmp(out, zero, 32), 0);
+}
+
+TEST(Fe25519, BytesRoundTrip) {
+  Prg prg(Block{7, 8});
+  for (int i = 0; i < 20; ++i) {
+    Fe a = random_fe(prg);
+    u8 b[32];
+    a.to_bytes(b);
+    EXPECT_EQ(Fe::from_bytes(b), a);
+  }
+}
+
+TEST(Ed25519, BasepointEncoding) {
+  // RFC 8032: B = (x, 4/5) with even x encodes to 0x58 0x66...0x66.
+  auto enc = Point::base().encode();
+  EXPECT_EQ(hex32(enc),
+            "5866666666666666666666666666666666666666666666666666666666666666");
+}
+
+TEST(Ed25519, DecodeEncodeRoundTrip) {
+  auto p = Point::decode(Point::base().encode());
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->equals(Point::base()));
+}
+
+TEST(Ed25519, DecodeRejectsNonCurvePoints) {
+  std::array<u8, 32> bad{};
+  bad[0] = 2;  // y = 2 is not on the curve
+  EXPECT_FALSE(Point::decode(bad).has_value());
+}
+
+TEST(Ed25519, AddDoubleConsistency) {
+  const Point& b = Point::base();
+  EXPECT_TRUE(b.add(b).equals(b.dbl()));
+  Point four1 = b.dbl().dbl();
+  Point four2 = b.add(b).add(b).add(b);
+  EXPECT_TRUE(four1.equals(four2));
+}
+
+TEST(Ed25519, IdentityLaws) {
+  const Point& b = Point::base();
+  EXPECT_TRUE(b.add(Point::identity()).equals(b));
+  EXPECT_TRUE(b.sub(b).is_identity());
+  EXPECT_TRUE(Point::identity().dbl().is_identity());
+}
+
+TEST(Ed25519, OrderAnnihilatesBase) {
+  EXPECT_TRUE(Point::base().mul(group_order()).is_identity());
+}
+
+TEST(Ed25519, ScalarMulMatchesRepeatedAdd) {
+  Scalar k{};
+  k[0] = 13;
+  Point expect = Point::identity();
+  for (int i = 0; i < 13; ++i) expect = expect.add(Point::base());
+  EXPECT_TRUE(Point::base().mul(k).equals(expect));
+}
+
+TEST(Ed25519, ScalarMulDistributes) {
+  // (a+b)B == aB + bB using small scalars to avoid scalar-field reduction.
+  Prg prg(Block{9, 1});
+  for (int it = 0; it < 5; ++it) {
+    Scalar a{}, b{}, ab{};
+    a[0] = static_cast<u8>(prg.next_below(100));
+    b[0] = static_cast<u8>(prg.next_below(100));
+    ab[0] = static_cast<u8>(a[0] + b[0]);
+    ab[1] = static_cast<u8>((static_cast<u16>(a[0]) + b[0]) >> 8);
+    Point lhs = Point::base().mul(ab);
+    Point rhs = Point::base().mul(a).add(Point::base().mul(b));
+    EXPECT_TRUE(lhs.equals(rhs));
+  }
+}
+
+TEST(Ed25519, DiffieHellmanAgreement) {
+  // The exact structure the Chou-Orlandi base OT relies on: x(yB) == y(xB).
+  Prg prg(Block{2, 2});
+  for (int it = 0; it < 3; ++it) {
+    Scalar x = random_scalar(prg), y = random_scalar(prg);
+    Point xb = Point::base().mul(x);
+    Point yb = Point::base().mul(y);
+    EXPECT_TRUE(yb.mul(x).equals(xb.mul(y)));
+  }
+}
+
+TEST(Ed25519, EncodingsAreUniquePerPoint) {
+  Prg prg(Block{4, 4});
+  Scalar k = random_scalar(prg);
+  Point p = Point::base().mul(k);
+  // Same group element via different computation paths encodes identically.
+  Point q = p.add(Point::base()).sub(Point::base());
+  EXPECT_EQ(p.encode(), q.encode());
+}
+
+}  // namespace
+}  // namespace abnn2::ec

@@ -1,0 +1,303 @@
+// Tests for the extension features beyond the paper's evaluation:
+// convolution via local im2col on shares, and the secure argmax protocol.
+#include <gtest/gtest.h>
+
+#include "core/argmax.h"
+#include "core/inference.h"
+#include "core/triplet_gen.h"
+#include "net/party_runner.h"
+#include "nn/conv.h"
+
+namespace abnn2 {
+namespace {
+
+using nn::ConvSpec;
+using nn::MatU64;
+using ss::Ring;
+
+TEST(Conv, OutputGeometry) {
+  ConvSpec s{/*in_c=*/3, /*in_h=*/8, /*in_w=*/8, /*k_h=*/3, /*k_w=*/3,
+             /*out_c=*/4, /*stride=*/1, /*pad=*/1};
+  EXPECT_EQ(s.out_h(), 8u);
+  EXPECT_EQ(s.out_w(), 8u);
+  s.stride = 2;
+  s.pad = 0;
+  EXPECT_EQ(s.out_h(), 3u);
+  EXPECT_EQ(s.patch_size(), 27u);
+  ConvSpec bad{1, 2, 2, 5, 5, 1, 1, 0};
+  EXPECT_THROW(bad.out_h(), std::invalid_argument);
+}
+
+TEST(Conv, Im2colIdentityKernelGeometry) {
+  // 1x1 kernel, stride 1: im2col is the identity rearrangement.
+  const Ring ring(32);
+  ConvSpec s{2, 3, 3, 1, 1, 1, 1, 0};
+  Prg prg(Block{1, 1});
+  MatU64 x = nn::random_mat(s.in_size(), 2, 32, prg);
+  const MatU64 cols = nn::im2col(s, x);
+  ASSERT_EQ(cols.rows(), 2u);
+  ASSERT_EQ(cols.cols(), 9u * 2);
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t p = 0; p < 9; ++p)
+      for (std::size_t c = 0; c < 2; ++c)
+        EXPECT_EQ(cols.at(c, b * 9 + p), x.at(c * 9 + p, b));
+}
+
+TEST(Conv, PlainConvMatchesDirectSlidingWindow) {
+  const Ring ring(32);
+  ConvSpec s{2, 5, 4, 3, 2, 3, /*stride=*/1, /*pad=*/1};
+  Prg prg(Block{2, 2});
+  MatU64 x = nn::random_mat(s.in_size(), 2, 32, prg);
+  MatU64 kern = nn::random_mat(s.out_c, s.patch_size(), 8, prg);
+  const MatU64 y = nn::conv_plain(ring, s, kern, x);
+
+  // Direct sliding-window reference.
+  for (std::size_t b = 0; b < 2; ++b)
+    for (std::size_t oc = 0; oc < s.out_c; ++oc)
+      for (std::size_t oy = 0; oy < s.out_h(); ++oy)
+        for (std::size_t ox = 0; ox < s.out_w(); ++ox) {
+          u64 acc = 0;
+          for (std::size_t c = 0; c < s.in_c; ++c)
+            for (std::size_t ky = 0; ky < s.k_h; ++ky)
+              for (std::size_t kx = 0; kx < s.k_w; ++kx) {
+                const i64 iy = static_cast<i64>(oy + ky) - 1;
+                const i64 ix = static_cast<i64>(ox + kx) - 1;
+                if (iy < 0 || ix < 0 || iy >= 5 || ix >= 4) continue;
+                const u64 xv = x.at(
+                    (c * 5 + static_cast<std::size_t>(iy)) * 4 +
+                        static_cast<std::size_t>(ix),
+                    b);
+                const u64 wv = kern.at(oc, (c * s.k_h + ky) * s.k_w + kx);
+                acc = ring.add(acc, ring.mul(wv, xv));
+              }
+          EXPECT_EQ(y.at(oc, b * s.out_positions() + oy * s.out_w() + ox), acc);
+        }
+}
+
+TEST(Conv, Im2colCommutesWithSecretSharing) {
+  // The property that makes secure conv free: im2col(x0) + im2col(x1) =
+  // im2col(x0 + x1), so parties lower their shares locally.
+  const Ring ring(32);
+  ConvSpec s{1, 6, 6, 3, 3, 2, 2, 1};
+  Prg prg(Block{3, 3});
+  MatU64 x = nn::random_mat(s.in_size(), 3, 32, prg);
+  MatU64 x0(x.rows(), x.cols()), x1(x.rows(), x.cols());
+  for (std::size_t i = 0; i < x.data().size(); ++i) {
+    const auto sh = ss::share(ring, x.data()[i], prg);
+    x0.data()[i] = sh.s0;
+    x1.data()[i] = sh.s1;
+  }
+  const MatU64 a = nn::im2col(s, x0);
+  const MatU64 b = nn::im2col(s, x1);
+  const MatU64 want = nn::im2col(s, x);
+  for (std::size_t i = 0; i < want.data().size(); ++i)
+    EXPECT_EQ(ring.add(a.data()[i], b.data()[i]), want.data()[i]);
+}
+
+TEST(Conv, SecureConvViaTripletsMatchesPlain) {
+  // End-to-end: conv lowered to a matmul triplet over the OT protocol.
+  const Ring ring(32);
+  const auto scheme = nn::FragScheme::parse("s(2,2)");
+  ConvSpec s{1, 5, 5, 3, 3, 2, 1, 0};
+  Prg dprg(Block{4, 4});
+  MatU64 kern_codes(s.out_c, s.patch_size());
+  for (auto& c : kern_codes.data()) c = dprg.next_below(scheme.code_space());
+  MatU64 x = nn::random_mat(s.in_size(), 2, 32, dprg);
+
+  // Client's share of the input; server's share zero for simplicity (the
+  // triplet protocol only ever sees R = im2col(x1)).
+  const MatU64 patches = nn::im2col(s, x);
+  core::TripletConfig cfg(ring);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{5, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_server(ch, ot, kern_codes, scheme,
+                                        patches.cols(), cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{5, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_client(ch, ot, patches, scheme, s.out_c, cfg,
+                                        prg);
+      });
+
+  MatU64 kern_values(s.out_c, s.patch_size());
+  for (std::size_t i = 0; i < kern_values.data().size(); ++i)
+    kern_values.data()[i] =
+        scheme.interpret_ring(kern_codes.data()[i], ring);
+  const MatU64 want = nn::conv_plain(ring, s, kern_values, x);
+  for (std::size_t i = 0; i < want.data().size(); ++i)
+    EXPECT_EQ(ring.add(res.party0.data()[i], res.party1.data()[i]),
+              want.data()[i]);
+}
+
+TEST(Conv, FlattenConvOutputLayout) {
+  ConvSpec s{1, 4, 4, 3, 3, 2, 1, 0};  // 2x2 positions, 2 channels
+  MatU64 y(2, 4 * 3);                  // batch 3
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t col = 0; col < 12; ++col) y.at(c, col) = 100 * c + col;
+  const MatU64 f = nn::flatten_conv_output(s, y, 3);
+  ASSERT_EQ(f.rows(), 8u);
+  ASSERT_EQ(f.cols(), 3u);
+  // Row c*4+p of column b must equal y(c, b*4+p).
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t b = 0; b < 3; ++b)
+      for (std::size_t p = 0; p < 4; ++p)
+        EXPECT_EQ(f.at(c * 4 + p, b), y.at(c, b * 4 + p));
+}
+
+class CnnInferenceTest
+    : public ::testing::TestWithParam<core::Backend> {};
+
+TEST_P(CnnInferenceTest, SecureCnnMatchesPlain) {
+  const Ring ring(32);
+  const auto scheme = GetParam() == core::Backend::kQuotient
+                          ? nn::FragScheme::ternary()
+                          : nn::FragScheme::parse("s(2,2)");
+  const auto model = nn::small_cnn_model(ring, scheme, Block{30, 30});
+  const auto x = nn::synthetic_images(100, 2, 12, ring, Block{31, 31});
+
+  core::InferenceConfig cfg(ring);
+  cfg.backend = GetParam();
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        return client.run_online(ch, x);
+      });
+  EXPECT_EQ(res.party1, nn::infer_plain(model, x));
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CnnInferenceTest,
+                         ::testing::Values(core::Backend::kAbnn2,
+                                           core::Backend::kSecureML,
+                                           core::Backend::kQuotient,
+                                           core::Backend::kMiniONN));
+
+TEST(CnnInference, ArgmaxRevealOnCnn) {
+  const Ring ring(32);
+  const auto model =
+      nn::small_cnn_model(ring, nn::FragScheme::parse("s(2,2)"), Block{32, 32});
+  const auto x = nn::synthetic_images(100, 2, 12, ring, Block{33, 33});
+  core::InferenceConfig cfg(ring);
+  cfg.reveal = core::Reveal::kArgmax;
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        return client.run_online(ch, x);
+      });
+  const auto want = nn::argmax_logits(ring, nn::infer_plain(model, x));
+  for (std::size_t k = 0; k < 2; ++k)
+    EXPECT_EQ(res.party1.at(0, k), want[k]);
+}
+
+// ---- secure argmax -------------------------------------------------------
+
+TEST(Argmax, CircuitShapeAndGateCount) {
+  const auto c = core::argmax_circuit(32, 10);
+  EXPECT_EQ(c.out.size(), 4u);  // ceil(log2 10)
+  // 10 adders + 9 comparators + 9 value muxes + 9 index muxes, all O(l).
+  EXPECT_GT(c.and_count(), 10u * 31);
+  EXPECT_LT(c.and_count(), 10u * 31 + 9u * (32 + 32 + 4) + 100);
+}
+
+class ArgmaxTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ArgmaxTest, ClientLearnsExactlyTheArgmax) {
+  const std::size_t n_classes = GetParam();
+  const Ring ring(32);
+  Prg dprg(Block{6, n_classes});
+  for (int trial = 0; trial < 3; ++trial) {
+    std::vector<i64> logits(n_classes);
+    for (auto& v : logits)
+      v = static_cast<i64>(dprg.next_below(2000)) - 1000;
+    logits[static_cast<std::size_t>(trial) % n_classes] = 5000;  // clear winner
+    std::vector<u64> y0(n_classes), y1(n_classes);
+    for (std::size_t i = 0; i < n_classes; ++i) {
+      const auto sh = ss::share(ring, ring.from_signed(logits[i]), dprg);
+      y0[i] = sh.s0;
+      y1[i] = sh.s1;
+    }
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          Prg prg(Block{7, 1});
+          gc::GcGarbler g;
+          core::argmax_server(ch, g, ring, y0, prg);
+          return 0;
+        },
+        [&](Channel& ch) {
+          Prg prg(Block{7, 2});
+          gc::GcEvaluator e;
+          return core::argmax_client(ch, e, ring, y1, prg);
+        });
+    EXPECT_EQ(res.party1, static_cast<std::size_t>(trial) % n_classes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Classes, ArgmaxTest, ::testing::Values(2, 3, 10, 16));
+
+TEST(Argmax, NegativeLogitsHandled) {
+  const Ring ring(32);
+  std::vector<i64> logits = {-10, -3, -500, -4};
+  Prg dprg(Block{8, 8});
+  std::vector<u64> y0(4), y1(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto sh = ss::share(ring, ring.from_signed(logits[i]), dprg);
+    y0[i] = sh.s0;
+    y1[i] = sh.s1;
+  }
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{9, 1});
+        gc::GcGarbler g;
+        core::argmax_server(ch, g, ring, y0, prg);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{9, 2});
+        gc::GcEvaluator e;
+        return core::argmax_client(ch, e, ring, y1, prg);
+      });
+  EXPECT_EQ(res.party1, 1u);  // -3 is the max
+}
+
+TEST(Argmax, TieGoesToTheFirst) {
+  const Ring ring(16);
+  std::vector<u64> y0 = {5, 5, 2};
+  std::vector<u64> y1 = {0, 0, 0};
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{10, 1});
+        gc::GcGarbler g;
+        core::argmax_server(ch, g, ring, y0, prg);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{10, 2});
+        gc::GcEvaluator e;
+        return core::argmax_client(ch, e, ring, y1, prg);
+      });
+  EXPECT_EQ(res.party1, 0u);  // strict greater-than keeps the earlier index
+}
+
+}  // namespace
+}  // namespace abnn2

@@ -1,0 +1,271 @@
+// Tests for the garbled-circuit substrate: builder library vs plain
+// evaluation, half-gates garble/eval equivalence, and the two-party GC
+// protocol over a channel.
+#include <gtest/gtest.h>
+
+#include "gc/circuit.h"
+#include "gc/garble.h"
+#include "gc/protocol.h"
+#include "net/party_runner.h"
+
+namespace abnn2::gc {
+namespace {
+
+std::vector<bool> to_bits(u64 v, std::size_t l) {
+  std::vector<bool> b(l);
+  for (std::size_t i = 0; i < l; ++i) b[i] = (v >> i) & 1;
+  return b;
+}
+
+u64 from_bits(const std::vector<bool>& b) {
+  u64 v = 0;
+  for (std::size_t i = 0; i < b.size(); ++i)
+    if (b[i]) v |= u64{1} << i;
+  return v;
+}
+
+// Builds circuit: out = a + b mod 2^l, a from garbler, b from evaluator.
+Circuit adder_circuit(std::size_t l) {
+  Builder bld;
+  auto a = bld.garbler_inputs(l);
+  auto b = bld.evaluator_inputs(l);
+  auto s = bld.add_mod(a, b);
+  bld.mark_outputs(s);
+  return bld.build();
+}
+
+class WordOpTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(WordOpTest, AddSubPlainMatchesU64) {
+  const std::size_t l = GetParam();
+  const u64 mask = mask_l(l);
+  Prg prg(Block{1, static_cast<u64>(l)});
+  for (int it = 0; it < 30; ++it) {
+    const u64 x = prg.next_bits(l), y = prg.next_bits(l);
+    {
+      Builder bld;
+      auto a = bld.garbler_inputs(l);
+      auto b = bld.evaluator_inputs(l);
+      bld.mark_outputs(bld.add_mod(a, b));
+      Circuit c = bld.build();
+      auto out = eval_plain(c, to_bits(x, l), to_bits(y, l));
+      EXPECT_EQ(from_bits(out), (x + y) & mask);
+    }
+    {
+      Builder bld;
+      auto a = bld.garbler_inputs(l);
+      auto b = bld.evaluator_inputs(l);
+      bld.mark_outputs(bld.sub_mod(a, b));
+      Circuit c = bld.build();
+      auto out = eval_plain(c, to_bits(x, l), to_bits(y, l));
+      EXPECT_EQ(from_bits(out), (x - y) & mask);
+    }
+  }
+}
+
+TEST_P(WordOpTest, LessThanPlainMatchesU64) {
+  const std::size_t l = GetParam();
+  Prg prg(Block{2, static_cast<u64>(l)});
+  for (int it = 0; it < 30; ++it) {
+    u64 x = prg.next_bits(l), y = prg.next_bits(l);
+    if (it == 0) y = x;  // include the equal case
+    Builder bld;
+    auto a = bld.garbler_inputs(l);
+    auto b = bld.evaluator_inputs(l);
+    bld.mark_output(bld.less_than(a, b));
+    Circuit c = bld.build();
+    auto out = eval_plain(c, to_bits(x, l), to_bits(y, l));
+    EXPECT_EQ(out[0], x < y) << x << " " << y;
+  }
+}
+
+TEST_P(WordOpTest, MuxPlain) {
+  const std::size_t l = GetParam();
+  Prg prg(Block{3, static_cast<u64>(l)});
+  for (bool sel : {false, true}) {
+    const u64 x = prg.next_bits(l), y = prg.next_bits(l);
+    Builder bld;
+    auto g = bld.garbler_inputs(l + 1);  // sel + a
+    auto b = bld.evaluator_inputs(l);
+    std::vector<u32> a(g.begin() + 1, g.end());
+    bld.mark_outputs(bld.mux(g[0], a, b));
+    Circuit c = bld.build();
+    std::vector<bool> gb;
+    gb.push_back(sel);
+    for (bool v : to_bits(x, l)) gb.push_back(v);
+    auto out = eval_plain(c, gb, to_bits(y, l));
+    EXPECT_EQ(from_bits(out), sel ? x : y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, WordOpTest, ::testing::Values(1, 2, 8, 32, 64));
+
+TEST(Circuit, AndCountOfAdder) {
+  Circuit c = adder_circuit(32);
+  // l-1 full adders with 1 AND each + 1 half-adder AND = 32... minus the
+  // last carry we skip: adds are (l-2) carries + 1 initial = l-1.
+  EXPECT_EQ(c.and_count(), 31u);
+}
+
+TEST(Garble, EvalMatchesPlainOnRandomCircuits) {
+  Prg prg(Block{10, 10});
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random circuit: 8 garbler bits, 8 evaluator bits, 60 random gates.
+    Builder bld;
+    auto g = bld.garbler_inputs(8);
+    auto e = bld.evaluator_inputs(8);
+    std::vector<u32> pool;
+    pool.insert(pool.end(), g.begin(), g.end());
+    pool.insert(pool.end(), e.begin(), e.end());
+    for (int i = 0; i < 60; ++i) {
+      const u32 a = pool[prg.next_below(pool.size())];
+      const u32 b = pool[prg.next_below(pool.size())];
+      switch (prg.next_below(3)) {
+        case 0: pool.push_back(bld.XOR(a, b)); break;
+        case 1: pool.push_back(bld.AND(a, b)); break;
+        default: pool.push_back(bld.NOT(a)); break;
+      }
+    }
+    for (int i = 0; i < 8; ++i)
+      bld.mark_output(pool[pool.size() - 1 - static_cast<std::size_t>(i)]);
+    Circuit c = bld.build();
+
+    std::vector<bool> gb(8), eb(8);
+    for (auto&& v : gb) v = prg.next_bit();
+    for (auto&& v : eb) v = prg.next_bit();
+    auto want = eval_plain(c, gb, eb);
+
+    Garbler garb(c, 1, /*tweak_base=*/trial * 1000, prg);
+    std::vector<Block> gl(8), el(8);
+    for (int i = 0; i < 8; ++i) {
+      gl[static_cast<std::size_t>(i)] = garb.encode(
+          garb.g_input_label0(0, static_cast<std::size_t>(i)), gb[static_cast<std::size_t>(i)]);
+      el[static_cast<std::size_t>(i)] = garb.encode(
+          garb.e_input_label0(0, static_cast<std::size_t>(i)), eb[static_cast<std::size_t>(i)]);
+    }
+    auto got = Evaluator::eval(c, garb.batch(), trial * 1000, gl, el);
+    ASSERT_EQ(got.size(), want.size());
+    for (std::size_t i = 0; i < want.size(); ++i)
+      EXPECT_EQ(got[i] != 0, want[i]) << "trial " << trial << " bit " << i;
+  }
+}
+
+TEST(Garble, BatchInstancesAreIndependent) {
+  Circuit c = adder_circuit(16);
+  Prg prg(Block{11, 11});
+  const std::size_t n = 5;
+  Garbler garb(c, n, 0, prg);
+  std::vector<Block> gl(n * 16), el(n * 16);
+  std::vector<u64> xs(n), ys(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    xs[k] = prg.next_bits(16);
+    ys[k] = prg.next_bits(16);
+    for (std::size_t i = 0; i < 16; ++i) {
+      gl[k * 16 + i] = garb.encode(garb.g_input_label0(k, i), (xs[k] >> i) & 1);
+      el[k * 16 + i] = garb.encode(garb.e_input_label0(k, i), (ys[k] >> i) & 1);
+    }
+  }
+  auto out = Evaluator::eval(c, garb.batch(), 0, gl, el);
+  for (std::size_t k = 0; k < n; ++k) {
+    u64 v = 0;
+    for (std::size_t i = 0; i < 16; ++i)
+      if (out[k * 16 + i]) v |= u64{1} << i;
+    EXPECT_EQ(v, (xs[k] + ys[k]) & mask_l(16)) << k;
+  }
+}
+
+TEST(Garble, WrongLabelGivesWrongOutput) {
+  constexpr std::size_t l = 32;
+  Circuit c = adder_circuit(l);
+  Prg prg(Block{12, 12});
+  Garbler garb(c, 1, 0, prg);
+  std::vector<Block> gl(l), el(l);
+  for (std::size_t i = 0; i < l; ++i) {
+    gl[i] = garb.encode(garb.g_input_label0(0, i), 0);
+    el[i] = garb.encode(garb.e_input_label0(0, i), 0);
+  }
+  auto good = Evaluator::eval(c, garb.batch(), 0, gl, el);
+  gl[0] = prg.next_block();  // corrupt one label
+  auto bad = Evaluator::eval(c, garb.batch(), 0, gl, el);
+  EXPECT_NE(good, bad);
+}
+
+TEST(GcProtocol, TwoPartyAdderOverChannel) {
+  const std::size_t l = 32;
+  Circuit c = adder_circuit(l);
+  Prg in_prg(Block{20, 20});
+  const std::size_t n = 7;
+  std::vector<u64> xs(n), ys(n);
+  std::vector<u8> g_bits(n * l), e_bits(n * l);
+  for (std::size_t k = 0; k < n; ++k) {
+    xs[k] = in_prg.next_bits(l);
+    ys[k] = in_prg.next_bits(l);
+    for (std::size_t i = 0; i < l; ++i) {
+      g_bits[k * l + i] = (xs[k] >> i) & 1;
+      e_bits[k * l + i] = (ys[k] >> i) & 1;
+    }
+  }
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{21, 1});
+        GcGarbler g;
+        g.run(ch, c, n, g_bits, prg);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{21, 2});
+        GcEvaluator e;
+        return e.run(ch, c, n, e_bits, prg);
+      });
+
+  for (std::size_t k = 0; k < n; ++k) {
+    u64 v = 0;
+    for (std::size_t i = 0; i < l; ++i)
+      if (res.party1[k * l + i]) v |= u64{1} << i;
+    EXPECT_EQ(v, (xs[k] + ys[k]) & mask_l(l)) << k;
+  }
+}
+
+TEST(GcProtocol, SessionReuseAcrossRuns) {
+  Circuit c = adder_circuit(8);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{22, 1});
+        GcGarbler g;
+        std::vector<u8> bits(8, 0);
+        bits[0] = 1;  // x = 1
+        g.run(ch, c, 1, bits, prg);
+        bits[1] = 1;  // x = 3
+        g.run(ch, c, 1, bits, prg);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{22, 2});
+        GcEvaluator e;
+        std::vector<u8> bits(8, 0);
+        bits[1] = 1;  // y = 2
+        auto r1 = e.run(ch, c, 1, bits, prg);
+        auto r2 = e.run(ch, c, 1, bits, prg);
+        u64 v1 = 0, v2 = 0;
+        for (std::size_t i = 0; i < 8; ++i) {
+          if (r1[i]) v1 |= u64{1} << i;
+          if (r2[i]) v2 |= u64{1} << i;
+        }
+        return std::pair<u64, u64>{v1, v2};
+      });
+  EXPECT_EQ(res.party1.first, 3u);   // 1 + 2
+  EXPECT_EQ(res.party1.second, 5u);  // 3 + 2
+}
+
+TEST(GcProtocol, InputSizeMismatchThrows) {
+  Circuit c = adder_circuit(8);
+  auto [c0, c1] = MemChannel::make_pair();
+  Prg prg(Block{1, 1});
+  GcGarbler g;
+  std::vector<u8> wrong(7);
+  EXPECT_THROW(g.run(*c0, c, 1, wrong, prg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abnn2::gc

@@ -1,0 +1,185 @@
+// Additional coverage: tampering detection shapes, larger HE parameters,
+// quantizer corners, fragment-scheme parsing round trips, IKNP message
+// independence and engine misuse.
+#include <gtest/gtest.h>
+
+#include "core/inference.h"
+#include "he/bfv.h"
+#include "net/party_runner.h"
+#include "nn/quantize.h"
+#include "ot/iknp.h"
+
+namespace abnn2 {
+namespace {
+
+using nn::FragScheme;
+using ss::Ring;
+
+TEST(FragSchemeExtra, ParseNameRoundTrip) {
+  for (const char* spec : {"(2,2,2,2)", "(3,3,2)", "s(4,4)", "s(2,1)",
+                           "ternary", "binary", "(1,1,1)"}) {
+    EXPECT_EQ(FragScheme::parse(spec).name(), spec);
+  }
+}
+
+TEST(FragSchemeExtra, FragmentShiftsArePrefixSums) {
+  const auto s = FragScheme::parse("(3,3,2)");
+  EXPECT_EQ(s.fragments()[0].shift, 0u);
+  EXPECT_EQ(s.fragments()[1].shift, 3u);
+  EXPECT_EQ(s.fragments()[2].shift, 6u);
+}
+
+TEST(QuantizeExtra, UnsignedSchemeClampsNegatives) {
+  nn::MatF w(1, 3);
+  w.data() = {-5.0, 0.5, 1.0};
+  const auto q = nn::quantize(w, FragScheme::parse("(2,2)"));  // unsigned
+  EXPECT_EQ(q.codes.data()[0], 0u);  // clamped to the smallest code
+  EXPECT_GT(q.codes.data()[2], q.codes.data()[1]);
+}
+
+TEST(QuantizeExtra, ZeroMatrixHasUnitScale) {
+  nn::MatF w(2, 2);
+  const auto q = nn::quantize(w, FragScheme::parse("s(2,2)"));
+  EXPECT_EQ(q.scale, 1.0);
+  for (u64 c : q.codes.data()) EXPECT_EQ(c, 0u);
+}
+
+TEST(IknpExtra, MessagesForUnchosenBranchStayHidden) {
+  // Shape check on the receiver's view: the unchosen wire entry XOR the
+  // receiver's pad must NOT equal the unchosen plaintext (it is masked by an
+  // unknown pad). Guards against accidentally reusing one pad for both rows.
+  constexpr std::size_t m = 32;
+  BitVec choices(m);
+  std::vector<std::array<Block, 2>> msgs(m);
+  Prg cprg(Block{1, 1});
+  for (std::size_t i = 0; i < m; ++i) {
+    choices.set(i, cprg.next_bit());
+    msgs[i] = {cprg.next_block(), cprg.next_block()};
+  }
+  struct View {
+    std::vector<Block> wire;
+    std::vector<RoDigest> pads;
+  };
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        s.send_blocks(ch, msgs);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        View v;
+        v.wire.resize(2 * m);
+        ch.recv_blocks(v.wire.data(), v.wire.size());
+        for (std::size_t i = 0; i < m; ++i) v.pads.push_back(r.pad(i));
+        return v;
+      });
+  for (std::size_t i = 0; i < m; ++i) {
+    const Block pad = res.party1.pads[i].block0();
+    const std::size_t chosen = choices[i] ? 1 : 0;
+    EXPECT_EQ(res.party1.wire[2 * i + chosen] ^ pad, msgs[i][chosen]);
+    EXPECT_NE(res.party1.wire[2 * i + (1 - chosen)] ^ pad,
+              msgs[i][1 - chosen]);
+  }
+}
+
+TEST(GcTamper, CorruptedTableChangesOutput) {
+  // Semi-honest model: tampering is not *detected*, but it must not silently
+  // yield the correct value either (no ignored table entries).
+  gc::Builder b;
+  auto g = b.garbler_inputs(16);
+  auto e = b.evaluator_inputs(16);
+  b.mark_outputs(b.add_mod(g, e));
+  gc::Circuit c = b.build();
+  Prg prg(Block{3, 3});
+  gc::Garbler garb(c, 1, 0, prg);
+  std::vector<Block> gl(16), el(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    gl[i] = garb.encode(garb.g_input_label0(0, i), i % 2);
+    el[i] = garb.encode(garb.e_input_label0(0, i), i % 3 == 0);
+  }
+  const auto good = gc::Evaluator::eval(c, garb.batch(), 0, gl, el);
+  // Half-gates reads a table entry only when the corresponding permute bit
+  // is set, so corrupt every entry: some gate on the adder's carry chain is
+  // certain to read one.
+  auto tampered = garb.batch();
+  for (auto& t : tampered.tables) t ^= kOneBlock;
+  const auto bad = gc::Evaluator::eval(c, tampered, 0, gl, el);
+  EXPECT_NE(good, bad);
+}
+
+TEST(BfvLarge, FullSizeParametersRoundTrip) {
+  // The production n = 4096 parameter set used by the MiniONN baseline.
+  for (std::size_t t_bits : {std::size_t{32}, std::size_t{64}}) {
+    const he::BfvParams params(t_bits, 4096);
+    EXPECT_EQ(params.num_primes(), t_bits <= 32 ? 2u : 3u);
+    Prg prg(Block{4, t_bits});
+    he::SecretKey sk(params, prg);
+    std::vector<u64> pt(params.n());
+    for (auto& v : pt) v = prg.next_bits(t_bits);
+    auto ct = sk.encrypt(params, pt, prg);
+    std::vector<i64> w(784);
+    for (auto& v : w) v = static_cast<i64>(prg.next_below(257)) - 128;
+    auto prod = he::mul_plain(params, ct, w);
+    he::flood_noise_inplace(params, prod, prg);
+    // Spot-check one coefficient against the schoolbook convolution.
+    const auto got = sk.decrypt(params, prod);
+    const u64 tmask = mask_l(t_bits);
+    u64 want = 0;
+    const std::size_t target = 783;  // coefficient n_in - 1: the dot product
+    for (std::size_t j = 0; j <= target; ++j)
+      want = (want + pt[target - j] * static_cast<u64>(w[j])) & tmask;
+    EXPECT_EQ(got[target], want);
+  }
+}
+
+TEST(EngineMisuse, DoubleOnlineWithoutSecondOfflineThrows) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::binary(), {4, 2},
+                                      Block{5, 5});
+  const auto x = nn::synthetic_images(4, 1, 8, ring, Block{6, 6});
+  core::InferenceConfig cfg(ring);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        // Second online without offline must throw locally (one-use
+        // triplets), not send anything.
+        EXPECT_THROW(server.run_online(ch), ProtocolError);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, 1);
+        auto out = client.run_online(ch, x);
+        EXPECT_THROW(client.run_online(ch, x), ProtocolError);
+        return out;
+      });
+  EXPECT_EQ(res.party1, nn::infer_plain(model, x));
+}
+
+TEST(ChannelExtra, LargeTransfersSurviveMemChannel) {
+  // 64 MB through the in-memory pipe (the batch-128 tables push ~1 GB).
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        std::vector<u8> big(64 << 20, 0x5A);
+        ch.send(big.data(), big.size());
+        return 0;
+      },
+      [&](Channel& ch) {
+        std::vector<u8> big(64 << 20);
+        ch.recv(big.data(), big.size());
+        return static_cast<int>(big[0] == 0x5A && big.back() == 0x5A);
+      });
+  EXPECT_EQ(res.party1, 1);
+}
+
+}  // namespace
+}  // namespace abnn2

@@ -1,0 +1,184 @@
+// Tests for the transport layer: in-memory channel, TCP channel, traffic
+// metering / round counting, the LAN/WAN network model and the two-party
+// runner's failure handling.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "net/mem_channel.h"
+#include "net/party_runner.h"
+#include "net/socket_channel.h"
+
+namespace abnn2 {
+namespace {
+
+TEST(MemChannel, RoundTripsBytesInOrder) {
+  auto [a, b] = MemChannel::make_pair();
+  const std::string msg = "hello protocol";
+  a->send(msg.data(), msg.size());
+  a->send_u64(42);
+  std::string got(msg.size(), '\0');
+  b->recv(got.data(), got.size());
+  EXPECT_EQ(got, msg);
+  EXPECT_EQ(b->recv_u64(), 42u);
+}
+
+TEST(MemChannel, DuplexIsIndependent) {
+  auto [a, b] = MemChannel::make_pair();
+  a->send_u64(1);
+  b->send_u64(2);
+  EXPECT_EQ(a->recv_u64(), 2u);
+  EXPECT_EQ(b->recv_u64(), 1u);
+}
+
+TEST(MemChannel, BlockingRecvWakesOnSend) {
+  auto [a, b] = MemChannel::make_pair();
+  std::atomic<bool> got{false};
+  std::thread t([&] {
+    EXPECT_EQ(b->recv_u64(), 77u);
+    got = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(got);
+  a->send_u64(77);
+  t.join();
+  EXPECT_TRUE(got);
+}
+
+TEST(MemChannel, CloseUnblocksPeerWithError) {
+  auto [a, b] = MemChannel::make_pair();
+  std::thread t([&] { a->close(); });
+  EXPECT_THROW(b->recv_u64(), ChannelError);
+  t.join();
+  EXPECT_THROW(b->send_u64(1), ChannelError);
+}
+
+TEST(MemChannel, StatsCountBytesAndMessages) {
+  auto [a, b] = MemChannel::make_pair();
+  a->send_u64(1);
+  a->send_u64(2);
+  b->recv_u64();
+  b->recv_u64();
+  EXPECT_EQ(a->stats().bytes_sent, 16u);
+  EXPECT_EQ(a->stats().messages_sent, 2u);
+  EXPECT_EQ(b->stats().bytes_received, 16u);
+  a->reset_stats();
+  EXPECT_EQ(a->stats().bytes_sent, 0u);
+}
+
+TEST(MemChannel, RoundsCountDirectionFlips) {
+  // A round is counted at an endpoint when it receives after having sent.
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        ch.send_u64(1);        // send
+        ch.recv_u64();         // flip -> round 1
+        ch.send_u64(3);        // send
+        ch.send_u64(4);
+        ch.recv_u64();         // flip -> round 2
+        return ch.stats().rounds;
+      },
+      [&](Channel& ch) {
+        ch.recv_u64();         // no send yet -> no round
+        ch.send_u64(2);
+        ch.recv_u64();
+        ch.recv_u64();         // flip -> round 1
+        ch.send_u64(5);
+        return ch.stats().rounds;
+      });
+  EXPECT_EQ(res.party0, 2u);
+  EXPECT_EQ(res.party1, 1u);
+}
+
+TEST(MemChannel, MessageHelpersRoundTrip) {
+  auto [a, b] = MemChannel::make_pair();
+  std::vector<u8> payload{1, 2, 3, 4, 5};
+  a->send_msg(payload);
+  EXPECT_EQ(b->recv_msg(), payload);
+  a->send_msg(std::vector<u8>{});
+  EXPECT_TRUE(b->recv_msg().empty());
+}
+
+TEST(MemChannel, OversizedMessageRejected) {
+  auto [a, b] = MemChannel::make_pair();
+  a->send_u64(u64{1} << 40);  // absurd length prefix
+  EXPECT_THROW(b->recv_msg(/*max_size=*/1 << 20), ProtocolError);
+}
+
+TEST(NetworkModel, SimulatedTimeComposition) {
+  ChannelStats s0, s1;
+  s0.bytes_sent = 9'000'000;  // exactly 1 s at 9 MB/s
+  s0.rounds = 2;
+  s1.rounds = 3;
+  const double t = kWanTable3.simulate(0.5, s0, s1);
+  EXPECT_NEAR(t, 0.5 + 1.0 + 5 * 0.072, 1e-9);
+  // LAN is strictly faster than WAN for the same traffic.
+  EXPECT_LT(kLan.simulate(0.5, s0, s1), t);
+}
+
+TEST(PartyRunner, PropagatesExceptionsFromEitherParty) {
+  EXPECT_THROW(run_two_parties(
+                   [](Channel&) -> int { throw ProtocolError("boom0"); },
+                   [](Channel& ch) {
+                     ch.recv_u64();  // blocked until peer failure closes pipe
+                     return 0;
+                   }),
+               ProtocolError);
+  EXPECT_THROW(run_two_parties(
+                   [](Channel& ch) {
+                     ch.recv_u64();
+                     return 0;
+                   },
+                   [](Channel&) -> int { throw ProtocolError("boom1"); }),
+               ProtocolError);
+}
+
+TEST(PartyRunner, ReturnsBothResultsAndStats) {
+  auto res = run_two_parties(
+      [](Channel& ch) {
+        ch.send_u64(10);
+        return std::string("server");
+      },
+      [](Channel& ch) { return ch.recv_u64(); });
+  EXPECT_EQ(res.party0, "server");
+  EXPECT_EQ(res.party1, 10u);
+  EXPECT_EQ(res.total_comm_bytes(), 8u);
+  EXPECT_GE(res.wall_seconds, 0.0);
+}
+
+TEST(SocketChannel, LoopbackRoundTrip) {
+  constexpr u16 port = 19471;
+  std::unique_ptr<SocketChannel> srv;
+  std::thread t([&] { srv = SocketChannel::listen(port); });
+  auto cli = SocketChannel::connect("127.0.0.1", port);
+  t.join();
+
+  cli->send_u64(123);
+  EXPECT_EQ(srv->recv_u64(), 123u);
+  std::vector<u8> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i);
+  srv->send_msg(big);
+  EXPECT_EQ(cli->recv_msg(), big);
+  EXPECT_EQ(cli->stats().bytes_sent, 8u);
+}
+
+TEST(SocketChannel, PeerCloseRaises) {
+  constexpr u16 port = 19472;
+  std::unique_ptr<SocketChannel> srv;
+  std::thread t([&] { srv = SocketChannel::listen(port); });
+  auto cli = SocketChannel::connect("127.0.0.1", port);
+  t.join();
+  srv.reset();  // close server side
+  EXPECT_THROW(cli->recv_u64(), ChannelError);
+}
+
+TEST(SocketChannel, ConnectToNothingEventuallyFails) {
+  EXPECT_THROW(SocketChannel::connect("127.0.0.1", 1), ChannelError);
+}
+
+TEST(SocketChannel, BadAddressRejected) {
+  EXPECT_THROW(SocketChannel::connect("not-an-ip", 9999), ChannelError);
+}
+
+}  // namespace
+}  // namespace abnn2

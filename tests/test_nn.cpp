@@ -1,0 +1,301 @@
+// Tests for secret sharing, bit packing, fragment schemes, quantization and
+// the plaintext model reference.
+#include <gtest/gtest.h>
+
+#include "common/packing.h"
+#include "core/inference.h"
+#include "nn/model.h"
+#include "nn/quantize.h"
+#include "ss/additive.h"
+
+namespace abnn2 {
+namespace {
+
+using nn::FragScheme;
+using nn::MatF;
+using nn::MatU64;
+using ss::Ring;
+
+class RingTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RingTest, ArithmeticWraps) {
+  Ring r(GetParam());
+  EXPECT_EQ(r.add(r.mask(), 1), 0u);
+  EXPECT_EQ(r.sub(0, 1), r.mask());
+  EXPECT_EQ(r.mul(r.mask(), r.mask()), 1u);  // (-1)*(-1) = 1
+  EXPECT_EQ(r.neg(0), 0u);
+}
+
+TEST_P(RingTest, SignedRoundTrip) {
+  Ring r(GetParam());
+  const i64 half = i64{1} << (GetParam() - 1);
+  for (i64 v : {i64{0}, i64{1}, i64{-1}, half - 1, -half}) {
+    EXPECT_EQ(r.to_signed(r.from_signed(v)), v) << v;
+  }
+  EXPECT_TRUE(r.msb(r.from_signed(-1)));
+  EXPECT_FALSE(r.msb(r.from_signed(1)));
+}
+
+TEST_P(RingTest, ShareReconstructIdentity) {
+  Ring r(GetParam());
+  Prg prg(Block{1, GetParam()});
+  for (int i = 0; i < 50; ++i) {
+    const u64 x = r.random(prg);
+    const auto p = ss::share(r, x, prg);
+    EXPECT_EQ(ss::reconst(r, p.s0, p.s1), x);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RingTest, ::testing::Values(2, 8, 13, 32, 64));
+
+TEST(Ring, RejectsBadWidth) {
+  EXPECT_THROW(Ring(0), std::invalid_argument);
+  EXPECT_THROW(Ring(65), std::invalid_argument);
+}
+
+TEST(Ring, ShareMarginalIsUniformish) {
+  // Each share alone carries no information: check the first share of a
+  // constant secret covers the whole small ring.
+  Ring r(4);
+  Prg prg(Block{2, 2});
+  std::set<u64> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(ss::share(r, 7, prg).s0);
+  EXPECT_EQ(seen.size(), 16u);
+}
+
+TEST(Ring, VectorShareHelpers) {
+  Ring r(32);
+  Prg prg(Block{3, 3});
+  std::vector<u64> xs{1, 2, 3, 0xffffffff};
+  auto [s0, s1] = ss::share_vec(r, xs, prg);
+  EXPECT_EQ(ss::reconst_vec(r, s0, s1), xs);
+  std::vector<u64> bad(3);
+  EXPECT_THROW(ss::reconst_vec(r, s0, bad), std::invalid_argument);
+}
+
+class PackTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PackTest, RoundTrip) {
+  const std::size_t l = GetParam();
+  Prg prg(Block{4, l});
+  std::vector<u64> vals(37);
+  for (auto& v : vals) v = prg.next_bits(l);
+  const auto packed = pack_bits(vals, l);
+  EXPECT_EQ(packed.size(), bytes_for_bits(vals.size() * l));
+  EXPECT_EQ(unpack_bits(packed, l, vals.size()), vals);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, PackTest,
+                         ::testing::Values(1, 2, 3, 7, 8, 9, 31, 32, 33, 63, 64));
+
+TEST(Pack, TruncatedBufferThrows) {
+  std::vector<u8> small(3);
+  EXPECT_THROW(unpack_bits(small, 32, 2), ProtocolError);
+}
+
+// ---- fragment schemes -------------------------------------------------
+
+struct SchemeCase {
+  std::string spec;
+  std::size_t gamma;
+  u32 max_n;
+};
+
+class SchemeTest : public ::testing::TestWithParam<SchemeCase> {};
+
+TEST_P(SchemeTest, DecompositionIdentity) {
+  const auto& p = GetParam();
+  const FragScheme s = FragScheme::parse(p.spec);
+  EXPECT_EQ(s.gamma(), p.gamma);
+  EXPECT_EQ(s.max_n(), p.max_n);
+  Ring ring(32);
+  // For EVERY valid code: sum of fragment values == interpreted value.
+  for (u64 code = 0; code < s.code_space(); ++code) {
+    u64 sum = 0;
+    for (std::size_t f = 0; f < s.gamma(); ++f)
+      sum = ring.add(sum, s.value(f, s.choice(code, f), ring));
+    EXPECT_EQ(sum, s.interpret_ring(code, ring)) << p.spec << " code " << code;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperTuples, SchemeTest,
+    ::testing::Values(SchemeCase{"(1,1,1,1,1,1,1,1)", 8, 2},
+                      SchemeCase{"(2,2,2,2)", 4, 4},
+                      SchemeCase{"(3,3,2)", 3, 8}, SchemeCase{"(4,4)", 2, 16},
+                      SchemeCase{"(2,2,2)", 3, 4}, SchemeCase{"(3,3)", 2, 8},
+                      SchemeCase{"(2,2)", 2, 4}, SchemeCase{"(4)", 1, 16},
+                      SchemeCase{"(2,1)", 2, 4}, SchemeCase{"(3)", 1, 8},
+                      SchemeCase{"s(2,2,2,2)", 4, 4},
+                      SchemeCase{"s(3,3,2)", 3, 8}, SchemeCase{"s(2,1)", 2, 4},
+                      SchemeCase{"ternary", 1, 3},
+                      SchemeCase{"binary", 1, 2}));
+
+TEST(FragScheme, UnsignedInterpretation) {
+  const FragScheme s = FragScheme::parse("(2,2)");
+  EXPECT_EQ(s.eta(), 4u);
+  EXPECT_FALSE(s.is_signed());
+  EXPECT_EQ(s.interpret(0), 0);
+  EXPECT_EQ(s.interpret(15), 15);
+  EXPECT_EQ(s.interpret(9), 9);
+  // Low fragment first: code 9 = 0b1001 -> low frag 0b01=1, high frag 0b10=2.
+  EXPECT_EQ(s.choice(9, 0), 1u);
+  EXPECT_EQ(s.choice(9, 1), 2u);
+}
+
+TEST(FragScheme, SignedInterpretation) {
+  const FragScheme s = FragScheme::parse("s(2,2)");
+  EXPECT_TRUE(s.is_signed());
+  EXPECT_EQ(s.interpret(15), -1);  // 0b1111 = -1 in 4-bit two's complement
+  EXPECT_EQ(s.interpret(8), -8);
+  EXPECT_EQ(s.interpret(7), 7);
+}
+
+TEST(FragScheme, TernaryAndBinary) {
+  const FragScheme t = FragScheme::ternary();
+  EXPECT_EQ(t.interpret(0), -1);
+  EXPECT_EQ(t.interpret(1), 0);
+  EXPECT_EQ(t.interpret(2), 1);
+  EXPECT_EQ(t.code_space(), 3u);
+  EXPECT_THROW(t.choice(3, 0), std::invalid_argument);
+  const FragScheme b = FragScheme::binary();
+  EXPECT_EQ(b.interpret(0), 0);
+  EXPECT_EQ(b.interpret(1), 1);
+}
+
+TEST(FragScheme, ParseRejectsGarbage) {
+  EXPECT_THROW(FragScheme::parse("nope"), std::invalid_argument);
+  EXPECT_THROW(FragScheme::parse("()"), std::exception);
+  EXPECT_THROW(FragScheme::unsigned_bits({}), std::invalid_argument);
+  EXPECT_THROW(FragScheme::unsigned_bits({9}), std::invalid_argument);
+}
+
+// ---- quantization -------------------------------------------------------
+
+TEST(Quantize, SignedSchemeRoundTripsWithinStep) {
+  const FragScheme s = FragScheme::parse("s(2,2,2,2)");  // signed 8-bit
+  MatF w(4, 4);
+  Prg prg(Block{5, 5});
+  for (auto& v : w.data())
+    v = (static_cast<double>(prg.next_below(2000)) - 1000.0) / 500.0;
+  const auto q = nn::quantize(w, s);
+  const auto back = nn::dequantize(q, s);
+  for (std::size_t i = 0; i < w.data().size(); ++i)
+    EXPECT_NEAR(back.data()[i], w.data()[i], q.scale * 0.5 + 1e-12);
+}
+
+TEST(Quantize, BinaryAndTernaryCodes) {
+  MatF w(1, 4);
+  w.data() = {-1.0, -0.01, 0.01, 1.0};
+  const auto b = nn::quantize(w, FragScheme::binary());
+  EXPECT_EQ(b.codes.data(), (std::vector<u64>{0, 0, 1, 1}));
+  const auto t = nn::quantize(w, FragScheme::ternary());
+  EXPECT_EQ(t.codes.data()[0], 0u);  // strongly negative -> -1
+  EXPECT_EQ(t.codes.data()[3], 2u);  // strongly positive -> +1
+  EXPECT_EQ(t.codes.data()[1], 1u);  // small -> 0
+}
+
+TEST(Quantize, FixedPointEncoding) {
+  Ring ring(32);
+  EXPECT_EQ(nn::decode_fixed(nn::encode_fixed(0.5, 8, ring), 8, ring), 0.5);
+  EXPECT_EQ(nn::decode_fixed(nn::encode_fixed(-1.25, 8, ring), 8, ring), -1.25);
+  EXPECT_NEAR(nn::decode_fixed(nn::encode_fixed(0.123, 8, ring), 8, ring),
+              0.123, 1.0 / 256);
+}
+
+// ---- model / plaintext inference ---------------------------------------
+
+TEST(Model, MatmulCodesMatchesNaive) {
+  Ring ring(32);
+  const FragScheme s = FragScheme::parse("s(2,2)");
+  Prg prg(Block{6, 6});
+  MatU64 codes(3, 5);
+  for (auto& c : codes.data()) c = prg.next_below(s.code_space());
+  MatU64 x = nn::random_mat(5, 2, 32, prg);
+  const MatU64 y = nn::matmul_codes(ring, codes, s, x);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t k = 0; k < 2; ++k) {
+      u64 want = 0;
+      for (std::size_t j = 0; j < 5; ++j)
+        want = ring.add(want, ring.mul(s.interpret_ring(codes.at(i, j), ring),
+                                       x.at(j, k)));
+      EXPECT_EQ(y.at(i, k), want);
+    }
+}
+
+TEST(Model, ReluMatchesSignedDefinition) {
+  Ring ring(16);
+  MatU64 y(1, 4);
+  y.data() = {ring.from_signed(5), ring.from_signed(-5), 0,
+              ring.from_signed(-32768)};
+  nn::relu_inplace(ring, y);
+  EXPECT_EQ(y.data(), (std::vector<u64>{5, 0, 0, 0}));
+}
+
+TEST(Model, Fig4ShapesAndDeterminism) {
+  Ring ring(32);
+  const auto m1 = nn::fig4_model(ring, FragScheme::parse("(2,2,2,2)"), Block{1, 2});
+  const auto m2 = nn::fig4_model(ring, FragScheme::parse("(2,2,2,2)"), Block{1, 2});
+  EXPECT_EQ(m1.layers.size(), 3u);
+  EXPECT_EQ(m1.input_dim(), 784u);
+  EXPECT_EQ(m1.output_dim(), 10u);
+  EXPECT_EQ(m1.num_weights(), 784u * 128 + 128 * 128 + 128 * 10);
+  EXPECT_EQ(m1.layers[0].codes, m2.layers[0].codes);
+}
+
+TEST(Model, InferPlainShapeAndArgmax) {
+  Ring ring(32);
+  const auto model =
+      nn::random_model(ring, FragScheme::ternary(), {6, 4, 3}, Block{7, 7});
+  const auto x = nn::synthetic_images(6, 5, 8, ring, Block{8, 8});
+  const auto logits = nn::infer_plain(model, x);
+  EXPECT_EQ(logits.rows(), 3u);
+  EXPECT_EQ(logits.cols(), 5u);
+  const auto cls = nn::argmax_logits(ring, logits);
+  EXPECT_EQ(cls.size(), 5u);
+  for (auto c : cls) EXPECT_LT(c, 3u);
+}
+
+TEST(Model, ValidateCatchesBadShapes) {
+  Ring ring(32);
+  nn::Model m(ring);
+  nn::FcLayer l1{MatU64(4, 6), {}, FragScheme::binary(), {}, {}};
+  nn::FcLayer l2{MatU64(3, 5), {}, FragScheme::binary(), {}, {}};  // 5 != 4
+  m.layers = {l1, l2};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Model, ValidateCatchesBadCodes) {
+  Ring ring(32);
+  nn::Model m(ring);
+  nn::FcLayer l{MatU64(2, 2), {}, FragScheme::ternary(), {}, {}};
+  l.codes.at(0, 0) = 3;  // ternary codes are 0..2
+  m.layers = {l};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+TEST(Model, SyntheticImagesAreFixedPointFractions) {
+  Ring ring(32);
+  const auto x = nn::synthetic_images(10, 3, 8, ring, Block{9, 9});
+  for (u64 v : x.data()) EXPECT_LT(v, 256u);
+  EXPECT_THROW(nn::synthetic_images(4, 2, 32, ring, Block{1, 1}),
+               std::invalid_argument);
+}
+
+TEST(TruncateShare, RecombinesToTruncatedValue) {
+  // SecureML local truncation: correct up to +-1 with overwhelming
+  // probability when |x| << 2^l.
+  Ring ring(32);
+  Prg prg(Block{10, 1});
+  for (int it = 0; it < 200; ++it) {
+    const i64 x = static_cast<i64>(prg.next_below(1 << 20)) - (1 << 19);
+    const auto sh = ss::share(ring, ring.from_signed(x), prg);
+    const u64 t0 = core::truncate_share(ring, sh.s0, 8, 0);
+    const u64 t1 = core::truncate_share(ring, sh.s1, 8, 1);
+    const i64 got = ring.to_signed(ring.add(t0, t1));
+    EXPECT_NEAR(static_cast<double>(got), static_cast<double>(x >> 8), 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace abnn2

@@ -1,0 +1,379 @@
+// Tests for base OT, IKNP 1-out-of-2 extension and KK13 1-out-of-N
+// extension: correctness of the chosen message, receiver privacy shape, and
+// failure paths.
+#include <gtest/gtest.h>
+
+#include "net/party_runner.h"
+#include "ot/base_ot.h"
+#include "ot/iknp.h"
+#include "ot/kk13.h"
+#include "ot/wh_code.h"
+
+namespace abnn2 {
+namespace {
+
+TEST(WhCode, MinimumDistanceIs128) {
+  const auto& t = wh_table();
+  for (u32 a = 0; a < 32; ++a) {
+    for (u32 b = a + 1; b < 32; ++b) {
+      const CodeWord x = cw_xor(t[a], t[b]);
+      std::size_t dist = 0;
+      for (int w = 0; w < 2; ++w)
+        dist += static_cast<std::size_t>(__builtin_popcountll(x[w].lo())) +
+                static_cast<std::size_t>(__builtin_popcountll(x[w].hi()));
+      EXPECT_EQ(dist, 128u) << a << " vs " << b;
+    }
+  }
+}
+
+TEST(WhCode, ZeroCodewordIsZero) {
+  EXPECT_EQ(wh_codeword(0)[0], kZeroBlock);
+  EXPECT_EQ(wh_codeword(0)[1], kZeroBlock);
+}
+
+TEST(WhCode, RejectsOutOfRange) {
+  EXPECT_THROW(wh_codeword(256), std::invalid_argument);
+}
+
+TEST(WhCode, Linearity) {
+  // WH is linear: c(a) ^ c(b) == c(a ^ b).
+  for (u32 a : {1u, 5u, 77u, 255u})
+    for (u32 b : {2u, 9u, 130u})
+      EXPECT_EQ(cw_xor(wh_codeword(a), wh_codeword(b)), wh_codeword(a ^ b));
+}
+
+TEST(BaseOt, ReceiverGetsChosenMessage) {
+  constexpr std::size_t n = 16;
+  BitVec choices(n);
+  Prg cprg(Block{1, 9});
+  for (std::size_t i = 0; i < n; ++i) choices.set(i, cprg.next_bit());
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{100, 1});
+        return base_ot_send(ch, n, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{100, 2});
+        return base_ot_recv(ch, choices, prg);
+      });
+  ASSERT_EQ(res.party0.size(), n);
+  ASSERT_EQ(res.party1.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(res.party1[i], res.party0[i][choices[i] ? 1 : 0]);
+    EXPECT_NE(res.party0[i][0], res.party0[i][1]);
+  }
+}
+
+TEST(BaseOt, PairsAreFreshAcrossInstances) {
+  BitVec choices(4);
+  auto run = [&] {
+    return run_two_parties(
+        [&](Channel& ch) {
+          Prg prg;  // OS entropy
+          return base_ot_send(ch, 4, prg);
+        },
+        [&](Channel& ch) {
+          Prg prg;
+          return base_ot_recv(ch, choices, prg);
+        });
+  };
+  auto a = run();
+  auto b = run();
+  EXPECT_NE(a.party0[0][0], b.party0[0][0]);
+}
+
+TEST(BaseOt, MalformedPointRejected) {
+  EXPECT_THROW(
+      run_two_parties(
+          [&](Channel& ch) {
+            std::array<u8, 32> junk{};
+            junk[0] = 2;  // y=2 is not on the curve
+            ch.send(junk.data(), junk.size());
+            ch.recv_u64();  // never arrives: peer throws -> channel closes
+            return 0;
+          },
+          [&](Channel& ch) {
+            Prg prg(Block{1, 1});
+            BitVec c(2);
+            base_ot_recv(ch, c, prg);
+            return 0;
+          }),
+      std::exception);
+}
+
+class IknpTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IknpTest, ChosenBlocksAreTransferred) {
+  const std::size_t m = GetParam();
+  BitVec choices(m);
+  Prg cprg(Block{2, static_cast<u64>(m)});
+  for (std::size_t i = 0; i < m; ++i) choices.set(i, cprg.next_bit());
+  std::vector<std::array<Block, 2>> msgs(m);
+  for (auto& p : msgs) {
+    p[0] = cprg.next_block();
+    p[1] = cprg.next_block();
+  }
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{7, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        s.send_blocks(ch, msgs);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{7, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return r.recv_blocks(ch);
+      });
+  ASSERT_EQ(res.party1.size(), m);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(res.party1[i], msgs[i][choices[i] ? 1 : 0]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, IknpTest,
+                         ::testing::Values(1, 2, 127, 128, 129, 1000));
+
+TEST(Iknp, CorrelatedOtComputesSharesOfBTimesDelta) {
+  constexpr std::size_t m = 500;
+  constexpr std::size_t l = 32;
+  BitVec choices(m);
+  std::vector<u64> deltas(m);
+  Prg cprg(Block{3, 3});
+  for (std::size_t i = 0; i < m; ++i) {
+    choices.set(i, cprg.next_bit());
+    deltas[i] = cprg.next_bits(l);
+  }
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{8, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        return s.send_correlated(ch, deltas, l);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{8, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return r.recv_correlated(ch, l);
+      });
+  for (std::size_t i = 0; i < m; ++i) {
+    const u64 want = choices[i] ? deltas[i] : 0;
+    EXPECT_EQ((res.party1[i] - res.party0[i]) & mask_l(l), want) << i;
+  }
+}
+
+TEST(Iknp, MultipleExtendsShareOneSetup) {
+  BitVec c1(10), c2(20);
+  for (std::size_t i = 0; i < 10; ++i) c1.set(i, i % 2);
+  for (std::size_t i = 0; i < 20; ++i) c2.set(i, i % 3 == 0);
+  std::vector<std::array<Block, 2>> m1(10), m2(20);
+  Prg mp(Block{4, 4});
+  for (auto& p : m1) p = {mp.next_block(), mp.next_block()};
+  for (auto& p : m2) p = {mp.next_block(), mp.next_block()};
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{9, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        s.extend(ch, 10);
+        s.send_blocks(ch, m1);
+        s.extend(ch, 20);
+        s.send_blocks(ch, m2);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{9, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        r.extend(ch, c1);
+        auto a = r.recv_blocks(ch);
+        r.extend(ch, c2);
+        auto b = r.recv_blocks(ch);
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      });
+  for (std::size_t i = 0; i < 10; ++i)
+    EXPECT_EQ(res.party1[i], m1[i][c1[i] ? 1 : 0]);
+  for (std::size_t i = 0; i < 20; ++i)
+    EXPECT_EQ(res.party1[10 + i], m2[i][c2[i] ? 1 : 0]);
+}
+
+TEST(Iknp, SetupTwiceThrows) {
+  EXPECT_THROW(
+      run_two_parties(
+          [&](Channel& ch) {
+            Prg prg(Block{1, 1});
+            IknpSender s;
+            s.setup(ch, prg);
+            s.setup(ch, prg);
+            return 0;
+          },
+          [&](Channel& ch) {
+            Prg prg(Block{1, 2});
+            IknpReceiver r;
+            r.setup(ch, prg);
+            r.setup(ch, prg);
+            return 0;
+          }),
+      ProtocolError);
+}
+
+TEST(Iknp, ExtendBeforeSetupThrows) {
+  auto [c0, c1] = MemChannel::make_pair();
+  IknpSender s;
+  EXPECT_THROW(s.extend(*c0, 8), ProtocolError);
+  IknpReceiver r;
+  BitVec c(8);
+  EXPECT_THROW(r.extend(*c1, c), ProtocolError);
+}
+
+// KK13: receiver learns exactly the pad of its choice; all other sender pads
+// are different.
+class Kk13Test : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Kk13Test, ReceiverPadMatchesSenderPadOfChoice) {
+  const u32 n_values = GetParam();
+  const std::size_t m = 64;
+  std::vector<u32> choices(m);
+  Prg cprg(Block{5, n_values});
+  for (auto& w : choices) w = static_cast<u32>(cprg.next_below(n_values));
+
+  struct SenderOut {
+    std::vector<RoDigest> chosen;
+    std::vector<RoDigest> other;
+  };
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{11, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        SenderOut out;
+        for (std::size_t i = 0; i < m; ++i) {
+          out.chosen.push_back(s.pad(i, choices[i]));
+          out.other.push_back(s.pad(i, (choices[i] + 1) % n_values));
+        }
+        return out;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{11, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        std::vector<RoDigest> pads;
+        for (std::size_t i = 0; i < m; ++i) pads.push_back(r.pad(i));
+        return pads;
+      });
+  for (std::size_t i = 0; i < m; ++i) {
+    EXPECT_EQ(res.party0.chosen[i].d, res.party1[i].d) << i;
+    if (n_values > 1) {
+      EXPECT_NE(res.party0.other[i].d, res.party1[i].d) << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(NValues, Kk13Test,
+                         ::testing::Values(2, 3, 4, 8, 16, 256));
+
+TEST(Kk13, PadsAreUniqueAcrossInstancesAndValues) {
+  const std::size_t m = 8;
+  std::vector<u32> choices(m, 0);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{12, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        std::vector<std::string> pads;
+        for (std::size_t i = 0; i < m; ++i)
+          for (u32 j = 0; j < 4; ++j)
+            pads.push_back(std::string(reinterpret_cast<const char*>(s.pad(i, j).d.data()), 32));
+        return pads;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{12, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return 0;
+      });
+  std::set<std::string> uniq(res.party0.begin(), res.party0.end());
+  EXPECT_EQ(uniq.size(), res.party0.size());
+}
+
+TEST(Kk13, ChoiceOutOfRangeThrows) {
+  auto [c0, c1] = MemChannel::make_pair();
+  Kk13Receiver r;
+  std::vector<u32> bad{256};
+  EXPECT_THROW(r.extend(*c1, bad), std::exception);
+}
+
+TEST(Kk13, MultipleExtendsProduceFreshPads) {
+  std::vector<u32> choices{3, 5};
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{13, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, 2);
+        auto p1 = s.pad(0, 3);
+        s.extend(ch, 2);
+        auto p2 = s.pad(0, 3);
+        EXPECT_NE(p1.d, p2.d);
+        return std::vector<RoDigest>{p1, p2};
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{13, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        auto p1 = r.pad(0);
+        r.extend(ch, choices);
+        auto p2 = r.pad(0);
+        return std::vector<RoDigest>{p1, p2};
+      });
+  EXPECT_EQ(res.party0[0].d, res.party1[0].d);
+  EXPECT_EQ(res.party0[1].d, res.party1[1].d);
+}
+
+// The random-oracle mode must not affect protocol correctness.
+TEST(Kk13, WorksWithFixedKeyAesRo) {
+  set_ro_mode(RoMode::kFixedKeyAes);
+  std::vector<u32> choices{0, 7, 15, 2};
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{14, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, choices.size());
+        std::vector<RoDigest> pads;
+        for (std::size_t i = 0; i < choices.size(); ++i)
+          pads.push_back(s.pad(i, choices[i]));
+        return pads;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{14, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        std::vector<RoDigest> pads;
+        for (std::size_t i = 0; i < choices.size(); ++i) pads.push_back(r.pad(i));
+        return pads;
+      });
+  set_ro_mode(RoMode::kSha256);
+  for (std::size_t i = 0; i < choices.size(); ++i)
+    EXPECT_EQ(res.party0[i].d, res.party1[i].d);
+}
+
+}  // namespace
+}  // namespace abnn2

@@ -1,0 +1,227 @@
+// Tests for max-pooling (geometry, plaintext reference, the fused
+// ReLU+max-pool GC protocol, engine integration) and model serialization.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/inference.h"
+#include "core/maxpool.h"
+#include "net/party_runner.h"
+#include "nn/model_io.h"
+#include "nn/pool.h"
+
+namespace abnn2 {
+namespace {
+
+using nn::MatU64;
+using nn::PoolSpec;
+using ss::Ring;
+
+TEST(Pool, GeometryAndWindowRows) {
+  PoolSpec s{2, 4, 4, 2, 2, 2};
+  EXPECT_EQ(s.out_h(), 2u);
+  EXPECT_EQ(s.out_w(), 2u);
+  EXPECT_EQ(s.out_size(), 8u);
+  EXPECT_EQ(s.window_elems(), 4u);
+  // Window 0: channel 0, top-left 2x2.
+  EXPECT_EQ(pool_window_rows(s, 0), (std::vector<std::size_t>{0, 1, 4, 5}));
+  // Window 3: channel 0, bottom-right.
+  EXPECT_EQ(pool_window_rows(s, 3), (std::vector<std::size_t>{10, 11, 14, 15}));
+  // Window 4: channel 1, top-left (offset by h*w = 16).
+  EXPECT_EQ(pool_window_rows(s, 4), (std::vector<std::size_t>{16, 17, 20, 21}));
+  EXPECT_THROW(pool_window_rows(s, 8), std::invalid_argument);
+}
+
+TEST(Pool, PlainReluMaxpool) {
+  Ring ring(16);
+  PoolSpec s{1, 2, 2, 2, 2, 2};
+  MatU64 y(4, 2);
+  // Column 0: max is 9 -> 9. Column 1: all negative -> ReLU gives 0.
+  y.at(0, 0) = 3;
+  y.at(1, 0) = 9;
+  y.at(2, 0) = ring.from_signed(-5);
+  y.at(3, 0) = 1;
+  for (std::size_t i = 0; i < 4; ++i)
+    y.at(i, 1) = ring.from_signed(-static_cast<i64>(i) - 1);
+  const MatU64 out = nn::relu_maxpool_plain(ring, s, y);
+  ASSERT_EQ(out.rows(), 1u);
+  EXPECT_EQ(out.at(0, 0), 9u);
+  EXPECT_EQ(out.at(0, 1), 0u);
+}
+
+TEST(Pool, StridedWindows) {
+  PoolSpec s{1, 5, 5, 3, 3, 2};  // out 2x2
+  EXPECT_EQ(s.out_h(), 2u);
+  const auto rows = pool_window_rows(s, 3);  // oy=1, ox=1 -> start (2,2)
+  EXPECT_EQ(rows[0], 12u);                   // (2,2)
+  EXPECT_EQ(rows.back(), 24u);               // (4,4)
+}
+
+class MaxPoolProtoTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MaxPoolProtoTest, SecureMatchesPlain) {
+  const std::size_t l = GetParam();
+  const Ring ring(l);
+  PoolSpec spec{2, 4, 4, 2, 2, 2};
+  Prg dprg(Block{1, l});
+  // Random input with both signs: interpret random ring elements as signed.
+  MatU64 y = nn::random_mat(spec.in_size(), 3, l, dprg);
+  MatU64 y0(y.rows(), y.cols()), y1(y.rows(), y.cols());
+  for (std::size_t i = 0; i < y.data().size(); ++i) {
+    const auto sh = ss::share(ring, y.data()[i], dprg);
+    y0.data()[i] = sh.s0;
+    y1.data()[i] = sh.s1;
+  }
+  MatU64 z1 = nn::random_mat(spec.out_size(), 3, l, dprg);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        core::MaxPoolServer srv(ring);
+        return srv.run(ch, spec, y0, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        core::MaxPoolClient cli(ring);
+        cli.run(ch, spec, y1, z1, prg);
+        return 0;
+      });
+
+  const MatU64 want = nn::relu_maxpool_plain(ring, spec, y);
+  for (std::size_t i = 0; i < want.data().size(); ++i)
+    EXPECT_EQ(ring.add(res.party0.data()[i], z1.data()[i]), want.data()[i])
+        << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, MaxPoolProtoTest,
+                         ::testing::Values(16, 32, 64));
+
+TEST(MaxPoolProto, ShapeMismatchThrows) {
+  const Ring ring(32);
+  core::MaxPoolClient cli(ring);
+  auto [c0, c1] = MemChannel::make_pair();
+  Prg prg(Block{1, 1});
+  PoolSpec spec{1, 4, 4, 2, 2, 2};
+  MatU64 y1(15, 1), z1(4, 1);  // wrong input rows
+  EXPECT_THROW(cli.run(*c1, spec, y1, z1, prg), std::invalid_argument);
+}
+
+TEST(PooledCnn, PlainShapes) {
+  const Ring ring(32);
+  const auto model =
+      nn::pooled_cnn_model(ring, nn::FragScheme::ternary(), Block{3, 3});
+  EXPECT_EQ(model.input_dim(), 144u);
+  EXPECT_EQ(model.layers[0].out_dim(), 100u);  // pooled
+  EXPECT_EQ(model.layers[0].linear_out_dim(), 400u);
+  const auto x = nn::synthetic_images(144, 2, 10, ring, Block{4, 4});
+  const auto y = nn::infer_plain(model, x);
+  EXPECT_EQ(y.rows(), 10u);
+}
+
+TEST(PooledCnn, SecureMatchesPlainEndToEnd) {
+  const Ring ring(32);
+  const auto model =
+      nn::pooled_cnn_model(ring, nn::FragScheme::parse("s(2,2)"), Block{5, 5});
+  const auto x = nn::synthetic_images(144, 2, 10, ring, Block{6, 6});
+  core::InferenceConfig cfg(ring);
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        core::InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        core::InferenceClient client(cfg);
+        client.run_offline(ch, 2);
+        return client.run_online(ch, x);
+      });
+  EXPECT_EQ(res.party1, nn::infer_plain(model, x));
+}
+
+TEST(Model, PoolAfterFinalLayerRejected) {
+  const Ring ring(32);
+  nn::Model m(ring);
+  nn::FcLayer l{MatU64(4, 4), {}, nn::FragScheme::binary(), {},
+                PoolSpec{1, 2, 2, 2, 2, 2}};
+  m.layers = {l};
+  EXPECT_THROW(m.validate(), std::invalid_argument);
+}
+
+// ---- model serialization --------------------------------------------------
+
+TEST(ModelIo, RoundTripFcModel) {
+  const Ring ring(32);
+  const auto m = nn::random_model(ring, nn::FragScheme::parse("s(3,3,2)"),
+                                  {12, 8, 4}, Block{7, 7});
+  const auto bytes = nn::serialize_model(m);
+  const auto m2 = nn::deserialize_model(bytes);
+  ASSERT_EQ(m2.layers.size(), m.layers.size());
+  EXPECT_EQ(m2.ring.bits(), 32u);
+  for (std::size_t i = 0; i < m.layers.size(); ++i) {
+    EXPECT_EQ(m2.layers[i].codes, m.layers[i].codes);
+    EXPECT_EQ(m2.layers[i].scheme.name(), m.layers[i].scheme.name());
+  }
+  // Same predictions.
+  const auto x = nn::synthetic_images(12, 2, 12, ring, Block{8, 8});
+  EXPECT_EQ(nn::infer_plain(m, x), nn::infer_plain(m2, x));
+}
+
+TEST(ModelIo, RoundTripCnnWithPoolAndBias) {
+  const Ring ring(64);
+  auto m = nn::pooled_cnn_model(ring, nn::FragScheme::ternary(), Block{9, 9});
+  m.layers[0].bias.assign(m.layers[0].conv->out_c, 5);
+  m.validate();
+  const auto m2 = nn::deserialize_model(nn::serialize_model(m));
+  ASSERT_TRUE(m2.layers[0].conv.has_value());
+  ASSERT_TRUE(m2.layers[0].pool.has_value());
+  EXPECT_EQ(m2.layers[0].pool->out_size(), 100u);
+  EXPECT_EQ(m2.layers[0].bias, m.layers[0].bias);
+  const auto x = nn::synthetic_images(144, 1, 10, ring, Block{10, 10});
+  EXPECT_EQ(nn::infer_plain(m, x), nn::infer_plain(m2, x));
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const Ring ring(32);
+  const auto m = nn::random_model(ring, nn::FragScheme::binary(), {6, 3},
+                                  Block{11, 11});
+  const std::string path = "/tmp/abnn2_model_io_test.mdl";
+  nn::save_model(m, path);
+  const auto m2 = nn::load_model(path);
+  EXPECT_EQ(m2.layers[0].codes, m.layers[0].codes);
+  std::remove(path.c_str());
+  EXPECT_THROW(nn::load_model(path), ProtocolError);
+}
+
+TEST(ModelIo, RejectsGarbage) {
+  std::vector<u8> junk(64, 0xAB);
+  EXPECT_THROW(nn::deserialize_model(junk), ProtocolError);
+  // Valid magic but truncated body.
+  std::vector<u8> trunc = {'A', 'B', 'N', 'N', '2', 'M', 'D', 'L', 2, 0};
+  EXPECT_THROW(nn::deserialize_model(trunc), ProtocolError);
+}
+
+TEST(ModelIo, RejectsCorruptedCodes) {
+  const Ring ring(32);
+  const auto m = nn::random_model(ring, nn::FragScheme::ternary(), {4, 2},
+                                  Block{12, 12});
+  auto bytes = nn::serialize_model(m);
+  // Flip bits in the packed code area (near the end) until validation
+  // breaks: ternary codes must stay < 3, so 0b11 patterns are rejected.
+  bool threw = false;
+  for (std::size_t flip = bytes.size() - 20; flip < bytes.size(); ++flip) {
+    auto copy = bytes;
+    copy[flip] = 0xFF;
+    try {
+      (void)nn::deserialize_model(copy);
+    } catch (const std::exception&) {
+      threw = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(threw);
+}
+
+}  // namespace
+}  // namespace abnn2

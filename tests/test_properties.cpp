@@ -1,0 +1,378 @@
+// Cross-module property and edge-case tests: degenerate shapes, extreme
+// ring widths, distributional share checks, formula sanity and adversarial
+// inputs that unit tests elsewhere do not reach.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/secureml.h"
+#include "common/packing.h"
+#include "core/complexity.h"
+#include "core/inference.h"
+#include "core/triplet_gen.h"
+#include "ec/ed25519.h"
+#include "he/bfv.h"
+#include "net/party_runner.h"
+#include "net/socket_channel.h"
+
+namespace abnn2 {
+namespace {
+
+using core::BatchMode;
+using core::TripletConfig;
+using nn::FragScheme;
+using nn::MatU64;
+using ss::Ring;
+
+// ---- triplet generation: distributions and degenerate shapes -------------
+
+TEST(TripletProps, ClientSharesLookUniform) {
+  // With constant weights and constant r, the client's share v (sum of the
+  // random pads) must still cover the ring: no structure may leak.
+  const Ring ring(8);
+  const FragScheme scheme = FragScheme::binary();
+  TripletConfig cfg(ring);
+  std::map<u64, int> hist;
+  for (int it = 0; it < 40; ++it) {
+    MatU64 codes(1, 4, 1);  // all-ones weights
+    MatU64 r(4, 1, 7);      // constant r
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          Prg prg;  // OS entropy: fresh every run
+          Kk13Receiver ot;
+          ot.setup(ch, prg);
+          return core::triplet_gen_server(ch, ot, codes, scheme, 1, cfg);
+        },
+        [&](Channel& ch) {
+          Prg prg;
+          Kk13Sender ot;
+          ot.setup(ch, prg);
+          return core::triplet_gen_client(ch, ot, r, scheme, 1, cfg, prg);
+        });
+    hist[res.party1.at(0, 0)]++;
+    // Correctness still holds per run.
+    EXPECT_EQ(ring.add(res.party0.at(0, 0), res.party1.at(0, 0)),
+              ring.reduce(4 * 7));
+  }
+  // 40 samples over 256 values: overwhelmingly unlikely to repeat > 5 times
+  // if uniform; catastrophic structure (constant shares) would show up here.
+  for (const auto& [v, count] : hist) EXPECT_LE(count, 5) << v;
+  EXPECT_GE(hist.size(), 30u);
+}
+
+TEST(TripletProps, AllZeroAndAllMaxWeights) {
+  const Ring ring(32);
+  const FragScheme scheme = FragScheme::parse("s(2,2,2,2)");
+  TripletConfig cfg(ring);
+  for (u64 code : {u64{0}, scheme.code_space() - 1}) {
+    MatU64 codes(2, 3, code);
+    Prg dprg(Block{1, code});
+    MatU64 r = nn::random_mat(3, 2, 32, dprg);
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          Prg prg(Block{2, 1});
+          Kk13Receiver ot;
+          ot.setup(ch, prg);
+          return core::triplet_gen_server(ch, ot, codes, scheme, 2, cfg);
+        },
+        [&](Channel& ch) {
+          Prg prg(Block{2, 2});
+          Kk13Sender ot;
+          ot.setup(ch, prg);
+          return core::triplet_gen_client(ch, ot, r, scheme, 2, cfg, prg);
+        });
+    const MatU64 want = nn::matmul_codes(ring, codes, scheme, r);
+    for (std::size_t i = 0; i < want.data().size(); ++i)
+      EXPECT_EQ(ring.add(res.party0.data()[i], res.party1.data()[i]),
+                want.data()[i]);
+  }
+}
+
+TEST(TripletProps, OneBitRing) {
+  // l = 1: shares and products live in Z_2.
+  const Ring ring(1);
+  const FragScheme scheme = FragScheme::binary();
+  TripletConfig cfg(ring);
+  MatU64 codes(2, 2);
+  codes.data() = {1, 0, 1, 1};
+  MatU64 r(2, 1);
+  r.data() = {1, 1};
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{3, 1});
+        Kk13Receiver ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_server(ch, ot, codes, scheme, 1, cfg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{3, 2});
+        Kk13Sender ot;
+        ot.setup(ch, prg);
+        return core::triplet_gen_client(ch, ot, r, scheme, 2, cfg, prg);
+      });
+  EXPECT_EQ(ring.add(res.party0.at(0, 0), res.party1.at(0, 0)), 1u);  // 1+0
+  EXPECT_EQ(ring.add(res.party0.at(1, 0), res.party1.at(1, 0)), 0u);  // 1+1
+}
+
+TEST(TripletProps, MismatchedDimensionsDetected) {
+  // A disagreement on the output dimension m must fail cleanly, not crash.
+  const Ring ring(32);
+  const FragScheme scheme = FragScheme::binary();
+  TripletConfig cfg(ring);
+  MatU64 codes(2, 2, 1);
+  MatU64 r(2, 1, 1);
+  EXPECT_THROW(
+      run_two_parties(
+          [&](Channel& ch) {
+            Prg prg(Block{20, 1});
+            Kk13Receiver ot;
+            ot.setup(ch, prg);
+            return core::triplet_gen_server(ch, ot, codes, scheme, 1, cfg);
+          },
+          [&](Channel& ch) {
+            Prg prg(Block{20, 2});
+            Kk13Sender ot;
+            ot.setup(ch, prg);
+            return core::triplet_gen_client(ch, ot, r, scheme, /*m=*/1, cfg,
+                                            prg);
+          }),
+      ProtocolError);
+}
+
+// ---- GC edge cases --------------------------------------------------------
+
+TEST(GcEdge, XorOnlyCircuitHasEmptyTables) {
+  gc::Builder b;
+  auto g = b.garbler_inputs(4);
+  auto e = b.evaluator_inputs(4);
+  for (int i = 0; i < 4; ++i)
+    b.mark_output(b.XOR(g[static_cast<std::size_t>(i)],
+                        e[static_cast<std::size_t>(i)]));
+  gc::Circuit c = b.build();
+  EXPECT_EQ(c.and_count(), 0u);
+  Prg prg(Block{4, 4});
+  gc::Garbler garb(c, 3, 0, prg);
+  EXPECT_TRUE(garb.batch().tables.empty());
+  // Evaluate: XOR of inputs.
+  std::vector<Block> gl(12), el(12);
+  for (std::size_t k = 0; k < 3; ++k)
+    for (std::size_t i = 0; i < 4; ++i) {
+      gl[k * 4 + i] = garb.encode(garb.g_input_label0(k, i), (k + i) % 2);
+      el[k * 4 + i] = garb.encode(garb.e_input_label0(k, i), k % 2);
+    }
+  auto out = gc::Evaluator::eval(c, garb.batch(), 0, gl, el);
+  for (std::size_t k = 0; k < 3; ++k)
+    for (std::size_t i = 0; i < 4; ++i)
+      EXPECT_EQ(out[k * 4 + i] != 0, ((k + i) % 2) ^ (k % 2));
+}
+
+TEST(GcEdge, DeepNotChainsStayCorrect) {
+  gc::Builder b;
+  auto g = b.garbler_inputs(1);
+  u32 w = g[0];
+  for (int i = 0; i < 101; ++i) w = b.NOT(w);  // odd number of NOTs
+  b.mark_output(w);
+  gc::Circuit c = b.build();
+  for (bool in : {false, true}) {
+    auto plain = gc::eval_plain(c, {in}, {});
+    EXPECT_EQ(plain[0], !in);
+    Prg prg(Block{5, in});
+    gc::Garbler garb(c, 1, 0, prg);
+    std::vector<Block> gl{garb.encode(garb.g_input_label0(0, 0), in)};
+    auto out = gc::Evaluator::eval(c, garb.batch(), 0, gl, {});
+    EXPECT_EQ(out[0] != 0, !in);
+  }
+}
+
+TEST(GcEdge, WrongTweakBaseGivesGarbage) {
+  gc::Builder b;
+  auto g = b.garbler_inputs(8);
+  auto e = b.evaluator_inputs(8);
+  b.mark_outputs(b.add_mod(g, e));
+  gc::Circuit c = b.build();
+  Prg prg(Block{6, 6});
+  gc::Garbler garb(c, 1, /*tweak_base=*/1000, prg);
+  std::vector<Block> gl(8), el(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    gl[i] = garb.encode(garb.g_input_label0(0, i), (i % 3) == 0);
+    el[i] = garb.encode(garb.e_input_label0(0, i), (i % 2) == 0);
+  }
+  auto good = gc::Evaluator::eval(c, garb.batch(), 1000, gl, el);
+  auto bad = gc::Evaluator::eval(c, garb.batch(), 2000, gl, el);
+  EXPECT_NE(good, bad);
+}
+
+// ---- protocols over real sockets -------------------------------------------
+
+TEST(SocketIntegration, FullInferenceOverTcp) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::parse("(2,1)"),
+                                      {8, 6, 3}, Block{7, 7});
+  const auto x = nn::synthetic_images(8, 2, 10, ring, Block{8, 8});
+  core::InferenceConfig cfg(ring);
+  constexpr u16 port = 19473;
+
+  nn::MatU64 logits;
+  std::thread client_thread([&] {
+    auto ch = SocketChannel::connect("127.0.0.1", port);
+    core::InferenceClient client(cfg);
+    client.run_offline(*ch, 2);
+    logits = client.run_online(*ch, x);
+  });
+  {
+    auto ch = SocketChannel::listen(port);
+    core::InferenceServer server(model, cfg);
+    server.run_offline(*ch);
+    server.run_online(*ch);
+  }
+  client_thread.join();
+  EXPECT_EQ(logits, nn::infer_plain(model, x));
+}
+
+// ---- misc edges -------------------------------------------------------------
+
+TEST(BitRw, WriterReaderFuzzRoundTrip) {
+  Prg prg(Block{9, 9});
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<u64, std::size_t>> fields;
+    BitWriter w;
+    const int n = 1 + static_cast<int>(prg.next_below(50));
+    for (int i = 0; i < n; ++i) {
+      const std::size_t width = 1 + prg.next_below(64);
+      const u64 v = prg.next_bits(width);
+      fields.push_back({v, width});
+      w.write(v, width);
+    }
+    const auto bytes = w.take();
+    BitReader r(bytes);
+    for (const auto& [v, width] : fields) EXPECT_EQ(r.read(width), v);
+  }
+}
+
+TEST(BitRw, ReadPastEndThrows) {
+  BitWriter w;
+  w.write(0x3, 2);
+  const auto bytes = w.take();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read(2), 0x3u);
+  // The tail of the final byte is readable (zero padding)...
+  EXPECT_EQ(r.read(6), 0u);
+  // ...but past the buffer throws.
+  EXPECT_THROW(r.read(1), ProtocolError);
+}
+
+TEST(Ed25519Edge, ZeroScalarGivesIdentity) {
+  ec::Scalar zero{};
+  EXPECT_TRUE(ec::Point::base().mul(zero).is_identity());
+}
+
+TEST(Ed25519Edge, IdentityEncodesDistinctly) {
+  const auto id_enc = ec::Point::identity().encode();
+  const auto base_enc = ec::Point::base().encode();
+  EXPECT_NE(id_enc, base_enc);
+  auto decoded = ec::Point::decode(id_enc);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->is_identity());
+}
+
+TEST(ComplexityFormulas, MatchHandComputedValues) {
+  core::MatMulShape s{128, 784, 1};
+  // gamma=4, N=4, l=32: onebatch bits = 4*128*784*(32*3 + 256).
+  EXPECT_DOUBLE_EQ(core::ours_onebatch_comm_bits(s, 4, 4, 32),
+                   4.0 * 128 * 784 * (32 * 3 + 256));
+  EXPECT_DOUBLE_EQ(core::ours_multibatch_comm_bits(s, 4, 4, 32),
+                   4.0 * 128 * 784 * (32 * 4 + 256));
+  EXPECT_DOUBLE_EQ(core::secureml_ot_count(s, 32),
+                   32.0 * 33 / 128 * 128 * 784);
+}
+
+TEST(BfvEdge, ManyAdditionsStayWithinNoiseBudget) {
+  const he::BfvParams params(32, 64);
+  Prg prg(Block{10, 10});
+  he::SecretKey sk(params, prg);
+  std::vector<u64> one(params.n(), 1);
+  auto acc = sk.encrypt(params, one, prg);
+  for (int i = 0; i < 200; ++i)
+    acc = he::add_ct(params, acc, sk.encrypt(params, one, prg));
+  const auto out = sk.decrypt(params, acc);
+  for (u64 v : out) EXPECT_EQ(v, 201u);
+}
+
+TEST(BfvEdge, MaxPlaintextValuesRoundTrip) {
+  const he::BfvParams params(32, 64);
+  Prg prg(Block{11, 11});
+  he::SecretKey sk(params, prg);
+  std::vector<u64> pt(params.n(), mask_l(32));
+  EXPECT_EQ(sk.decrypt(params, sk.encrypt(params, pt, prg)), pt);
+}
+
+TEST(SecureMlEdge, SingleBitRing) {
+  const Ring ring(1);
+  MatU64 w(1, 1, 1), r(1, 1, 1);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{12, 1});
+        IknpReceiver ot;
+        ot.setup(ch, prg);
+        return baselines::secureml_triplet_server(ch, ot, w, 1, ring);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{12, 2});
+        IknpSender ot;
+        ot.setup(ch, prg);
+        return baselines::secureml_triplet_client(ch, ot, r, 1, ring, prg);
+      });
+  EXPECT_EQ(ring.add(res.party0.at(0, 0), res.party1.at(0, 0)), 1u);
+}
+
+TEST(ReluEdge, TwoBitRing) {
+  // l=2: values {-2,-1,0,1}. ReLU keeps only 0 and 1.
+  const Ring ring(2);
+  std::vector<u64> y0(4), y1(4, 1), z1(4, 0);
+  for (u64 v = 0; v < 4; ++v) y0[v] = ring.sub(v, 1);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{13, 1});
+        core::ReluServer srv(ring, core::ReluMode::kGeneric);
+        return srv.run(ch, y0, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{13, 2});
+        core::ReluClient cli(ring, core::ReluMode::kGeneric);
+        cli.run(ch, y1, z1, prg);
+        return 0;
+      });
+  for (u64 v = 0; v < 4; ++v) {
+    const u64 want = ring.msb(v) ? 0 : v;
+    EXPECT_EQ(res.party0[v], want) << v;
+  }
+}
+
+TEST(InferenceEdge, WideShallowAndNarrowDeep) {
+  // Two extreme architectures through the full engine.
+  const Ring ring(32);
+  for (const auto& dims : {std::vector<std::size_t>{64, 2},
+                           std::vector<std::size_t>{2, 3, 3, 3, 3, 2}}) {
+    const auto model =
+        nn::random_model(ring, FragScheme::ternary(), dims, Block{14, dims.size()});
+    const auto x =
+        nn::synthetic_images(dims[0], 1, 8, ring, Block{15, dims.size()});
+    core::InferenceConfig cfg(ring);
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          core::InferenceServer server(model, cfg);
+          server.run_offline(ch);
+          server.run_online(ch);
+          return 0;
+        },
+        [&](Channel& ch) {
+          core::InferenceClient client(cfg);
+          client.run_offline(ch, 1);
+          return client.run_online(ch, x);
+        });
+    EXPECT_EQ(res.party1, nn::infer_plain(model, x));
+  }
+}
+
+}  // namespace
+}  // namespace abnn2

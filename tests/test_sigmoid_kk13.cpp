@@ -1,0 +1,119 @@
+// Tests for the generic Algorithm-2 sigmoid instantiation and the KK13
+// chosen-message OT API.
+#include <gtest/gtest.h>
+
+#include "core/nonlinear.h"
+#include "net/party_runner.h"
+#include "ot/kk13.h"
+
+namespace abnn2 {
+namespace {
+
+using ss::Ring;
+
+TEST(SigmoidPlain, PiecewiseShape) {
+  const Ring ring(32);
+  const std::size_t f = 8;  // 1/2 == 128, 1 == 256
+  EXPECT_EQ(core::sigmoid_plain(ring, f, ring.from_signed(-1000)), 0u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, ring.from_signed(-129)), 0u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, ring.from_signed(-128)), 0u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, ring.from_signed(-127)), 1u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, 0), 128u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, 127), 255u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, 128), 256u);
+  EXPECT_EQ(core::sigmoid_plain(ring, f, 5000), 256u);
+}
+
+class SigmoidTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SigmoidTest, SecureMatchesPlain) {
+  const std::size_t l = GetParam();
+  const Ring ring(l);
+  const std::size_t f = l / 2;
+  Prg dprg(Block{1, l});
+  const std::size_t n = 64;
+  std::vector<u64> y(n), y0(n), y1(n), z1(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Values spanning all three pieces.
+    const i64 range = i64{1} << (f + 2);
+    y[i] = ring.from_signed(
+        static_cast<i64>(dprg.next_below(static_cast<u64>(2 * range))) - range);
+    y1[i] = ring.random(dprg);
+    y0[i] = ring.sub(y[i], y1[i]);
+    z1[i] = ring.random(dprg);
+  }
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{2, 1});
+        gc::GcEvaluator gce;
+        return core::sigmoid_server(ch, gce, ring, f, y0, prg);
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{2, 2});
+        gc::GcGarbler gcg;
+        core::sigmoid_client(ch, gcg, ring, f, y1, z1, prg);
+        return 0;
+      });
+  for (std::size_t i = 0; i < n; ++i)
+    EXPECT_EQ(ring.add(res.party0[i], z1[i]),
+              core::sigmoid_plain(ring, f, y[i]))
+        << "y=" << ring.to_signed(y[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, SigmoidTest, ::testing::Values(16, 32, 64));
+
+TEST(Sigmoid, BadFracBitsRejected) {
+  const Ring ring(16);
+  gc::GcGarbler gcg;
+  auto [c0, c1] = MemChannel::make_pair();
+  Prg prg(Block{1, 1});
+  std::vector<u64> y1(2), z1(2);
+  EXPECT_THROW(core::sigmoid_client(*c1, gcg, ring, 16, y1, z1, prg),
+               std::invalid_argument);
+  EXPECT_THROW(core::sigmoid_client(*c1, gcg, ring, 0, y1, z1, prg),
+               std::invalid_argument);
+}
+
+class Kk13BlocksTest : public ::testing::TestWithParam<u32> {};
+
+TEST_P(Kk13BlocksTest, ChosenBlockIsTransferred) {
+  const u32 n = GetParam();
+  const std::size_t m = 20;
+  Prg dprg(Block{3, n});
+  std::vector<u32> choices(m);
+  for (auto& w : choices) w = static_cast<u32>(dprg.next_below(n));
+  std::vector<Block> msgs(m * n);
+  for (auto& b : msgs) b = dprg.next_block();
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{4, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        s.send_blocks(ch, msgs, n);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{4, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return r.recv_blocks(ch, n);
+      });
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(res.party1[i], msgs[i * n + choices[i]]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(NValues, Kk13BlocksTest,
+                         ::testing::Values(2, 4, 16, 256));
+
+TEST(Kk13Blocks, MessageCountMismatchThrows) {
+  auto [c0, c1] = MemChannel::make_pair();
+  Kk13Sender s;
+  std::vector<Block> msgs(4);
+  EXPECT_THROW(s.send_blocks(*c0, msgs, 300), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace abnn2

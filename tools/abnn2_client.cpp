@@ -1,0 +1,46 @@
+// Prediction CLI: connects to abnn2_server and requests secure predictions
+// on synthetic inputs (stand-in for reading real feature vectors; the wire
+// protocol is identical).
+//
+//   abnn2_client <host> <port> <ring_bits> [batch=1] [batches=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/inference.h"
+#include "net/socket_channel.h"
+
+using namespace abnn2;
+
+int main(int argc, char** argv) {
+  if (argc < 4) {
+    std::fprintf(stderr, "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string host = argv[1];
+  const u16 port = static_cast<u16>(std::atoi(argv[2]));
+  const std::size_t ring_bits = static_cast<std::size_t>(std::atoi(argv[3]));
+  const std::size_t batch =
+      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 1;
+  const int batches = argc > 5 ? std::atoi(argv[5]) : 1;
+
+  const ss::Ring ring(ring_bits);
+  core::InferenceConfig cfg(ring);
+  auto ch = SocketChannel::connect(host, port);
+  core::InferenceClient client(cfg);
+
+  for (int b = 0; b < batches; ++b) {
+    client.run_offline(*ch, batch);
+    const auto& info = client.info();
+    const auto x = nn::synthetic_images(info.dims[0], batch, ring_bits / 2,
+                                        ring, Prg::random_block());
+    const auto logits = client.run_online(*ch, x);
+    const auto cls = nn::argmax_logits(ring, logits);
+    std::printf("[client] batch %d predictions:", b + 1);
+    for (auto c : cls) std::printf(" %zu", c);
+    std::printf("\n");
+  }
+  std::printf("[client] total received %.2f MB\n",
+              static_cast<double>(ch->stats().bytes_received) / 1e6);
+  return 0;
+}

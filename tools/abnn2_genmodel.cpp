@@ -1,0 +1,52 @@
+// Generates a quantized model file for the CLI server.
+//
+//   abnn2_genmodel <out.mdl> [scheme=s(2,2,2,2)] [ring_bits=32]
+//                  [arch=784,128,128,10 | cnn | cnn-pool]
+//
+// "arch" is a comma-separated list of layer widths (FC stack, the default is
+// the paper's Fig-4 network), or one of the CNN presets.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "nn/model_io.h"
+
+using namespace abnn2;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s <out.mdl> [scheme] [ring_bits] [arch|cnn|cnn-pool]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const std::string spec = argc > 2 ? argv[2] : "s(2,2,2,2)";
+  const std::size_t ring_bits =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 32;
+  const std::string arch = argc > 4 ? argv[4] : "784,128,128,10";
+
+  const ss::Ring ring(ring_bits);
+  const auto scheme = nn::FragScheme::parse(spec);
+  const Block seed = Prg::random_block();
+
+  nn::Model model(ring);
+  if (arch == "cnn") {
+    model = nn::small_cnn_model(ring, scheme, seed);
+  } else if (arch == "cnn-pool") {
+    model = nn::pooled_cnn_model(ring, scheme, seed);
+  } else {
+    std::vector<std::size_t> dims;
+    std::stringstream ss(arch);
+    std::string item;
+    while (std::getline(ss, item, ','))
+      dims.push_back(static_cast<std::size_t>(std::stoul(item)));
+    model = nn::random_model(ring, scheme, dims, seed);
+  }
+
+  nn::save_model(model, path);
+  std::printf("wrote %s: %zu layers, %zu weights, scheme %s, ring Z_2^%zu\n",
+              path.c_str(), model.layers.size(), model.num_weights(),
+              spec.c_str(), ring_bits);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Model-serving CLI: loads a model file and serves one secure prediction
+// connection.
+//
+//   abnn2_server <model.mdl> <port> [batches=1]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/inference.h"
+#include "net/socket_channel.h"
+#include "nn/model_io.h"
+
+using namespace abnn2;
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: %s <model.mdl> <port> [batches]\n", argv[0]);
+    return 2;
+  }
+  const nn::Model model = nn::load_model(argv[1]);
+  const u16 port = static_cast<u16>(std::atoi(argv[2]));
+  const int batches = argc > 3 ? std::atoi(argv[3]) : 1;
+
+  core::InferenceConfig cfg(model.ring);
+  std::printf("[server] model: %zu layers, %zu weights; listening on :%u\n",
+              model.layers.size(), model.num_weights(), port);
+  auto ch = SocketChannel::listen(port);
+  core::InferenceServer server(model, cfg);
+  for (int b = 0; b < batches; ++b) {
+    server.run_offline(*ch);
+    server.run_online(*ch);
+    std::printf("[server] batch %d served (%.2f MB sent so far)\n", b + 1,
+                static_cast<double>(ch->stats().bytes_sent) / 1e6);
+  }
+  return 0;
+}
