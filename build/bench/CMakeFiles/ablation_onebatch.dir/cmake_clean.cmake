@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_onebatch.dir/ablation_onebatch.cpp.o"
+  "CMakeFiles/ablation_onebatch.dir/ablation_onebatch.cpp.o.d"
+  "ablation_onebatch"
+  "ablation_onebatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_onebatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relu.dir/ablation_relu.cpp.o"
+  "CMakeFiles/ablation_relu.dir/ablation_relu.cpp.o.d"
+  "ablation_relu"
+  "ablation_relu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

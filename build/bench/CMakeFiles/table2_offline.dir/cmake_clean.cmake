@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_offline.dir/table2_offline.cpp.o"
+  "CMakeFiles/table2_offline.dir/table2_offline.cpp.o.d"
+  "table2_offline"
+  "table2_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_matmul.dir/table3_matmul.cpp.o"
+  "CMakeFiles/table3_matmul.dir/table3_matmul.cpp.o.d"
+  "table3_matmul"
+  "table3_matmul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_matmul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_minionn.dir/table4_minionn.cpp.o"
+  "CMakeFiles/table4_minionn.dir/table4_minionn.cpp.o.d"
+  "table4_minionn"
+  "table4_minionn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_minionn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

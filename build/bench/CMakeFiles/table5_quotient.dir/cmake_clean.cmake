@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_quotient.dir/table5_quotient.cpp.o"
+  "CMakeFiles/table5_quotient.dir/table5_quotient.cpp.o.d"
+  "table5_quotient"
+  "table5_quotient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_quotient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mnist_inference.dir/mnist_inference.cpp.o"
+  "CMakeFiles/mnist_inference.dir/mnist_inference.cpp.o.d"
+  "mnist_inference"
+  "mnist_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mnist_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_inference.dir/socket_inference.cpp.o"
+  "CMakeFiles/socket_inference.dir/socket_inference.cpp.o.d"
+  "socket_inference"
+  "socket_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

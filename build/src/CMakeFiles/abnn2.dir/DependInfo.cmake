@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/minionn.cpp" "src/CMakeFiles/abnn2.dir/baselines/minionn.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/baselines/minionn.cpp.o.d"
+  "/root/repo/src/baselines/quotient.cpp" "src/CMakeFiles/abnn2.dir/baselines/quotient.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/baselines/quotient.cpp.o.d"
+  "/root/repo/src/baselines/secureml.cpp" "src/CMakeFiles/abnn2.dir/baselines/secureml.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/baselines/secureml.cpp.o.d"
+  "/root/repo/src/common/bitmatrix.cpp" "src/CMakeFiles/abnn2.dir/common/bitmatrix.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/common/bitmatrix.cpp.o.d"
+  "/root/repo/src/core/argmax.cpp" "src/CMakeFiles/abnn2.dir/core/argmax.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/core/argmax.cpp.o.d"
+  "/root/repo/src/core/inference.cpp" "src/CMakeFiles/abnn2.dir/core/inference.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/core/inference.cpp.o.d"
+  "/root/repo/src/core/maxpool.cpp" "src/CMakeFiles/abnn2.dir/core/maxpool.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/core/maxpool.cpp.o.d"
+  "/root/repo/src/core/nonlinear.cpp" "src/CMakeFiles/abnn2.dir/core/nonlinear.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/core/nonlinear.cpp.o.d"
+  "/root/repo/src/core/triplet_gen.cpp" "src/CMakeFiles/abnn2.dir/core/triplet_gen.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/core/triplet_gen.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/abnn2.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/prg.cpp" "src/CMakeFiles/abnn2.dir/crypto/prg.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/crypto/prg.cpp.o.d"
+  "/root/repo/src/crypto/ro.cpp" "src/CMakeFiles/abnn2.dir/crypto/ro.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/crypto/ro.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/CMakeFiles/abnn2.dir/crypto/sha256.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/crypto/sha256.cpp.o.d"
+  "/root/repo/src/ec/ed25519.cpp" "src/CMakeFiles/abnn2.dir/ec/ed25519.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ec/ed25519.cpp.o.d"
+  "/root/repo/src/ec/fe25519.cpp" "src/CMakeFiles/abnn2.dir/ec/fe25519.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ec/fe25519.cpp.o.d"
+  "/root/repo/src/gc/circuit.cpp" "src/CMakeFiles/abnn2.dir/gc/circuit.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/gc/circuit.cpp.o.d"
+  "/root/repo/src/gc/garble.cpp" "src/CMakeFiles/abnn2.dir/gc/garble.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/gc/garble.cpp.o.d"
+  "/root/repo/src/gc/protocol.cpp" "src/CMakeFiles/abnn2.dir/gc/protocol.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/gc/protocol.cpp.o.d"
+  "/root/repo/src/he/bfv.cpp" "src/CMakeFiles/abnn2.dir/he/bfv.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/he/bfv.cpp.o.d"
+  "/root/repo/src/he/bigint.cpp" "src/CMakeFiles/abnn2.dir/he/bigint.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/he/bigint.cpp.o.d"
+  "/root/repo/src/he/modarith.cpp" "src/CMakeFiles/abnn2.dir/he/modarith.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/he/modarith.cpp.o.d"
+  "/root/repo/src/he/ntt.cpp" "src/CMakeFiles/abnn2.dir/he/ntt.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/he/ntt.cpp.o.d"
+  "/root/repo/src/net/socket_channel.cpp" "src/CMakeFiles/abnn2.dir/net/socket_channel.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/net/socket_channel.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/CMakeFiles/abnn2.dir/nn/conv.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/conv.cpp.o.d"
+  "/root/repo/src/nn/fragment.cpp" "src/CMakeFiles/abnn2.dir/nn/fragment.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/fragment.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/CMakeFiles/abnn2.dir/nn/model.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/model.cpp.o.d"
+  "/root/repo/src/nn/model_io.cpp" "src/CMakeFiles/abnn2.dir/nn/model_io.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/model_io.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/CMakeFiles/abnn2.dir/nn/pool.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/pool.cpp.o.d"
+  "/root/repo/src/nn/quantize.cpp" "src/CMakeFiles/abnn2.dir/nn/quantize.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/nn/quantize.cpp.o.d"
+  "/root/repo/src/ot/base_ot.cpp" "src/CMakeFiles/abnn2.dir/ot/base_ot.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ot/base_ot.cpp.o.d"
+  "/root/repo/src/ot/iknp.cpp" "src/CMakeFiles/abnn2.dir/ot/iknp.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ot/iknp.cpp.o.d"
+  "/root/repo/src/ot/kk13.cpp" "src/CMakeFiles/abnn2.dir/ot/kk13.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ot/kk13.cpp.o.d"
+  "/root/repo/src/ot/wh_code.cpp" "src/CMakeFiles/abnn2.dir/ot/wh_code.cpp.o" "gcc" "src/CMakeFiles/abnn2.dir/ot/wh_code.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libabnn2.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for abnn2.
+# This may be replaced when dependencies are built.

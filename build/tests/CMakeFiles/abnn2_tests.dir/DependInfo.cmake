@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_baselines.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_baselines.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_baselines.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_ec.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_ec.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_ec.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_gc.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_gc.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_gc.cpp.o.d"
+  "/root/repo/tests/test_he.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_he.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_he.cpp.o.d"
+  "/root/repo/tests/test_more_coverage.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_more_coverage.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_more_coverage.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_nn.cpp.o.d"
+  "/root/repo/tests/test_ot.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_ot.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_ot.cpp.o.d"
+  "/root/repo/tests/test_pool_io.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_pool_io.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_pool_io.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sigmoid_kk13.cpp" "tests/CMakeFiles/abnn2_tests.dir/test_sigmoid_kk13.cpp.o" "gcc" "tests/CMakeFiles/abnn2_tests.dir/test_sigmoid_kk13.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/abnn2.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abnn2_client.dir/abnn2_client.cpp.o"
+  "CMakeFiles/abnn2_client.dir/abnn2_client.cpp.o.d"
+  "abnn2_client"
+  "abnn2_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abnn2_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abnn2_genmodel.dir/abnn2_genmodel.cpp.o"
+  "CMakeFiles/abnn2_genmodel.dir/abnn2_genmodel.cpp.o.d"
+  "abnn2_genmodel"
+  "abnn2_genmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abnn2_genmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abnn2_server.dir/abnn2_server.cpp.o"
+  "CMakeFiles/abnn2_server.dir/abnn2_server.cpp.o.d"
+  "abnn2_server"
+  "abnn2_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abnn2_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
