@@ -6,16 +6,22 @@
 //   ./build/examples/socket_inference client 9900
 //   ./build/examples/socket_inference demo          # both roles, loopback
 //
-// The same InferenceServer/InferenceClient objects run unchanged over
-// SocketChannel — the Channel abstraction is the only thing that changes
-// compared to examples/quickstart.
+// The same InferenceServer/InferenceClient objects run unchanged over the
+// hardened transport stack: SocketChannel (connect/accept/recv deadlines)
+// wrapped in FramedChannel (per-message sequence numbers + CRC32C), with the
+// session handshake pinning the model digest on the client side — a server
+// serving the wrong model fails the handshake instead of silently returning
+// wrong predictions.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <thread>
 
 #include "core/inference.h"
+#include "crypto/sha256.h"
+#include "net/framed_channel.h"
 #include "net/socket_channel.h"
+#include "nn/model_io.h"
 
 using namespace abnn2;
 
@@ -28,30 +34,46 @@ nn::Model make_model() {
                           {784, 64, 10}, Block{555, 1});
 }
 
+SocketOptions make_opts() {
+  SocketOptions opts;
+  opts.connect_timeout_ms = 10'000;
+  opts.accept_timeout_ms = 10'000;
+  opts.recv_timeout_ms = 30'000;
+  return opts;
+}
+
 int run_server(u16 port) {
   const auto model = make_model();
   core::InferenceConfig cfg(make_ring());
   std::printf("[server] listening on 127.0.0.1:%u...\n", port);
-  auto ch = SocketChannel::listen(port);
+  SocketListener listener(port);
+  auto sock = listener.accept(make_opts());
+  FramedChannel ch(*sock);
   core::InferenceServer server(model, cfg);
-  server.run_offline(*ch);
+  server.run_offline(ch);
   std::printf("[server] offline done (%.2f MB sent)\n",
-              static_cast<double>(ch->stats().bytes_sent) / 1e6);
-  server.run_online(*ch);
+              static_cast<double>(ch.stats().bytes_sent) / 1e6);
+  server.run_online(ch);
   std::printf("[server] online done; total %.2f MB sent, %llu rounds\n",
-              static_cast<double>(ch->stats().bytes_sent) / 1e6,
-              static_cast<unsigned long long>(ch->stats().rounds));
+              static_cast<double>(ch.stats().bytes_sent) / 1e6,
+              static_cast<unsigned long long>(ch.stats().rounds));
   return 0;
 }
 
 int run_client(u16 port) {
   core::InferenceConfig cfg(make_ring());
-  auto ch = SocketChannel::connect("127.0.0.1", port);
+  // Pin the model: the handshake aborts unless the server's SHA-256 model
+  // digest matches the one this client expects.
+  const auto bytes = nn::serialize_model(make_model());
+  cfg.expected_model_digest = Sha256::hash(bytes.data(), bytes.size());
+
+  auto sock = SocketChannel::connect("127.0.0.1", port, make_opts());
+  FramedChannel ch(*sock);
   std::printf("[client] connected\n");
   core::InferenceClient client(cfg);
-  client.run_offline(*ch, /*batch=*/2);
+  client.run_offline(ch, /*batch=*/2);
   const auto x = nn::synthetic_images(784, 2, 12, make_ring(), Block{1, 2});
-  const auto logits = client.run_online(*ch, x);
+  const auto logits = client.run_online(ch, x);
   const auto cls = nn::argmax_logits(make_ring(), logits);
   std::printf("[client] predictions: %zu %zu\n", cls[0], cls[1]);
 

@@ -36,7 +36,7 @@ MatU64 MinionnServer::triplet_gen(Channel& ch, const nn::Matrix<i64>& w,
   MatU64 u(m, o);
   for (std::size_t k = 0; k < o; ++k) {
     // Receive Enc(r_k).
-    const std::vector<u8> msg = ch.recv_msg();
+    const std::vector<u8> msg = ch.recv_msg(params_.ciphertext_bytes());
     Reader rd(msg);
     const he::Ciphertext enc_r = he::Ciphertext::deserialize(rd, params_);
     const he::CiphertextNtt enc_r_ntt = he::to_ntt(params_, enc_r);
@@ -85,7 +85,8 @@ MatU64 MinionnClient::triplet_gen(Channel& ch, const MatU64& r, std::size_t m,
     enc_r.serialize(wr);
     ch.send_msg(wr);
 
-    const std::vector<u8> reply = ch.recv_msg();
+    const std::vector<u8> reply =
+        ch.recv_msg(blocks * params_.ciphertext_bytes());
     Reader rd(reply);
     for (std::size_t b = 0; b < blocks; ++b) {
       const he::Ciphertext ct = he::Ciphertext::deserialize(rd, params_);

@@ -39,7 +39,8 @@ MatU64 quotient_triplet_server(Channel& ch, IknpReceiver& ot,
     }
     ot.extend(ch, choices);
 
-    const std::vector<u8> blob = ch.recv_msg();
+    const std::vector<u8> blob =
+        ch.recv_msg(bytes_for_bits(2 * count * o * l));
     const std::vector<u64> vals = unpack_bits(blob, l, 2 * count * o);
     for (std::size_t c = 0; c < count; ++c) {
       u64* urow = u.row(it.i(t0 + c));

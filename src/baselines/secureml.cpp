@@ -39,7 +39,9 @@ MatU64 secureml_triplet_server(Channel& ch, IknpReceiver& ot, const MatU64& w,
     }
     ot.extend(ch, choices);
 
-    const std::vector<u8> blob = ch.recv_msg();
+    // Per product: sum_{b<l} (l-b) = l(l+1)/2 bits on the wire.
+    const std::vector<u8> blob =
+        ch.recv_msg(bytes_for_bits(count * l * (l + 1) / 2));
     BitReader rd(blob);
     for (std::size_t c = 0; c < count; ++c) {
       const std::size_t p = p0 + c;

@@ -1,0 +1,52 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+#ifdef __SSE4_2__
+#include <nmmintrin.h>
+#endif
+
+namespace abnn2 {
+namespace {
+
+constexpr u32 kPoly = 0x82F63B78;  // reflected Castagnoli
+
+constexpr std::array<u32, 256> make_table() {
+  std::array<u32, 256> t{};
+  for (u32 i = 0; i < 256; ++i) {
+    u32 c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? (c >> 1) ^ kPoly : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+constexpr auto kTable = make_table();
+
+}  // namespace
+
+u32 crc32c(const void* data, std::size_t n, u32 seed) {
+  const u8* p = static_cast<const u8*>(data);
+  u32 crc = ~seed;
+#ifdef __SSE4_2__
+  while (n >= 8) {
+    u64 w;
+    std::memcpy(&w, p, 8);
+    crc = static_cast<u32>(_mm_crc32_u64(crc, w));
+    p += 8;
+    n -= 8;
+  }
+  while (n > 0) {
+    crc = _mm_crc32_u8(crc, *p++);
+    --n;
+  }
+#else
+  while (n > 0) {
+    crc = kTable[(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --n;
+  }
+#endif
+  return ~crc;
+}
+
+}  // namespace abnn2

@@ -1,0 +1,20 @@
+// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected 0x82F63B78) used by
+// the framed transport layer for per-message integrity checks. Detects all
+// single-bit errors and all burst errors up to 32 bits, which is exactly the
+// corruption class a desynchronized or bit-flipped TCP stream produces.
+//
+// Uses the SSE4.2 crc32 instruction when the build target has it
+// (-march=native) and a slice-by-1 table otherwise.
+#pragma once
+
+#include <cstddef>
+
+#include "common/defines.h"
+
+namespace abnn2 {
+
+/// CRC32C of `n` bytes. Chainable: pass the previous result as `seed` to
+/// checksum a logically contiguous buffer in pieces.
+u32 crc32c(const void* data, std::size_t n, u32 seed = 0);
+
+}  // namespace abnn2

@@ -28,17 +28,40 @@ inline constexpr std::size_t kKappa = 128;
 /// Statistical security parameter (bits).
 inline constexpr std::size_t kSigma = 40;
 
+// Error taxonomy (see DESIGN.md "Failure model & recovery"):
+//
+//   ProtocolError   — FATAL. A protocol invariant was violated: malformed or
+//                     corrupted peer message (failed frame CRC, bad handshake
+//                     magic, version/digest mismatch, oversized length
+//                     prefix). Retrying on the same stream cannot help; the
+//                     connection must be dropped.
+//   ChannelError    — TRANSIENT. The transport itself failed (peer closed,
+//                     ECONNRESET, broken pipe). The session state on the
+//                     surviving side is intact; reconnecting and resuming at
+//                     the last batch boundary is safe.
+//   ChannelTimeout  — TRANSIENT, subclass of ChannelError. A configured
+//                     deadline (connect/accept/recv) expired.
+
 /// Thrown when a protocol invariant is violated (malformed peer message,
-/// inconsistent sizes, use-after-finalize, ...).
+/// inconsistent sizes, use-after-finalize, ...). Fatal for the connection.
 class ProtocolError : public std::runtime_error {
  public:
   explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
 };
 
 /// Thrown by channel implementations on broken/closed connections.
+/// Transient: reconnect-and-resume is the expected recovery.
 class ChannelError : public std::runtime_error {
  public:
   explicit ChannelError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a configured transport deadline (connect, accept, recv)
+/// expires. A ChannelError, so generic transport-failure handlers catch it;
+/// callers that want to distinguish "slow" from "dead" can catch it first.
+class ChannelTimeout : public ChannelError {
+ public:
+  explicit ChannelTimeout(const std::string& what) : ChannelError(what) {}
 };
 
 #define ABNN2_CHECK(cond, msg)                          \

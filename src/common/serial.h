@@ -51,16 +51,19 @@ class Reader {
   u64 u64_() { u64 v; copy(&v, 8); return v; }
   Block block() { Block b; copy(b.w.data(), 16); return b; }
   void bytes(void* p, std::size_t n) { copy(p, n); }
+  // Length prefixes are validated against the remaining input BEFORE any
+  // allocation, with the division form so a hostile prefix near 2^64 cannot
+  // overflow the multiplication and slip past the check.
   std::vector<u64> vec_u64() {
     const u64 n = u64_();
-    ABNN2_CHECK(n * 8 <= remaining(), "truncated u64 vector");
+    ABNN2_CHECK(n <= remaining() / 8, "truncated u64 vector");
     std::vector<u64> v(n);
     copy(v.data(), n * 8);
     return v;
   }
   std::vector<Block> vec_block() {
     const u64 n = u64_();
-    ABNN2_CHECK(n * 16 <= remaining(), "truncated block vector");
+    ABNN2_CHECK(n <= remaining() / 16, "truncated block vector");
     std::vector<Block> v(n);
     copy(v.data(), n * 16);
     return v;

@@ -1,11 +1,16 @@
 #include "core/inference.h"
 
 #include "common/packing.h"
+#include "crypto/sha256.h"
+#include "nn/model_io.h"
 
 namespace abnn2::core {
 namespace {
 
 using nn::MatU64;
+
+void send_u32v(Channel& ch, u32 v) { ch.send(&v, 4); }
+u32 recv_u32v(Channel& ch) { u32 v; ch.recv(&v, 4); return v; }
 
 void send_string(Channel& ch, const std::string& s) {
   ch.send_u64(s.size());
@@ -26,7 +31,8 @@ void send_mat(Channel& ch, const MatU64& m, std::size_t l) {
 
 MatU64 recv_mat(Channel& ch, std::size_t rows, std::size_t cols,
                 std::size_t l) {
-  const auto blob = ch.recv_msg();
+  // The packed size is fully determined by the expected shape.
+  const auto blob = ch.recv_msg(bytes_for_bits(rows * cols * l));
   MatU64 m(rows, cols);
   m.data() = unpack_bits(blob, l, rows * cols);
   return m;
@@ -65,22 +71,57 @@ u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party) {
 }
 
 InferenceServer::InferenceServer(nn::Model model, InferenceConfig cfg)
-    : model_(std::move(model)),
-      cfg_(cfg),
-      relu_(cfg.ring, cfg.relu),
-      maxpool_(cfg.ring) {
+    : model_(std::move(model)), cfg_(cfg) {
   model_.validate();
   ABNN2_CHECK_ARG(model_.ring == cfg_.ring, "model/config ring mismatch");
+  const auto bytes = nn::serialize_model(model_);
+  digest_ = Sha256::hash(bytes.data(), bytes.size());
 }
 
+InferenceServer::Session& InferenceServer::session() {
+  if (!sess_) sess_ = std::make_unique<Session>(cfg_);
+  return *sess_;
+}
+
+void InferenceServer::reset_session() { sess_.reset(); }
+
 void InferenceServer::run_offline(Channel& ch) {
-  // ---- handshake -----------------------------------------------------
-  o_ = ch.recv_u64();
-  ABNN2_CHECK(o_ >= 1 && o_ <= (std::size_t{1} << 20), "bad batch size");
+  // ---- session handshake ----------------------------------------------
+  const u32 magic = recv_u32v(ch);
+  if (magic != kHandshakeMagicClient)
+    throw ProtocolError(
+        "handshake: bad client magic 0x" + std::to_string(magic) +
+        " (peer is not an abnn2 client, or the stream is desynchronized)");
+  const u32 version = recv_u32v(ch);
+  if (version != kProtocolVersion)
+    throw ProtocolError("handshake: client speaks protocol version " +
+                        std::to_string(version) + ", this server speaks " +
+                        std::to_string(kProtocolVersion));
+  const u64 cli_ring = ch.recv_u64();
+  if (cli_ring != cfg_.ring.bits())
+    throw ProtocolError("handshake: client ring width " +
+                        std::to_string(cli_ring) + " != server ring width " +
+                        std::to_string(cfg_.ring.bits()));
+  const u64 batch = ch.recv_u64();
+  ABNN2_CHECK(batch >= 1 && batch <= (u64{1} << 20), "bad batch size");
+  const u64 flags = ch.recv_u64();
+  // Resume: the client retained offline material for an interrupted batch
+  // and we retained the matching triplets — skip the offline cost entirely.
+  const bool resume = (flags & 1) && !u_.empty() && o_ == batch;
+  o_ = batch;
+
+  send_u32v(ch, kHandshakeMagicServer);
+  send_u32v(ch, kProtocolVersion);
   ch.send_u64(cfg_.ring.bits());
   ch.send_u64(static_cast<u64>(cfg_.relu));
   ch.send_u64(static_cast<u64>(cfg_.backend));
   ch.send_u64(static_cast<u64>(cfg_.reveal));
+  ch.send(digest_.data(), digest_.size());
+  ch.send_u64(resume ? 1 : 0);
+  if (resume) return;
+
+  u_.clear();
+  // ---- model architecture ---------------------------------------------
   ch.send_u64(model_.layers.size());
   ch.send_u64(model_.input_dim());
   for (const auto& layer : model_.layers) {
@@ -101,24 +142,25 @@ void InferenceServer::run_offline(Channel& ch) {
     }
   }
 
-  // ---- backend setup (once per connection) ------------------------------
+  // ---- backend setup (once per session/connection) ----------------------
+  Session& s = session();
   switch (cfg_.backend) {
     case Backend::kAbnn2:
-      if (!kk_setup_) {
-        kk_.setup(ch, prg_);
-        kk_setup_ = true;
+      if (!s.kk_setup) {
+        s.kk.setup(ch, prg_);
+        s.kk_setup = true;
       }
       break;
     case Backend::kSecureML:
     case Backend::kQuotient:
-      if (!iknp_setup_) {
-        iknp_.setup(ch, prg_);
-        iknp_setup_ = true;
+      if (!s.iknp_setup) {
+        s.iknp.setup(ch, prg_);
+        s.iknp_setup = true;
       }
       break;
     case Backend::kMiniONN:
-      if (!minionn_) {
-        minionn_ = std::make_unique<baselines::MinionnServer>(
+      if (!s.minionn) {
+        s.minionn = std::make_unique<baselines::MinionnServer>(
             cfg_.ring.bits() <= 32 ? 32 : 64);
       }
       break;
@@ -128,14 +170,13 @@ void InferenceServer::run_offline(Channel& ch) {
   TripletConfig tcfg(cfg_.ring);
   tcfg.mode = cfg_.batch_mode;
   tcfg.chunk_instances = cfg_.chunk_instances;
-  u_.clear();
   for (const auto& layer : model_.layers) {
     // For conv layers, one triplet column per (output position, batch item).
     const std::size_t o_eff =
         layer.conv ? layer.conv->out_positions() * o_ : o_;
     switch (cfg_.backend) {
       case Backend::kAbnn2:
-        u_.push_back(triplet_gen_server(ch, kk_, layer.codes, layer.scheme,
+        u_.push_back(triplet_gen_server(ch, s.kk, layer.codes, layer.scheme,
                                         o_eff, tcfg));
         break;
       case Backend::kSecureML: {
@@ -143,21 +184,22 @@ void InferenceServer::run_offline(Channel& ch) {
         for (std::size_t i = 0; i < w.data().size(); ++i)
           w.data()[i] =
               layer.scheme.interpret_ring(layer.codes.data()[i], cfg_.ring);
-        u_.push_back(baselines::secureml_triplet_server(ch, iknp_, w, o_eff,
+        u_.push_back(baselines::secureml_triplet_server(ch, s.iknp, w, o_eff,
                                                         cfg_.ring));
         break;
       }
       case Backend::kQuotient:
         ABNN2_CHECK_ARG(layer.scheme.name() == "ternary",
                         "QUOTIENT backend requires a ternary model");
-        u_.push_back(baselines::quotient_triplet_server(ch, iknp_, layer.codes,
-                                                        o_eff, cfg_.ring));
+        u_.push_back(baselines::quotient_triplet_server(ch, s.iknp,
+                                                        layer.codes, o_eff,
+                                                        cfg_.ring));
         break;
       case Backend::kMiniONN: {
         nn::Matrix<i64> w(layer.codes.rows(), layer.codes.cols());
         for (std::size_t i = 0; i < w.data().size(); ++i)
           w.data()[i] = layer.scheme.interpret(layer.codes.data()[i]);
-        u_.push_back(minionn_->triplet_gen(ch, w, o_eff, cfg_.ring, prg_));
+        u_.push_back(s.minionn->triplet_gen(ch, w, o_eff, cfg_.ring, prg_));
         break;
       }
     }
@@ -166,6 +208,7 @@ void InferenceServer::run_offline(Channel& ch) {
 
 void InferenceServer::run_online(Channel& ch) {
   ABNN2_CHECK(!u_.empty(), "offline phase must run before online");
+  Session& s = session();
   const auto& ring = cfg_.ring;
   const std::size_t l = ring.bits();
 
@@ -179,33 +222,59 @@ void InferenceServer::run_online(Channel& ch) {
 
     if (li + 1 == model_.layers.size()) {
       if (cfg_.reveal == Reveal::kArgmax) {
-        argmax_server_batch(ch, argmax_gc_, ring, y0, prg_);
+        argmax_server_batch(ch, s.argmax_gc, ring, y0, prg_);
       } else {
         send_mat(ch, y0, l);  // reveal the server's logit share
       }
-      u_.clear();  // triplets are one-use
+      u_.clear();  // triplets are one-use; consumed only on success
       return;
     }
     if (model_.layers[li].pool) {
-      z0 = maxpool_.run(ch, *model_.layers[li].pool, y0, prg_);
+      z0 = s.maxpool.run(ch, *model_.layers[li].pool, y0, prg_);
     } else {
-      const auto z0_flat = relu_.run(ch, y0.data(), prg_);
+      const auto z0_flat = s.relu.run(ch, y0.data(), prg_);
       z0 = MatU64(y0.rows(), o_);
       z0.data() = z0_flat;
     }
   }
 }
 
-InferenceClient::InferenceClient(InferenceConfig cfg)
-    : cfg_(cfg), relu_(cfg.ring, cfg.relu), maxpool_(cfg.ring) {}
+InferenceClient::InferenceClient(InferenceConfig cfg) : cfg_(cfg) {}
+
+InferenceClient::Session& InferenceClient::session() {
+  if (!sess_) sess_ = std::make_unique<Session>(cfg_);
+  return *sess_;
+}
+
+void InferenceClient::reset_session() { sess_.reset(); }
 
 void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   ABNN2_CHECK_ARG(batch >= 1, "batch must be positive");
+  resumed_ = false;
+  // Offer a resume when a previous batch of the same size was interrupted
+  // after its offline phase completed.
+  const bool want_resume = !r_.empty() && o_ == batch;
   o_ = batch;
+
+  // ---- session handshake ----------------------------------------------
+  send_u32v(ch, kHandshakeMagicClient);
+  send_u32v(ch, kProtocolVersion);
+  ch.send_u64(cfg_.ring.bits());
   ch.send_u64(o_);
-  info_ = ModelInfo{};
-  info_.ring_bits = ch.recv_u64();
-  ABNN2_CHECK(info_.ring_bits == cfg_.ring.bits(),
+  ch.send_u64(want_resume ? 1 : 0);
+
+  const u32 magic = recv_u32v(ch);
+  if (magic != kHandshakeMagicServer)
+    throw ProtocolError(
+        "handshake: bad server magic 0x" + std::to_string(magic) +
+        " (peer is not an abnn2 server, or the stream is desynchronized)");
+  const u32 version = recv_u32v(ch);
+  if (version != kProtocolVersion)
+    throw ProtocolError("handshake: server speaks protocol version " +
+                        std::to_string(version) + ", this client speaks " +
+                        std::to_string(kProtocolVersion));
+  const u64 srv_ring = ch.recv_u64();
+  ABNN2_CHECK(srv_ring == cfg_.ring.bits(),
               "server ring width differs from client config");
   const u64 srv_relu = ch.recv_u64();
   ABNN2_CHECK(srv_relu == static_cast<u64>(cfg_.relu),
@@ -216,6 +285,26 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   const u64 srv_reveal = ch.recv_u64();
   ABNN2_CHECK(srv_reveal == static_cast<u64>(cfg_.reveal),
               "server reveal mode differs from client config");
+  std::array<u8, 32> digest;
+  ch.recv(digest.data(), digest.size());
+  if (cfg_.expected_model_digest && digest != *cfg_.expected_model_digest)
+    throw ProtocolError("handshake: server model digest " +
+                        Sha256::hex(digest) + " does not match pinned " +
+                        Sha256::hex(*cfg_.expected_model_digest));
+  const u64 resume_granted = ch.recv_u64();
+  if (resume_granted) {
+    ABNN2_CHECK(want_resume, "server granted a resume we did not request");
+    info_.model_digest = digest;
+    resumed_ = true;
+    return;  // r_/v_/info_ retained from the interrupted batch
+  }
+  r_.clear();
+  v_.clear();
+
+  // ---- model architecture ---------------------------------------------
+  info_ = ModelInfo{};
+  info_.ring_bits = srv_ring;
+  info_.model_digest = digest;
   const u64 n_layers = ch.recv_u64();
   ABNN2_CHECK(n_layers >= 1 && n_layers <= 1024, "bad layer count");
   info_.dims.push_back(ch.recv_u64());
@@ -267,23 +356,24 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
     }
   }
 
+  Session& s = session();
   switch (cfg_.backend) {
     case Backend::kAbnn2:
-      if (!kk_setup_) {
-        kk_.setup(ch, prg_);
-        kk_setup_ = true;
+      if (!s.kk_setup) {
+        s.kk.setup(ch, prg_);
+        s.kk_setup = true;
       }
       break;
     case Backend::kSecureML:
     case Backend::kQuotient:
-      if (!iknp_setup_) {
-        iknp_.setup(ch, prg_);
-        iknp_setup_ = true;
+      if (!s.iknp_setup) {
+        s.iknp.setup(ch, prg_);
+        s.iknp_setup = true;
       }
       break;
     case Backend::kMiniONN:
-      if (!minionn_) {
-        minionn_ = std::make_unique<baselines::MinionnClient>(
+      if (!s.minionn) {
+        s.minionn = std::make_unique<baselines::MinionnClient>(
             cfg_.ring.bits() <= 32 ? 32 : 64, prg_);
       }
       break;
@@ -292,8 +382,6 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   TripletConfig tcfg(cfg_.ring);
   tcfg.mode = cfg_.batch_mode;
   tcfg.chunk_instances = cfg_.chunk_instances;
-  r_.clear();
-  v_.clear();
   for (u64 i = 0; i < n_layers; ++i) {
     const std::size_t in_dim = info_.dims[i];
     const auto& conv = info_.convs[i];
@@ -311,19 +399,19 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
     switch (cfg_.backend) {
       case Backend::kAbnn2: {
         const auto scheme = nn::FragScheme::parse(info_.scheme_names[i]);
-        v = triplet_gen_client(ch, kk_, r_lowered, scheme, m, tcfg, prg_);
+        v = triplet_gen_client(ch, s.kk, r_lowered, scheme, m, tcfg, prg_);
         break;
       }
       case Backend::kSecureML:
-        v = baselines::secureml_triplet_client(ch, iknp_, r_lowered, m,
+        v = baselines::secureml_triplet_client(ch, s.iknp, r_lowered, m,
                                                cfg_.ring, prg_);
         break;
       case Backend::kQuotient:
-        v = baselines::quotient_triplet_client(ch, iknp_, r_lowered, m,
+        v = baselines::quotient_triplet_client(ch, s.iknp, r_lowered, m,
                                                cfg_.ring);
         break;
       case Backend::kMiniONN:
-        v = minionn_->triplet_gen(ch, r_lowered, m, cfg_.ring, prg_);
+        v = s.minionn->triplet_gen(ch, r_lowered, m, cfg_.ring, prg_);
         break;
     }
     if (conv) v = nn::flatten_conv_output(*conv, v, o_);
@@ -335,6 +423,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
   ABNN2_CHECK(!r_.empty(), "offline phase must run before online");
   ABNN2_CHECK_ARG(x.rows() == info_.dims[0] && x.cols() == o_,
                   "input shape mismatch");
+  Session& s = session();
   const auto& ring = cfg_.ring;
   const std::size_t l = ring.bits();
 
@@ -352,13 +441,13 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
       if (cfg_.trunc_bits > 0)
         for (auto& v : y1m.data())
           v = truncate_share(ring, v, cfg_.trunc_bits, 1);
-      maxpool_.run(ch, *info_.pools[li], y1m, r_[li + 1], prg_);
+      s.maxpool.run(ch, *info_.pools[li], y1m, r_[li + 1], prg_);
       continue;
     }
     std::vector<u64> y1 = v_[li].data();
     if (cfg_.trunc_bits > 0)
       for (auto& v : y1) v = truncate_share(ring, v, cfg_.trunc_bits, 1);
-    relu_.run(ch, y1, r_[li + 1].data(), prg_);
+    s.relu.run(ch, y1, r_[li + 1].data(), prg_);
   }
 
   // Final layer: either an argmax circuit (only the class index leaks) or
@@ -370,7 +459,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
     if (cfg_.trunc_bits > 0)
       for (auto& v : y1m.data())
         v = truncate_share(ring, v, cfg_.trunc_bits, 1);
-    const auto idxs = argmax_client_batch(ch, argmax_gc_, ring, y1m, prg_);
+    const auto idxs = argmax_client_batch(ch, s.argmax_gc, ring, y1m, prg_);
     MatU64 cls(1, o_);
     for (std::size_t k = 0; k < o_; ++k) cls.at(0, k) = idxs[k];
     r_.clear();

@@ -18,6 +18,7 @@
 // (SecureML-style), so multi-layer fixed-point scales stay bounded.
 #pragma once
 
+#include <array>
 #include <optional>
 
 #include "baselines/minionn.h"
@@ -30,6 +31,23 @@
 #include "nn/model.h"
 
 namespace abnn2::core {
+
+/// Session handshake (run at the top of every offline phase, before any
+/// cryptographic setup). Wire format, little-endian:
+///
+///   client hello:  u32 magic "AB2C", u32 version, u64 ring_bits,
+///                  u64 batch, u64 flags (bit 0: request batch resume)
+///   server hello:  u32 magic "AB2S", u32 version, u64 ring_bits,
+///                  u64 relu, u64 backend, u64 reveal,
+///                  32-byte SHA-256 model digest, u64 resume_granted
+///
+/// Mismatched magic/version/ring/config throws ProtocolError on the side
+/// that detects it — mismatched binaries or models fail fast with a
+/// diagnostic instead of producing wrong predictions. The digest pins the
+/// exact served model when the client sets `expected_model_digest`.
+inline constexpr u32 kHandshakeMagicClient = 0x43324241;  // "AB2C"
+inline constexpr u32 kHandshakeMagicServer = 0x53324241;  // "AB2S"
+inline constexpr u32 kProtocolVersion = 1;
 
 /// Which offline triplet generator drives the linear layers. The online
 /// phase (share algebra + GC ReLU) is identical for all backends, exactly
@@ -49,6 +67,9 @@ struct InferenceConfig {
   Reveal reveal = Reveal::kLogits;
   std::size_t chunk_instances = 8192;
   std::size_t trunc_bits = 0;  // 0 = paper-faithful (no rescaling)
+  /// Client-side model pin: when set, the handshake fails with ProtocolError
+  /// unless the server's model digest matches exactly.
+  std::optional<std::array<u8, 32>> expected_model_digest;
 
   explicit InferenceConfig(ss::Ring r) : ring(r) {}
 };
@@ -61,29 +82,63 @@ struct ModelInfo {
   std::vector<std::string> scheme_names;   // one per layer
   std::vector<std::optional<nn::ConvSpec>> convs;  // one per layer
   std::vector<std::optional<nn::PoolSpec>> pools;  // one per layer
+  std::array<u8, 32> model_digest{};       // SHA-256 of the served model file
 };
+
+// Failure/recovery model (see DESIGN.md "Failure model & recovery"): all
+// per-connection cryptographic session state (OT-extension chains, GC tweak
+// counters) lives in a Session object that reset_session() discards, while
+// completed offline triplet material (pure data, independent of any
+// transport or OT session) survives. After a transport failure both sides
+// reset their sessions, reconnect, and the handshake negotiates a resume:
+// the interrupted batch re-runs its online phase on the retained triplets
+// without paying the offline cost again.
 
 class InferenceServer {
  public:
   InferenceServer(nn::Model model, InferenceConfig cfg);
 
-  /// Handshake + triplet generation for one upcoming batch.
+  /// Handshake + triplet generation for one upcoming batch. When the client
+  /// requests a resume and this server still holds matching offline
+  /// material, triplet generation is skipped.
   void run_offline(Channel& ch);
   /// Executes one prediction batch; the client ends with the logits.
+  /// Offline material is consumed only on success, so an interrupted batch
+  /// can be re-run after reconnecting.
   void run_online(Channel& ch);
 
+  /// Drops per-connection protocol state (OT extensions, GC counters) while
+  /// keeping completed offline triplet material. Call after a transport
+  /// failure, before serving the next connection.
+  void reset_session();
+  /// True while completed offline material is retained for a pending batch.
+  bool has_offline_material() const { return !u_.empty(); }
+  std::size_t offline_batch() const { return o_; }
+  /// SHA-256 over the serialized model, as sent in the handshake.
+  const std::array<u8, 32>& model_digest() const { return digest_; }
+
  private:
+  /// Per-connection cryptographic state; never outlives a transport session.
+  struct Session {
+    Kk13Receiver kk;
+    IknpReceiver iknp{0x5EC0'0001};  // SecureML / QUOTIENT backends
+    std::unique_ptr<baselines::MinionnServer> minionn;
+    gc::GcGarbler argmax_gc{0xA43A'0001};
+    ReluServer relu;
+    MaxPoolServer maxpool;
+    bool kk_setup = false;
+    bool iknp_setup = false;
+
+    explicit Session(const InferenceConfig& cfg)
+        : relu(cfg.ring, cfg.relu), maxpool(cfg.ring) {}
+  };
+  Session& session();
+
   nn::Model model_;
   InferenceConfig cfg_;
   Prg prg_;
-  Kk13Receiver kk_;
-  IknpReceiver iknp_{0x5EC0'0001};  // SecureML / QUOTIENT backends
-  std::unique_ptr<baselines::MinionnServer> minionn_;
-  gc::GcGarbler argmax_gc_{0xA43A'0001};
-  ReluServer relu_;
-  MaxPoolServer maxpool_;
-  bool kk_setup_ = false;
-  bool iknp_setup_ = false;
+  std::array<u8, 32> digest_{};
+  std::unique_ptr<Session> sess_;
   std::size_t o_ = 0;
   std::vector<nn::MatU64> u_;  // one triplet share per layer
 };
@@ -93,27 +148,45 @@ class InferenceClient {
   explicit InferenceClient(InferenceConfig cfg);
 
   /// Handshake + triplet generation; `batch` is the number of inputs of the
-  /// upcoming online run.
+  /// upcoming online run. When this client still holds offline material for
+  /// the same batch size (a previous online run was interrupted), it
+  /// requests a resume; if the server agrees, triplet generation is skipped.
   void run_offline(Channel& ch, std::size_t batch);
   /// Runs one batch; `x` is input_dim x batch. Returns the logits
   /// (output_dim x batch). With Reveal::kArgmax the returned matrix is
   /// 1 x batch holding the class indices (the logits never leave the GC).
   nn::MatU64 run_online(Channel& ch, const nn::MatU64& x);
 
+  /// Drops per-connection protocol state, keeping offline triplet material.
+  /// Call after a transport failure, before reconnecting.
+  void reset_session();
+  /// True when the last run_offline resumed on retained material.
+  bool resumed() const { return resumed_; }
+  bool has_offline_material() const { return !r_.empty(); }
+
   const ModelInfo& info() const { return info_; }
 
  private:
+  struct Session {
+    Kk13Sender kk;
+    IknpSender iknp{0x5EC0'0001};
+    std::unique_ptr<baselines::MinionnClient> minionn;
+    gc::GcEvaluator argmax_gc{0xA43A'0001};
+    ReluClient relu;
+    MaxPoolClient maxpool;
+    bool kk_setup = false;
+    bool iknp_setup = false;
+
+    explicit Session(const InferenceConfig& cfg)
+        : relu(cfg.ring, cfg.relu), maxpool(cfg.ring) {}
+  };
+  Session& session();
+
   InferenceConfig cfg_;
   Prg prg_;
-  Kk13Sender kk_;
-  IknpSender iknp_{0x5EC0'0001};
-  std::unique_ptr<baselines::MinionnClient> minionn_;
-  gc::GcEvaluator argmax_gc_{0xA43A'0001};
-  ReluClient relu_;
-  MaxPoolClient maxpool_;
-  bool kk_setup_ = false;
-  bool iknp_setup_ = false;
+  std::unique_ptr<Session> sess_;
   std::size_t o_ = 0;
+  bool resumed_ = false;
   ModelInfo info_;
   std::vector<nn::MatU64> r_;  // client input-share per layer
   std::vector<nn::MatU64> v_;  // triplet shares per layer

@@ -165,7 +165,7 @@ std::vector<u64> ReluServer::run(Channel& ch, std::span<const u64> y0,
   // Phase 2b: direct -z1 shares for negative neurons.
   if (positives.size() < n) {
     const std::size_t neg = n - positives.size();
-    const std::vector<u8> blob = ch.recv_msg();
+    const std::vector<u8> blob = ch.recv_msg(bytes_for_bits(neg * l));
     const std::vector<u64> negz1 = unpack_bits(blob, l, neg);
     std::size_t p = 0;
     for (std::size_t k = 0; k < n; ++k)
@@ -198,7 +198,7 @@ void ReluClient::run(Channel& ch, std::span<const u64> y1,
   // Optimized protocol. Phase 1: sign test (garbler inputs: y1 only).
   const gc::Circuit sc = sign_circuit(l);
   gc_.run(ch, sc, n, to_input_bits(y1, l), prg);
-  const std::vector<u8> mask_blob = ch.recv_msg();
+  const std::vector<u8> mask_blob = ch.recv_msg(bytes_for_bits(n));
   const std::vector<u64> pos_mask = unpack_bits(mask_blob, 1, n);
 
   std::vector<std::size_t> positives, negatives;

@@ -80,16 +80,20 @@ MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
     }
     ot.extend(ch, choices);
 
-    // Receive the masked-message blob and pick out the chosen messages.
-    const std::vector<u8> blob = ch.recv_msg();
+    // The chunk layout fixes the blob size exactly, so bound recv_msg by it:
+    // a corrupted/desynchronized length prefix fails fast instead of
+    // allocating.
+    std::size_t fields = 0;
     if (mode == BatchMode::kOneBatchCot) {
-      const std::size_t fields =
-          [&] {
-            std::size_t acc = 0;
-            for (std::size_t k = 0; k < count; ++k)
-              acc += scheme.table_size(it.f(t0 + k)) - 1;
-            return acc;
-          }();
+      for (std::size_t k = 0; k < count; ++k)
+        fields += scheme.table_size(it.f(t0 + k)) - 1;
+    } else {
+      for (std::size_t k = 0; k < count; ++k)
+        fields += scheme.table_size(it.f(t0 + k)) * o;
+    }
+    // Receive the masked-message blob and pick out the chosen messages.
+    const std::vector<u8> blob = ch.recv_msg(bytes_for_bits(fields * l));
+    if (mode == BatchMode::kOneBatchCot) {
       const std::vector<u64> vals = unpack_bits(blob, l, fields);
       std::size_t pos = 0;
       for (std::size_t k = 0; k < count; ++k) {
@@ -108,9 +112,6 @@ MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
       }
       ABNN2_CHECK(pos == fields, "blob walk mismatch");
     } else {
-      std::size_t fields = 0;
-      for (std::size_t k = 0; k < count; ++k)
-        fields += scheme.table_size(it.f(t0 + k)) * o;
       const std::vector<u64> vals = unpack_bits(blob, l, fields);
       std::vector<u64> pad(o);
       std::size_t pos = 0;

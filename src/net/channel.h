@@ -58,15 +58,25 @@ class Channel {
   void send_u64s(const u64* p, std::size_t n) { send(p, n * 8); }
   void recv_u64s(u64* p, std::size_t n) { recv(p, n * 8); }
 
+  /// Default recv_msg bound: 64 MiB. Large enough for every message the
+  /// protocols exchange today; small enough that a corrupted or hostile
+  /// length prefix cannot drive a multi-GiB allocation. Call sites that know
+  /// the exact expected size pass it explicitly.
+  static constexpr std::size_t kDefaultMaxMsg = std::size_t{1} << 26;
+
   /// Length-prefixed message send/recv (for variable-size payloads).
   void send_msg(std::span<const u8> payload) {
     send_u64(payload.size());
     if (!payload.empty()) send(payload.data(), payload.size());
   }
   void send_msg(const Writer& w) { send_msg(std::span<const u8>(w.data())); }
-  std::vector<u8> recv_msg(std::size_t max_size = std::size_t{1} << 33) {
+  std::vector<u8> recv_msg(std::size_t max_size = kDefaultMaxMsg) {
     const u64 n = recv_u64();
-    ABNN2_CHECK(n <= max_size, "oversized message");
+    if (n > max_size)
+      throw ProtocolError(
+          "recv_msg: length prefix " + std::to_string(n) +
+          " exceeds bound " + std::to_string(max_size) +
+          " (truncated, corrupted or desynchronized stream?)");
     std::vector<u8> v(n);
     if (n) recv(v.data(), n);
     return v;

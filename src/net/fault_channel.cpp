@@ -1,0 +1,126 @@
+#include "net/fault_channel.h"
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+namespace abnn2 {
+namespace {
+
+// splitmix64: tiny, deterministic, and independent of the crypto PRG (a
+// fault plan must not perturb protocol randomness derived from Prg).
+u64 splitmix(u64& s) {
+  u64 z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::from_seed(u64 seed, u64 send_hint, u64 recv_hint) {
+  u64 s = seed * 0x2545F4914F6CDD1DULL + 0x9E3779B9ULL;
+  FaultPlan p;
+  // ~1 in 6 seeds is a fault-free control run.
+  const u64 roll = splitmix(s) % 6;
+  switch (roll) {
+    case 0: p.kind = Kind::kNone; break;
+    case 1: p.kind = Kind::kCutSend; break;
+    case 2: p.kind = Kind::kTruncateSend; break;
+    case 3: p.kind = Kind::kCorruptSend; break;
+    case 4: p.kind = Kind::kCorruptRecv; break;
+    case 5: p.kind = Kind::kDelaySend; break;
+  }
+  const u64 hint = p.kind == Kind::kCorruptRecv ? recv_hint : send_hint;
+  p.trigger_offset = hint ? splitmix(s) % hint : 0;
+  p.bit_in_byte = static_cast<u32>(splitmix(s) % 8);
+  p.delay_ms = static_cast<u32>(splitmix(s) % 20);
+  return p;
+}
+
+std::string FaultPlan::describe() const {
+  const char* k = "none";
+  switch (kind) {
+    case Kind::kNone: k = "none"; break;
+    case Kind::kCutSend: k = "cut-send"; break;
+    case Kind::kTruncateSend: k = "truncate-send"; break;
+    case Kind::kCorruptSend: k = "corrupt-send"; break;
+    case Kind::kCorruptRecv: k = "corrupt-recv"; break;
+    case Kind::kDelaySend: k = "delay-send"; break;
+  }
+  return std::string(k) + "@" + std::to_string(trigger_offset) + ".bit" +
+         std::to_string(bit_in_byte);
+}
+
+void FaultInjectingChannel::do_send(const void* data, std::size_t n) {
+  if (dead_) throw ChannelError("fault injection: link is down");
+  const u8* p = static_cast<const u8*>(data);
+  const bool triggers = !fired_ && plan_.trigger_offset < sent_ + n &&
+                        plan_.trigger_offset >= sent_;
+  switch (plan_.kind) {
+    case FaultPlan::Kind::kCutSend:
+      if (triggers) {
+        const std::size_t prefix =
+            static_cast<std::size_t>(plan_.trigger_offset - sent_);
+        if (prefix) inner_.send(p, prefix);
+        sent_ += prefix;
+        fired_ = dead_ = true;
+        throw ChannelError("fault injection: connection cut after " +
+                           std::to_string(sent_) + " bytes sent");
+      }
+      break;
+    case FaultPlan::Kind::kTruncateSend:
+      if (triggers) {
+        // Deliver a silent partial write; the endpoint then dies on its NEXT
+        // operation (modeling a half-broken link whose failure is only
+        // discovered later). Failing on the next op — rather than swallowing
+        // forever — guarantees the peer is eventually unblocked by the
+        // harness/socket teardown instead of deadlocking both parties.
+        const std::size_t prefix =
+            static_cast<std::size_t>(plan_.trigger_offset - sent_);
+        if (prefix) inner_.send(p, prefix);
+        sent_ += n;
+        fired_ = dead_ = true;
+        return;
+      }
+      break;
+    case FaultPlan::Kind::kCorruptSend:
+      if (triggers) {
+        std::vector<u8> copy(p, p + n);
+        copy[static_cast<std::size_t>(plan_.trigger_offset - sent_)] ^=
+            static_cast<u8>(1u << plan_.bit_in_byte);
+        fired_ = true;
+        sent_ += n;
+        inner_.send(copy.data(), n);
+        return;
+      }
+      break;
+    case FaultPlan::Kind::kDelaySend:
+      if (triggers) {
+        fired_ = true;
+        std::this_thread::sleep_for(std::chrono::milliseconds(plan_.delay_ms));
+      }
+      break;
+    case FaultPlan::Kind::kCorruptRecv:
+    case FaultPlan::Kind::kNone:
+      break;
+  }
+  sent_ += n;
+  inner_.send(p, n);
+}
+
+void FaultInjectingChannel::do_recv(void* data, std::size_t n) {
+  if (dead_) throw ChannelError("fault injection: link is down");
+  inner_.recv(data, n);
+  if (plan_.kind == FaultPlan::Kind::kCorruptRecv && !fired_ &&
+      plan_.trigger_offset >= received_ &&
+      plan_.trigger_offset < received_ + n) {
+    static_cast<u8*>(
+        data)[static_cast<std::size_t>(plan_.trigger_offset - received_)] ^=
+        static_cast<u8>(1u << plan_.bit_in_byte);
+    fired_ = true;
+  }
+  received_ += n;
+}
+
+}  // namespace abnn2

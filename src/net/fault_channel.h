@@ -1,0 +1,88 @@
+// Deterministic fault-injection decorator for chaos-testing protocols.
+//
+// Wraps any Channel and, at a byte offset chosen up front (deterministically
+// from a seed), injects one of:
+//
+//   kCutSend      — transmit a prefix of the triggering send, then fail this
+//                   endpoint with ChannelError (models a connection dying
+//                   mid-message; the peer sees a short/closed stream).
+//   kTruncateSend — silently swallow the tail of the triggering send (the
+//                   call "succeeds"), then fail the endpoint on its next
+//                   operation (models a half-broken link whose death is
+//                   discovered one step late; the peer is left blocked
+//                   mid-message until the link is torn down).
+//   kCorruptSend  — flip one bit of the triggering send (models in-flight
+//                   corruption; a FramedChannel above the peer detects it).
+//   kCorruptRecv  — flip one bit of the triggering recv (same, but on the
+//                   inbound path of this endpoint).
+//   kDelaySend    — sleep a bounded number of milliseconds once, then send
+//                   normally (models a stall; exercises recv deadlines).
+//   kNone         — pass-through (control runs in a seed sweep).
+//
+// Everything is derived from `FaultPlan::from_seed(seed, traffic_hint)`, so
+// a failing chaos-test seed replays exactly. The decorator never throws
+// ProtocolError itself: corruption is only *detected* by the layers above,
+// which is precisely what the chaos test asserts.
+#pragma once
+
+#include <string>
+
+#include "net/channel.h"
+
+namespace abnn2 {
+
+struct FaultPlan {
+  enum class Kind : u32 {
+    kNone,
+    kCutSend,
+    kTruncateSend,
+    kCorruptSend,
+    kCorruptRecv,
+    kDelaySend,
+  };
+
+  Kind kind = Kind::kNone;
+  u64 trigger_offset = 0;  // byte offset in this endpoint's send/recv stream
+  u32 bit_in_byte = 0;     // for corruption: which bit of the trigger byte
+  u32 delay_ms = 0;        // for kDelaySend
+
+  /// Deterministic plan from a seed. `traffic_hint` is the approximate
+  /// number of bytes this endpoint will move in a clean run; the trigger is
+  /// placed uniformly in [0, traffic_hint), so every protocol phase gets
+  /// hit across a seed sweep. A fraction of seeds yield kNone controls.
+  static FaultPlan from_seed(u64 seed, u64 traffic_hint) {
+    return from_seed(seed, traffic_hint, traffic_hint);
+  }
+  /// Same, with direction-specific hints: an endpoint's sent and received
+  /// volumes can differ by an order of magnitude (GC tables flow one way),
+  /// and a send-kind trigger placed past the end of the send stream would
+  /// never fire.
+  static FaultPlan from_seed(u64 seed, u64 send_hint, u64 recv_hint);
+
+  std::string describe() const;
+};
+
+class FaultInjectingChannel final : public Channel {
+ public:
+  /// Does not own `inner`.
+  FaultInjectingChannel(Channel& inner, FaultPlan plan)
+      : inner_(inner), plan_(plan) {}
+
+  /// True once the planned fault has been injected.
+  bool fired() const { return fired_; }
+  const FaultPlan& plan() const { return plan_; }
+
+ protected:
+  void do_send(const void* data, std::size_t n) override;
+  void do_recv(void* data, std::size_t n) override;
+
+ private:
+  Channel& inner_;
+  FaultPlan plan_;
+  u64 sent_ = 0;
+  u64 received_ = 0;
+  bool fired_ = false;
+  bool dead_ = false;  // endpoint failed (kCutSend) or muted (kTruncateSend)
+};
+
+}  // namespace abnn2

@@ -1,0 +1,91 @@
+#include "net/framed_channel.h"
+
+#include "common/crc32c.h"
+
+namespace abnn2 {
+namespace {
+
+void put_u32(u8* p, u32 v) { std::memcpy(p, &v, 4); }
+void put_u64(u8* p, u64 v) { std::memcpy(p, &v, 8); }
+u32 get_u32(const u8* p) { u32 v; std::memcpy(&v, p, 4); return v; }
+u64 get_u64(const u8* p) { u64 v; std::memcpy(&v, p, 8); return v; }
+
+}  // namespace
+
+FramedChannel::FramedChannel(Channel& inner, std::size_t max_frame)
+    : inner_(inner), max_frame_(max_frame) {
+  ABNN2_CHECK_ARG(max_frame >= 1, "max_frame must be positive");
+}
+
+void FramedChannel::do_send(const void* data, std::size_t n) {
+  const u8* p = static_cast<const u8*>(data);
+  // Split oversized payloads so both endpoints can enforce the same bound.
+  do {
+    const std::size_t chunk = std::min(n, max_frame_);
+    send_frame(p, chunk);
+    p += chunk;
+    n -= chunk;
+  } while (n > 0);
+}
+
+void FramedChannel::send_frame(const u8* payload, std::size_t n) {
+  tx_scratch_.resize(kHeaderBytes + n + kTrailerBytes);
+  u8* h = tx_scratch_.data();
+  put_u32(h, kFrameMagic);
+  put_u32(h + 4, static_cast<u32>(n));
+  put_u64(h + 8, tx_seq_);
+  put_u32(h + 16, crc32c(h, 16));
+  if (n) std::memcpy(h + kHeaderBytes, payload, n);
+  put_u32(h + kHeaderBytes + n, crc32c(payload, n));
+  ++tx_seq_;
+  // One inner send per frame: header, payload and trailer travel together,
+  // so a mid-frame transport cut never leaves a valid header followed by
+  // silence from this layer's own buffering.
+  inner_.send(tx_scratch_.data(), tx_scratch_.size());
+}
+
+void FramedChannel::refill() {
+  u8 h[kHeaderBytes];
+  inner_.recv(h, kHeaderBytes);
+  if (get_u32(h) != kFrameMagic)
+    throw ProtocolError(
+        "framed channel: bad frame magic (stream desynchronized, or peer is "
+        "not framing)");
+  if (get_u32(h + 16) != crc32c(h, 16))
+    throw ProtocolError("framed channel: frame header CRC mismatch");
+  const u32 len = get_u32(h + 4);
+  if (len > max_frame_)
+    throw ProtocolError("framed channel: frame of " + std::to_string(len) +
+                        " bytes exceeds max_frame " +
+                        std::to_string(max_frame_));
+  const u64 seq = get_u64(h + 8);
+  if (seq != rx_seq_)
+    throw ProtocolError("framed channel: sequence mismatch (got frame " +
+                        std::to_string(seq) + ", expected " +
+                        std::to_string(rx_seq_) +
+                        "; a frame was lost, duplicated or the peer "
+                        "restarted its stream)");
+  rx_buf_.resize(len);
+  rx_pos_ = 0;
+  if (len) inner_.recv(rx_buf_.data(), len);
+  u8 t[kTrailerBytes];
+  inner_.recv(t, kTrailerBytes);
+  if (get_u32(t) != crc32c(rx_buf_.data(), rx_buf_.size()))
+    throw ProtocolError("framed channel: payload CRC mismatch on frame " +
+                        std::to_string(seq) + " (corrupted stream)");
+  ++rx_seq_;
+}
+
+void FramedChannel::do_recv(void* data, std::size_t n) {
+  u8* p = static_cast<u8*>(data);
+  while (n > 0) {
+    if (rx_pos_ == rx_buf_.size()) refill();
+    const std::size_t take = std::min(n, rx_buf_.size() - rx_pos_);
+    std::memcpy(p, rx_buf_.data() + rx_pos_, take);
+    rx_pos_ += take;
+    p += take;
+    n -= take;
+  }
+}
+
+}  // namespace abnn2

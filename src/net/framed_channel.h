@@ -1,0 +1,66 @@
+// Framed transport decorator: wraps any Channel with per-message framing so
+// stream corruption and desynchronization surface as typed errors instead of
+// undefined protocol behavior (a raw byte stream that loses or flips one
+// byte silently decodes into garbage shares).
+//
+// Wire format of one frame, little-endian:
+//
+//   u32 magic  = "ABFR"                       |
+//   u32 len    = payload bytes                 | 20-byte header
+//   u64 seq    = frame sequence number         |
+//   u32 hcrc   = CRC32C(magic..seq)            |
+//   u8  payload[len]
+//   u32 pcrc   = CRC32C(payload)
+//
+// The header carries its own CRC so a corrupted `len` is detected BEFORE it
+// is trusted — otherwise a single bit flip in the length field could leave
+// the receiver blocked forever waiting for bytes the sender never sends.
+// Sequence numbers detect lost/duplicated/reordered frames (e.g. a peer that
+// restarted mid-session and began a fresh stream).
+//
+// Failure mapping: any framing violation throws ProtocolError (fatal —
+// the stream is unusable); transport failures from the inner channel
+// propagate as ChannelError (transient). One do_send() call produces one
+// frame (split if it exceeds max_frame); receives are buffered, so send and
+// recv granularity need not match across the two endpoints.
+#pragma once
+
+#include <vector>
+
+#include "net/channel.h"
+
+namespace abnn2 {
+
+class FramedChannel final : public Channel {
+ public:
+  static constexpr std::size_t kDefaultMaxFrame = std::size_t{1} << 30;
+  static constexpr u32 kFrameMagic = 0x52464241;  // "ABFR"
+  static constexpr std::size_t kHeaderBytes = 20;
+  static constexpr std::size_t kTrailerBytes = 4;
+
+  /// Does not own `inner`; the caller keeps it alive. Both endpoints must
+  /// agree on framing (wrap both or neither) and on `max_frame`.
+  explicit FramedChannel(Channel& inner,
+                         std::size_t max_frame = kDefaultMaxFrame);
+
+  u64 frames_sent() const { return tx_seq_; }
+  u64 frames_received() const { return rx_seq_; }
+
+ protected:
+  void do_send(const void* data, std::size_t n) override;
+  void do_recv(void* data, std::size_t n) override;
+
+ private:
+  void send_frame(const u8* payload, std::size_t n);
+  void refill();
+
+  Channel& inner_;
+  std::size_t max_frame_;
+  u64 tx_seq_ = 0;
+  u64 rx_seq_ = 0;
+  std::vector<u8> rx_buf_;     // payload of the current partially-read frame
+  std::size_t rx_pos_ = 0;     // consumed prefix of rx_buf_
+  std::vector<u8> tx_scratch_;  // reused header+payload+trailer buffer
+};
+
+}  // namespace abnn2

@@ -1,8 +1,10 @@
 #include "net/socket_channel.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -14,6 +16,8 @@
 namespace abnn2 {
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
 [[noreturn]] void throw_errno(const char* what) {
   throw ChannelError(std::string(what) + ": " + std::strerror(errno));
 }
@@ -23,50 +27,179 @@ void set_nodelay(int fd) {
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 }
 
-}  // namespace
-
-std::unique_ptr<SocketChannel> SocketChannel::listen(u16 port) {
-  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (lfd < 0) throw_errno("socket");
-  int one = 1;
-  ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    ::close(lfd);
-    throw_errno("bind");
-  }
-  if (::listen(lfd, 1) < 0) {
-    ::close(lfd);
-    throw_errno("listen");
-  }
-  const int fd = ::accept(lfd, nullptr, nullptr);
-  ::close(lfd);
-  if (fd < 0) throw_errno("accept");
-  set_nodelay(fd);
-  return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
-}
-
-std::unique_ptr<SocketChannel> SocketChannel::connect(const std::string& host,
-                                                      u16 port) {
+sockaddr_in make_addr(const std::string& host, u16 port) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(port);
   if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
     throw ChannelError("bad address: " + host);
-  for (int attempt = 0;; ++attempt) {
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) throw_errno("socket");
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
-      set_nodelay(fd);
-      return std::unique_ptr<SocketChannel>(new SocketChannel(fd));
+  return addr;
+}
+
+/// poll() for `events` on fd. Returns true when ready, false on timeout
+/// (timeout_ms >= 0); retries EINTR against the same deadline.
+bool poll_fd(int fd, short events, int timeout_ms) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(
+                                           timeout_ms < 0 ? 0 : timeout_ms);
+  for (;;) {
+    int wait = -1;
+    if (timeout_ms >= 0) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      wait = left > 0 ? static_cast<int>(left) : 0;
     }
-    ::close(fd);
-    if (attempt >= 200) throw_errno("connect");
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, wait);
+    if (rc > 0) return true;
+    if (rc == 0) return false;
+    if (errno != EINTR) throw_errno("poll");
   }
+}
+
+// splitmix64 for backoff jitter (deterministic per SocketOptions seed, so
+// retry schedules are reproducible in tests).
+u64 splitmix(u64& s) {
+  u64 z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// One non-blocking connect attempt with its own small deadline. Returns the
+/// connected fd or -1 (errno describes the failure).
+int try_connect_once(const sockaddr_in& addr, int attempt_timeout_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) throw_errno("socket");
+  const int rc =
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  if (rc == 0) return fd;
+  if (errno != EINPROGRESS) {
+    ::close(fd);
+    return -1;
+  }
+  if (!poll_fd(fd, POLLOUT, attempt_timeout_ms)) {
+    ::close(fd);
+    errno = ETIMEDOUT;
+    return -1;
+  }
+  int err = 0;
+  socklen_t len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len) < 0 || err != 0) {
+    ::close(fd);
+    errno = err ? err : EINVAL;
+    return -1;
+  }
+  return fd;
+}
+
+void set_blocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+}
+
+}  // namespace
+
+SocketListener::SocketListener(u16 port, int backlog) : lfd_(-1), port_(port) {
+  lfd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd_ < 0) throw_errno("socket");
+  int one = 1;
+  ::setsockopt(lfd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(lfd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int e = errno;
+    ::close(lfd_);
+    lfd_ = -1;
+    errno = e;
+    throw_errno("bind");
+  }
+  if (::listen(lfd_, backlog) < 0) {
+    const int e = errno;
+    ::close(lfd_);
+    lfd_ = -1;
+    errno = e;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(lfd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+}
+
+SocketListener::~SocketListener() {
+  if (lfd_ >= 0) ::close(lfd_);
+}
+
+std::unique_ptr<SocketChannel> SocketListener::accept(
+    const SocketOptions& opts) {
+  if (opts.accept_timeout_ms >= 0 &&
+      !poll_fd(lfd_, POLLIN, opts.accept_timeout_ms))
+    throw ChannelTimeout("accept timed out after " +
+                         std::to_string(opts.accept_timeout_ms) + " ms");
+  for (;;) {
+    const int fd = ::accept(lfd_, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return std::unique_ptr<SocketChannel>(new SocketChannel(fd, opts));
+    }
+    if (errno != EINTR && errno != ECONNABORTED) throw_errno("accept");
+  }
+}
+
+std::unique_ptr<SocketChannel> SocketChannel::listen(u16 port,
+                                                     const SocketOptions& opts) {
+  SocketListener listener(port);  // RAII: listen fd closed on every path
+  return listener.accept(opts);
+}
+
+std::unique_ptr<SocketChannel> SocketChannel::connect(const std::string& host,
+                                                      u16 port,
+                                                      const SocketOptions& opts) {
+  const sockaddr_in addr = make_addr(host, port);
+  const bool bounded = opts.connect_timeout_ms >= 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(
+                         bounded ? opts.connect_timeout_ms : 0);
+  u64 jitter_state = opts.backoff_seed;
+  int last_errno = ECONNREFUSED;
+  for (int attempt = 0;; ++attempt) {
+    int attempt_budget_ms = 10'000;
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) break;
+      attempt_budget_ms = static_cast<int>(left);
+    }
+    const int fd = try_connect_once(addr, attempt_budget_ms);
+    if (fd >= 0) {
+      set_blocking(fd);
+      set_nodelay(fd);
+      return std::unique_ptr<SocketChannel>(new SocketChannel(fd, opts));
+    }
+    last_errno = errno;
+    // Exponential backoff with jitter; capped so a listener that comes up
+    // late is still found quickly.
+    const int shift = attempt < 16 ? attempt : 16;
+    i64 sleep_ms = std::min<i64>(static_cast<i64>(opts.backoff_base_ms) << shift,
+                                 opts.backoff_max_ms);
+    if (sleep_ms < 1) sleep_ms = 1;
+    sleep_ms += static_cast<i64>(splitmix(jitter_state) % 3);
+    if (bounded) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - Clock::now())
+                            .count();
+      if (left <= 0) break;
+      sleep_ms = std::min<i64>(sleep_ms, left);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+  throw ChannelTimeout("connect to " + host + ":" + std::to_string(port) +
+                       " timed out after " +
+                       std::to_string(opts.connect_timeout_ms) +
+                       " ms (last error: " + std::strerror(last_errno) + ")");
 }
 
 SocketChannel::~SocketChannel() {
@@ -89,10 +222,14 @@ void SocketChannel::do_send(const void* data, std::size_t n) {
 void SocketChannel::do_recv(void* data, std::size_t n) {
   u8* p = static_cast<u8*>(data);
   while (n > 0) {
+    if (opts_.recv_timeout_ms >= 0 &&
+        !poll_fd(fd_, POLLIN, opts_.recv_timeout_ms))
+      throw ChannelTimeout("recv timed out after " +
+                           std::to_string(opts_.recv_timeout_ms) + " ms");
     const ssize_t r = ::recv(fd_, p, n, 0);
     if (r == 0) throw ChannelError("peer closed connection");
     if (r < 0) {
-      if (errno == EINTR) continue;
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
       throw_errno("recv");
     }
     p += r;

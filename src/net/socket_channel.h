@@ -1,6 +1,12 @@
 // TCP transport. Used by deployments (and exercised by tests over loopback);
 // benchmarks use MemChannel + NetworkModel instead (DESIGN.md, substitution
 // #2).
+//
+// Robustness: every blocking point takes a configurable deadline
+// (SocketOptions). connect() retries with exponential backoff + jitter under
+// an overall deadline; accept() and recv() poll with per-call timeouts.
+// Deadline expiry throws ChannelTimeout (a ChannelError, i.e. transient);
+// hard transport failures throw ChannelError.
 #pragma once
 
 #include <memory>
@@ -10,14 +16,58 @@
 
 namespace abnn2 {
 
+struct SocketOptions {
+  /// Overall budget for connect() including all retries; <0 = one attempt
+  /// per 10 s forever (not recommended outside interactive tools).
+  int connect_timeout_ms = 10'000;
+  /// accept() wait; <0 = block until a client arrives.
+  int accept_timeout_ms = -1;
+  /// Per-recv() deadline once connected; <0 = block forever.
+  int recv_timeout_ms = -1;
+  /// Backoff for connect retries: sleep min(base << attempt, max) plus
+  /// deterministic jitter derived from `backoff_seed`.
+  int backoff_base_ms = 1;
+  int backoff_max_ms = 100;
+  u64 backoff_seed = 0x5EED'F00D;
+};
+
+class SocketChannel;
+
+/// Owns a listening socket. Separating bind/listen from accept lets a server
+/// accept many connections over its lifetime (reconnect-and-resume) and
+/// guarantees the listen fd is released on every path (RAII — the seed code
+/// leaked it when accept() failed).
+class SocketListener {
+ public:
+  /// Bind to loopback:`port` and listen. Port 0 picks an ephemeral port;
+  /// read it back with port().
+  explicit SocketListener(u16 port, int backlog = 8);
+  ~SocketListener();
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  /// Accept one connection. Throws ChannelTimeout when
+  /// opts.accept_timeout_ms expires, ChannelError on socket failure.
+  std::unique_ptr<SocketChannel> accept(const SocketOptions& opts = {});
+
+  u16 port() const { return port_; }
+
+ private:
+  int lfd_;
+  u16 port_;
+};
+
 class SocketChannel final : public Channel {
  public:
-  /// Listen on `port` (loopback) and accept one connection.
-  static std::unique_ptr<SocketChannel> listen(u16 port);
-  /// Connect to host:port, retrying briefly so a races with listen() in
-  /// another thread resolve.
+  /// Listen on `port` (loopback) and accept one connection. Convenience for
+  /// tests/examples; servers that outlive one connection use SocketListener.
+  static std::unique_ptr<SocketChannel> listen(u16 port,
+                                               const SocketOptions& opts = {});
+  /// Connect to host:port with exponential-backoff retries (so a race with
+  /// listen() in another thread/process resolves) under an overall deadline.
   static std::unique_ptr<SocketChannel> connect(const std::string& host,
-                                                u16 port);
+                                                u16 port,
+                                                const SocketOptions& opts = {});
 
   ~SocketChannel() override;
   SocketChannel(const SocketChannel&) = delete;
@@ -28,8 +78,10 @@ class SocketChannel final : public Channel {
   void do_recv(void* data, std::size_t n) override;
 
  private:
-  explicit SocketChannel(int fd) : fd_(fd) {}
+  friend class SocketListener;
+  SocketChannel(int fd, const SocketOptions& opts) : fd_(fd), opts_(opts) {}
   int fd_;
+  SocketOptions opts_;
 };
 
 }  // namespace abnn2

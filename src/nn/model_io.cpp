@@ -25,9 +25,21 @@ void put_string(Writer& w, const std::string& s) {
 std::string get_string(Reader& r) {
   const u64 n = r.u64_();
   ABNN2_CHECK(n < 4096, "oversized string in model file");
+  ABNN2_CHECK(n <= r.remaining(), "truncated string in model file");
   std::string s(n, '\0');
   r.bytes(s.data(), n);
   return s;
+}
+
+// Caps on hostile inputs: spec fields and blob sizes are validated before
+// any allocation or arithmetic that could overflow.
+constexpr u64 kMaxSpecField = u64{1} << 20;
+constexpr u64 kMaxModelBytes = u64{1} << 30;
+
+u64 get_spec_field(Reader& r) {
+  const u64 v = r.u64_();
+  ABNN2_CHECK(v <= kMaxSpecField, "conv/pool spec field out of range");
+  return v;
 }
 
 }  // namespace
@@ -70,64 +82,81 @@ std::vector<u8> serialize_model(const Model& m) {
 }
 
 Model deserialize_model(std::span<const u8> bytes) {
-  Reader r(bytes);
-  char magic[8];
-  r.bytes(magic, 8);
-  ABNN2_CHECK(std::memcmp(magic, kMagic, 8) == 0, "not an ABNN2 model file");
-  const u32 version = r.u32_();
-  ABNN2_CHECK(version >= 1 && version <= kVersion,
-              "unsupported model file version");
-  const u64 ring_bits = r.u64_();
-  ABNN2_CHECK(ring_bits >= 1 && ring_bits <= 64, "bad ring width");
-  Model m{ss::Ring(ring_bits)};
-  const u64 n_layers = r.u64_();
-  ABNN2_CHECK(n_layers >= 1 && n_layers <= 1024, "bad layer count");
-  for (u64 i = 0; i < n_layers; ++i) {
-    FcLayer l{{}, {}, FragScheme::parse(get_string(r)), {}, {}};
-    if (r.u8_()) {
-      ConvSpec cv{};
-      cv.in_c = r.u64_();
-      cv.in_h = r.u64_();
-      cv.in_w = r.u64_();
-      cv.k_h = r.u64_();
-      cv.k_w = r.u64_();
-      cv.out_c = r.u64_();
-      cv.stride = r.u64_();
-      cv.pad = r.u64_();
-      l.conv = cv;
+  // Every read below is bounds-checked by Reader; in addition, every
+  // attacker-controlled size is validated against the bytes actually present
+  // BEFORE it drives an allocation, so a hostile 8-byte prefix cannot force
+  // a multi-GiB reserve. Parse failures from nested decoders (scheme names,
+  // ring widths) are normalized to ProtocolError so callers see one failure
+  // type for "malformed file".
+  try {
+    Reader r(bytes);
+    char magic[8];
+    r.bytes(magic, 8);
+    ABNN2_CHECK(std::memcmp(magic, kMagic, 8) == 0, "not an ABNN2 model file");
+    const u32 version = r.u32_();
+    ABNN2_CHECK(version >= 1 && version <= kVersion,
+                "unsupported model file version");
+    const u64 ring_bits = r.u64_();
+    ABNN2_CHECK(ring_bits >= 1 && ring_bits <= 64, "bad ring width");
+    Model m{ss::Ring(ring_bits)};
+    const u64 n_layers = r.u64_();
+    ABNN2_CHECK(n_layers >= 1 && n_layers <= 1024, "bad layer count");
+    for (u64 i = 0; i < n_layers; ++i) {
+      FcLayer l{{}, {}, FragScheme::parse(get_string(r)), {}, {}};
+      if (r.u8_()) {
+        ConvSpec cv{};
+        cv.in_c = get_spec_field(r);
+        cv.in_h = get_spec_field(r);
+        cv.in_w = get_spec_field(r);
+        cv.k_h = get_spec_field(r);
+        cv.k_w = get_spec_field(r);
+        cv.out_c = get_spec_field(r);
+        cv.stride = get_spec_field(r);
+        cv.pad = get_spec_field(r);
+        l.conv = cv;
+      }
+      if (version >= 2 && r.u8_()) {
+        PoolSpec pl{};
+        pl.c = get_spec_field(r);
+        pl.h = get_spec_field(r);
+        pl.w = get_spec_field(r);
+        pl.win_h = get_spec_field(r);
+        pl.win_w = get_spec_field(r);
+        pl.stride = get_spec_field(r);
+        l.pool = pl;
+      }
+      const u64 rows = r.u64_();
+      const u64 cols = r.u64_();
+      ABNN2_CHECK(rows >= 1 && rows <= (u64{1} << 28) && cols >= 1 &&
+                      cols <= (u64{1} << 28) && rows * cols <= (u64{1} << 28),
+                  "bad layer shape");
+      const u64 packed_size = r.u64_();
+      ABNN2_CHECK(packed_size <= r.remaining(),
+                  "truncated weight block in model file");
+      std::vector<u8> packed(packed_size);
+      r.bytes(packed.data(), packed_size);
+      l.codes = MatU64(rows, cols);
+      l.codes.data() = unpack_bits(packed, code_bits(l.scheme), rows * cols);
+      const u64 bias_len = r.u64_();
+      if (bias_len > 0) {
+        ABNN2_CHECK(bias_len == rows, "bias length mismatch");
+        const u64 pb_size = r.u64_();
+        ABNN2_CHECK(pb_size <= r.remaining(),
+                    "truncated bias block in model file");
+        std::vector<u8> pb(pb_size);
+        r.bytes(pb.data(), pb_size);
+        l.bias = unpack_bits(pb, ring_bits, bias_len);
+      }
+      m.layers.push_back(std::move(l));
     }
-    if (version >= 2 && r.u8_()) {
-      PoolSpec pl{};
-      pl.c = r.u64_();
-      pl.h = r.u64_();
-      pl.w = r.u64_();
-      pl.win_h = r.u64_();
-      pl.win_w = r.u64_();
-      pl.stride = r.u64_();
-      l.pool = pl;
-    }
-    const u64 rows = r.u64_();
-    const u64 cols = r.u64_();
-    ABNN2_CHECK(rows >= 1 && cols >= 1 && rows * cols <= (u64{1} << 28),
-                "bad layer shape");
-    const u64 packed_size = r.u64_();
-    std::vector<u8> packed(packed_size);
-    r.bytes(packed.data(), packed_size);
-    l.codes = MatU64(rows, cols);
-    l.codes.data() = unpack_bits(packed, code_bits(l.scheme), rows * cols);
-    const u64 bias_len = r.u64_();
-    if (bias_len > 0) {
-      ABNN2_CHECK(bias_len == rows, "bias length mismatch");
-      const u64 pb_size = r.u64_();
-      std::vector<u8> pb(pb_size);
-      r.bytes(pb.data(), pb_size);
-      l.bias = unpack_bits(pb, ring_bits, bias_len);
-    }
-    m.layers.push_back(std::move(l));
+    ABNN2_CHECK(r.done(), "trailing bytes in model file");
+    m.validate();
+    return m;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ProtocolError(std::string("malformed model file: ") + e.what());
   }
-  ABNN2_CHECK(r.done(), "trailing bytes in model file");
-  m.validate();
-  return m;
 }
 
 void save_model(const Model& m, const std::string& path) {
@@ -143,6 +172,7 @@ Model load_model(const std::string& path) {
   std::ifstream f(path, std::ios::binary | std::ios::ate);
   ABNN2_CHECK(f.good(), "cannot open model file: " + path);
   const auto size = static_cast<std::size_t>(f.tellg());
+  ABNN2_CHECK(size <= kMaxModelBytes, "model file too large: " + path);
   f.seekg(0);
   std::vector<u8> bytes(size);
   f.read(reinterpret_cast<char*>(bytes.data()),

@@ -4,6 +4,7 @@
 #include "common/bitmatrix.h"
 #include "common/bitvec.h"
 #include "common/block.h"
+#include "common/crc32c.h"
 #include "common/serial.h"
 #include "crypto/prg.h"
 
@@ -187,6 +188,28 @@ TEST(Defines, MaskAndRounding) {
   EXPECT_EQ(bytes_for_bits(9), 2u);
   EXPECT_EQ(ceil_div(10, 3), 4u);
   EXPECT_EQ(round_up(10, 8), 16u);
+}
+
+TEST(Crc32c, KnownAnswersAndChaining) {
+  // RFC 3720 test vector for CRC32C (Castagnoli).
+  EXPECT_EQ(crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(crc32c("", 0), 0u);
+  const std::vector<u8> zeros(32, 0);
+  EXPECT_EQ(crc32c(zeros.data(), 32), 0x8A9136AAu);  // RFC 3720 vector
+  // Chaining via the seed argument equals one pass over the concatenation.
+  const std::string msg = "hello framed transport layer";
+  const u32 whole = crc32c(msg.data(), msg.size());
+  const u32 part = crc32c(msg.data() + 10, msg.size() - 10,
+                          crc32c(msg.data(), 10));
+  EXPECT_EQ(part, whole);
+  // Single-bit sensitivity: any one flipped bit changes the checksum.
+  std::vector<u8> buf(64, 0x5C);
+  const u32 base = crc32c(buf.data(), buf.size());
+  for (std::size_t i = 0; i < buf.size() * 8; i += 37) {
+    auto copy = buf;
+    copy[i / 8] ^= static_cast<u8>(1u << (i % 8));
+    EXPECT_NE(crc32c(copy.data(), copy.size()), base);
+  }
 }
 
 }  // namespace

@@ -1,11 +1,20 @@
-// Tests for the transport layer: in-memory channel, TCP channel, traffic
-// metering / round counting, the LAN/WAN network model and the two-party
-// runner's failure handling.
+// Tests for the transport layer: in-memory channel, TCP channel, framing
+// (sequence numbers + CRC32C), deterministic fault injection and the chaos
+// sweep, socket deadlines, reconnect-and-resume, traffic metering / round
+// counting, the LAN/WAN network model and the two-party runner's failure
+// handling.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <future>
 #include <thread>
+#include <tuple>
 
+#include "core/inference.h"
+#include "crypto/sha256.h"
+#include "nn/model_io.h"
+#include "net/fault_channel.h"
+#include "net/framed_channel.h"
 #include "net/mem_channel.h"
 #include "net/party_runner.h"
 #include "net/socket_channel.h"
@@ -173,11 +182,400 @@ TEST(SocketChannel, PeerCloseRaises) {
 }
 
 TEST(SocketChannel, ConnectToNothingEventuallyFails) {
-  EXPECT_THROW(SocketChannel::connect("127.0.0.1", 1), ChannelError);
+  SocketOptions opts;
+  opts.connect_timeout_ms = 200;  // fail fast: nothing listens on port 1
+  EXPECT_THROW(SocketChannel::connect("127.0.0.1", 1, opts), ChannelTimeout);
 }
 
 TEST(SocketChannel, BadAddressRejected) {
   EXPECT_THROW(SocketChannel::connect("not-an-ip", 9999), ChannelError);
+}
+
+TEST(SocketListener, EphemeralPortAndMultipleAccepts) {
+  SocketListener listener(0);  // kernel-assigned port
+  ASSERT_NE(listener.port(), 0);
+  for (int round = 0; round < 2; ++round) {
+    auto fut = std::async(std::launch::async, [&] {
+      return SocketChannel::connect("127.0.0.1", listener.port());
+    });
+    auto srv = listener.accept();
+    auto cli = fut.get();
+    cli->send_u64(100 + static_cast<u64>(round));
+    EXPECT_EQ(srv->recv_u64(), 100u + static_cast<u64>(round));
+  }
+}
+
+TEST(SocketListener, AcceptTimesOut) {
+  SocketListener listener(0);
+  SocketOptions opts;
+  opts.accept_timeout_ms = 50;
+  EXPECT_THROW(listener.accept(opts), ChannelTimeout);
+}
+
+TEST(SocketChannel, RecvTimesOutOnSilentPeer) {
+  SocketListener listener(0);
+  SocketOptions opts;
+  opts.recv_timeout_ms = 50;
+  auto fut = std::async(std::launch::async, [&] {
+    return SocketChannel::connect("127.0.0.1", listener.port(), opts);
+  });
+  auto srv = listener.accept(opts);
+  auto cli = fut.get();
+  EXPECT_THROW(cli->recv_u64(), ChannelTimeout);  // server never sends
+  srv->send_u64(7);
+  EXPECT_EQ(cli->recv_u64(), 7u);  // channel still usable after a timeout
+}
+
+// ---- framing ------------------------------------------------------------
+
+TEST(FramedChannel, RoundTripsAcrossGranularities) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fa(*a), fb(*b);
+  fa.send_u64(11);
+  std::vector<u8> big(100'000);
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = static_cast<u8>(i * 7);
+  fa.send_msg(big);
+  EXPECT_EQ(fb.recv_u64(), 11u);
+  EXPECT_EQ(fb.recv_msg(), big);
+  // Receive granularity need not match send granularity.
+  fa.send_u64(0x0102030405060708);
+  u8 lo[4], hi[4];
+  fb.recv(lo, 4);
+  fb.recv(hi, 4);
+  EXPECT_EQ(lo[0], 0x08);
+  EXPECT_EQ(hi[3], 0x01);
+  EXPECT_GE(fa.frames_sent(), 3u);
+  EXPECT_EQ(fb.frames_received(), fa.frames_sent());
+}
+
+TEST(FramedChannel, OversizedSendsAreSplit) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fa(*a, /*max_frame=*/1024);
+  FramedChannel fb(*b, /*max_frame=*/1024);
+  std::vector<u8> big(10'000, 0xAB);
+  fa.send(big.data(), big.size());
+  std::vector<u8> got(big.size());
+  fb.recv(got.data(), got.size());
+  EXPECT_EQ(got, big);
+  EXPECT_GE(fa.frames_sent(), 10u);
+}
+
+TEST(FramedChannel, PayloadCorruptionDetected) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fa(*a);
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCorruptRecv;
+  plan.trigger_offset = FramedChannel::kHeaderBytes + 3;  // inside payload
+  plan.bit_in_byte = 5;
+  FaultInjectingChannel fc(*b, plan);
+  FramedChannel fb(fc);
+  fa.send_u64(0xDEAD);
+  try {
+    fb.recv_u64();
+    FAIL() << "corrupted payload was not detected";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("CRC"), std::string::npos);
+  }
+}
+
+TEST(FramedChannel, HeaderCorruptionDetectedBeforeLenIsTrusted) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fa(*a);
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCorruptRecv;
+  plan.trigger_offset = 5;  // inside the length field of the first header
+  plan.bit_in_byte = 7;     // a high bit: would inflate len by 2^31 if trusted
+  FaultInjectingChannel fc(*b, plan);
+  FramedChannel fb(fc);
+  fa.send_u64(1);
+  // Must throw instead of blocking forever on bytes that will never arrive.
+  EXPECT_THROW(fb.recv_u64(), ProtocolError);
+}
+
+TEST(FramedChannel, PeerRestartDetectedViaSequenceNumbers) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fb(*b);
+  {
+    FramedChannel fa(*a);
+    fa.send_u64(1);
+    EXPECT_EQ(fb.recv_u64(), 1u);
+  }
+  // A "restarted" sender begins a fresh stream at seq 0; the receiver
+  // expects seq 1 and must flag the desync.
+  FramedChannel fa2(*a);
+  fa2.send_u64(2);
+  EXPECT_THROW(fb.recv_u64(), ProtocolError);
+}
+
+TEST(FramedChannel, GarbageStreamRejected) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fb(*b);
+  std::vector<u8> junk(64, 0x5A);  // no valid frame magic
+  a->send(junk.data(), junk.size());
+  EXPECT_THROW(fb.recv_u64(), ProtocolError);
+}
+
+TEST(FramedChannel, FrameAboveReceiverLimitRejected) {
+  auto [a, b] = MemChannel::make_pair();
+  FramedChannel fa(*a);                        // default (large) max frame
+  FramedChannel fb(*b, /*max_frame=*/1 << 10);  // strict receiver
+  std::vector<u8> big(1 << 12, 1);
+  fa.send(big.data(), big.size());
+  EXPECT_THROW(fb.recv_u64(), ProtocolError);
+}
+
+// ---- fault injection ----------------------------------------------------
+
+TEST(FaultPlan, DeterministicAndDiverse) {
+  bool kinds_seen[6] = {};
+  for (u64 seed = 0; seed < 64; ++seed) {
+    const FaultPlan p = FaultPlan::from_seed(seed, 10'000);
+    const FaultPlan q = FaultPlan::from_seed(seed, 10'000);
+    EXPECT_EQ(p.kind, q.kind);
+    EXPECT_EQ(p.trigger_offset, q.trigger_offset);
+    EXPECT_EQ(p.bit_in_byte, q.bit_in_byte);
+    EXPECT_EQ(p.delay_ms, q.delay_ms);
+    EXPECT_LT(p.trigger_offset, 10'000u);
+    EXPECT_LT(p.bit_in_byte, 8u);
+    kinds_seen[static_cast<u32>(p.kind)] = true;
+    EXPECT_FALSE(p.describe().empty());
+  }
+  for (bool seen : kinds_seen) EXPECT_TRUE(seen) << "64 seeds missed a kind";
+}
+
+TEST(FaultInjectingChannel, CutSendFailsThisEndpointAndUnblocksPeer) {
+  FaultPlan plan;
+  plan.kind = FaultPlan::Kind::kCutSend;
+  plan.trigger_offset = 4;
+  EXPECT_THROW(
+      run_two_parties(
+          [&](Channel& ch) {
+            FaultInjectingChannel fc(ch, plan);
+            fc.send_u64(1);  // cut mid-message
+            return 0;
+          },
+          [&](Channel& ch) {
+            ch.recv_u64();  // must unblock with an error, not hang
+            return 0;
+          }),
+      ChannelError);
+}
+
+// ---- chaos sweep --------------------------------------------------------
+
+// Full secure inference with a deterministic fault injected under the framed
+// layer. Every seed must either complete with the exact plaintext result or
+// surface a typed error (ChannelError / ProtocolError) on some party —
+// never hang, never return a wrong answer.
+TEST(Chaos, InferenceSurvivesSeedSweep) {
+  using core::InferenceClient;
+  using core::InferenceConfig;
+  using core::InferenceServer;
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {20, 12, 4}, Block{404, 7});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(20, batch, 12, ring, Block{405, 8});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+  InferenceConfig cfg(ring);
+
+  // One run of the full stack: protocol -> FramedChannel ->
+  // FaultInjectingChannel -> MemChannel. Returns per-endpoint traffic (bytes
+  // through the fault layer) for calibrating trigger offsets.
+  struct RunOut {
+    u64 server_sent = 0, server_recv = 0, client_sent = 0, client_recv = 0;
+    bool ok = false;
+    bool fired = false;
+  };
+  const auto run_once = [&](FaultPlan sp, FaultPlan cp) {
+    RunOut out;
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, sp);
+          FramedChannel f(fc);
+          server.run_offline(f);
+          server.run_online(f);
+          return std::tuple{fc.stats().bytes_sent, fc.stats().bytes_received,
+                            fc.fired()};
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, cp);
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          auto logits = client.run_online(f, x);
+          EXPECT_EQ(logits, want) << "fault produced a WRONG result: "
+                                  << sp.describe() << " / " << cp.describe();
+          return std::tuple{fc.stats().bytes_sent, fc.stats().bytes_received,
+                            fc.fired(), logits == want};
+        });
+    out.server_sent = std::get<0>(res.party0);
+    out.server_recv = std::get<1>(res.party0);
+    out.client_sent = std::get<0>(res.party1);
+    out.client_recv = std::get<1>(res.party1);
+    out.fired = std::get<2>(res.party0) || std::get<2>(res.party1);
+    out.ok = std::get<3>(res.party1);
+    return out;
+  };
+
+  // Calibration: a clean run measures per-endpoint, per-direction traffic.
+  const RunOut clean = run_once(FaultPlan{}, FaultPlan{});
+  ASSERT_TRUE(clean.ok);
+  ASSERT_GT(clean.server_sent, 0u);
+  ASSERT_GT(clean.client_sent, 0u);
+
+  int successes = 0, typed_failures = 0, faults_fired = 0;
+  for (u64 seed = 1; seed <= 24; ++seed) {
+    // Odd seeds fault the server endpoint, even seeds the client, so both
+    // directions of every protocol phase fall inside some trigger window.
+    FaultPlan sp, cp;
+    if (seed % 2) {
+      sp = FaultPlan::from_seed(seed, clean.server_sent, clean.server_recv);
+    } else {
+      cp = FaultPlan::from_seed(seed, clean.client_sent, clean.client_recv);
+    }
+    try {
+      const RunOut out = run_once(sp, cp);
+      EXPECT_TRUE(out.ok) << "seed " << seed;
+      ++successes;
+      faults_fired += out.fired ? 1 : 0;
+    } catch (const ProtocolError&) {
+      ++typed_failures;
+      ++faults_fired;
+    } catch (const ChannelError&) {
+      ++typed_failures;
+      ++faults_fired;
+    }
+  }
+  // The sweep must exercise both outcomes.
+  EXPECT_GE(successes, 1) << "every seed failed";
+  EXPECT_GE(typed_failures, 1) << "no seed injected an effective fault";
+  EXPECT_GE(faults_fired, 8);
+}
+
+// ---- reconnect and resume ----------------------------------------------
+
+// Kills the client mid-online-phase over a real socket, then reconnects:
+// the server must keep its offline triplet material, grant the resume, and
+// the re-run batch must produce the exact plaintext result.
+TEST(Reconnect, ClientResumesInterruptedBatchOverSockets) {
+  using core::InferenceClient;
+  using core::InferenceConfig;
+  using core::InferenceServer;
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {20, 12, 4}, Block{500, 3});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(20, batch, 12, ring, Block{501, 4});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+  InferenceConfig cfg(ring);
+
+  // Calibrate: client send-bytes during the offline phase (deterministic for
+  // a fixed model/config — message sizes depend only on shapes).
+  u64 offline_send_bytes = 0;
+  {
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    run_two_parties(
+        [&](Channel& ch) {
+          FramedChannel f(ch);
+          server.run_offline(f);
+          server.run_online(f);
+          return 0;
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, FaultPlan{});
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          offline_send_bytes = fc.stats().bytes_sent;
+          (void)client.run_online(f, x);
+          return 0;
+        });
+    ASSERT_GT(offline_send_bytes, 0u);
+  }
+
+  SocketOptions opts;
+  opts.accept_timeout_ms = 10'000;
+  opts.recv_timeout_ms = 10'000;
+  opts.connect_timeout_ms = 10'000;
+
+  SocketListener listener(0);
+  InferenceServer server(model, cfg);
+  std::thread srv([&] {
+    {
+      auto s1 = listener.accept(opts);
+      FramedChannel ch(*s1);
+      try {
+        server.run_offline(ch);
+        server.run_online(ch);
+        ADD_FAILURE() << "server finished a batch the client abandoned";
+      } catch (const ChannelError&) {
+      } catch (const ProtocolError&) {
+      }
+    }
+    server.reset_session();
+    EXPECT_TRUE(server.has_offline_material());
+    auto s2 = listener.accept(opts);
+    FramedChannel ch(*s2);
+    server.run_offline(ch);
+    server.run_online(ch);
+  });
+
+  InferenceClient client(cfg);
+  {
+    // Connection 1: the link dies partway into the online phase.
+    FaultPlan cut;
+    cut.kind = FaultPlan::Kind::kCutSend;
+    cut.trigger_offset = offline_send_bytes + 100;
+    auto sock = SocketChannel::connect("127.0.0.1", listener.port(), opts);
+    FaultInjectingChannel fc(*sock, cut);
+    FramedChannel ch(fc);
+    client.run_offline(ch, batch);
+    EXPECT_FALSE(client.resumed());
+    EXPECT_THROW(client.run_online(ch, x), ChannelError);
+    EXPECT_TRUE(client.has_offline_material());
+  }
+  // Connection 2: reconnect, resume, re-run the interrupted batch.
+  client.reset_session();
+  auto sock = SocketChannel::connect("127.0.0.1", listener.port(), opts);
+  FramedChannel ch(*sock);
+  client.run_offline(ch, batch);
+  EXPECT_TRUE(client.resumed());
+  const auto logits = client.run_online(ch, x);
+  EXPECT_EQ(logits, want);
+  srv.join();
+  EXPECT_FALSE(server.has_offline_material());  // consumed by the success
+}
+
+// Model digest pinning: the handshake aborts when the server serves a
+// different model than the client expects.
+TEST(Handshake, ModelDigestPinRejectsWrongModel) {
+  using core::InferenceClient;
+  using core::InferenceConfig;
+  using core::InferenceServer;
+  const ss::Ring ring(32);
+  const auto served = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                       {10, 8, 4}, Block{600, 1});
+  const auto expected = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                         {10, 8, 4}, Block{600, 2});
+  const auto bytes = nn::serialize_model(expected);
+  InferenceConfig scfg(ring);
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = Sha256::hash(bytes.data(), bytes.size());
+  EXPECT_THROW(
+      run_two_parties(
+          [&](Channel& ch) {
+            InferenceServer server(served, scfg);
+            server.run_offline(ch);
+            return 0;
+          },
+          [&](Channel& ch) {
+            InferenceClient client(ccfg);
+            client.run_offline(ch, 1);
+            return 0;
+          }),
+      ProtocolError);
 }
 
 }  // namespace

@@ -202,6 +202,59 @@ TEST(ModelIo, RejectsGarbage) {
   EXPECT_THROW(nn::deserialize_model(trunc), ProtocolError);
 }
 
+// Fuzz the loader with hostile byte streams: every truncation, a sweep of
+// single-bit flips, and fully random blobs. The loader must either return a
+// valid model or throw ProtocolError — it must never crash, hit UB, or let a
+// hostile length prefix drive a huge allocation (the ~300-byte inputs here
+// would OOM long before failing if any size field were trusted unchecked).
+TEST(ModelIo, FuzzedInputsNeverCrashOrOverAllocate) {
+  const Ring ring(32);
+  auto m = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"), {9, 6, 3},
+                            Block{13, 13});
+  m.layers[0].bias.assign(6, 3);
+  m.validate();
+  const auto bytes = nn::serialize_model(m);
+
+  // Every possible truncation is rejected.
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<u8> t(bytes.begin(), bytes.begin() + n);
+    EXPECT_THROW(nn::deserialize_model(t), ProtocolError) << "len " << n;
+  }
+
+  // Single-bit flips: parse to some model (a flipped weight bit is a valid
+  // file) or throw ProtocolError; any other escape fails the test.
+  for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+    for (u32 bit : {0u, 7u}) {
+      auto f = bytes;
+      f[pos] ^= static_cast<u8>(1u << bit);
+      try {
+        (void)nn::deserialize_model(f);
+      } catch (const ProtocolError&) {
+      }
+    }
+  }
+
+  // Random blobs (deterministic splitmix64 stream).
+  u64 s = 0x0DDB1A5E5BAD5EEDULL;
+  const auto next = [&s] {
+    u64 z = (s += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  };
+  for (int it = 0; it < 200; ++it) {
+    std::vector<u8> blob(next() % 512);
+    for (auto& b : blob) b = static_cast<u8>(next());
+    // Half the blobs keep a valid magic+version prefix so the fuzz reaches
+    // the interesting layer-parsing code instead of dying on the magic check.
+    if (it % 2 && blob.size() >= 12) {
+      const u8 prefix[12] = {'A', 'B', 'N', 'N', '2', 'M', 'D', 'L', 2, 0, 0, 0};
+      std::copy(prefix, prefix + 12, blob.begin());
+    }
+    EXPECT_THROW(nn::deserialize_model(blob), ProtocolError) << "it " << it;
+  }
+}
+
 TEST(ModelIo, RejectsCorruptedCodes) {
   const Ring ring(32);
   const auto m = nn::random_model(ring, nn::FragScheme::ternary(), {4, 2},

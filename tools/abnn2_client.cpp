@@ -3,44 +3,90 @@
 // protocol is identical).
 //
 //   abnn2_client <host> <port> <ring_bits> [batch=1] [batches=1]
+//
+// Transient transport failures are retried: the client drops its session
+// state, reconnects with backoff, and the handshake resumes the interrupted
+// batch on the offline material both sides retained. Protocol errors
+// (version/ring/model mismatch, corrupted frames that cannot be trusted)
+// are fatal.
 #include <cstdio>
 #include <cstdlib>
 
 #include "core/inference.h"
+#include "net/framed_channel.h"
 #include "net/socket_channel.h"
+#include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
-  if (argc < 4) {
-    std::fprintf(stderr, "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",
+  if (argc < 4 || argc > 6) {
+    std::fprintf(stderr,
+                 "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",
                  argv[0]);
     return 2;
   }
   const std::string host = argv[1];
-  const u16 port = static_cast<u16>(std::atoi(argv[2]));
-  const std::size_t ring_bits = static_cast<std::size_t>(std::atoi(argv[3]));
+  const u16 port = cli::parse_port_or_die(argv[2]);
+  const std::size_t ring_bits = static_cast<std::size_t>(
+      cli::parse_u64_or_die(argv[3], "ring_bits", 1, 64));
   const std::size_t batch =
-      argc > 4 ? static_cast<std::size_t>(std::atoi(argv[4])) : 1;
-  const int batches = argc > 5 ? std::atoi(argv[5]) : 1;
+      argc > 4 ? static_cast<std::size_t>(
+                     cli::parse_u64_or_die(argv[4], "batch", 1, 1 << 20))
+               : 1;
+  const int batches = argc > 5 ? static_cast<int>(cli::parse_u64_or_die(
+                                     argv[5], "batches", 1, 1'000'000))
+                               : 1;
 
   const ss::Ring ring(ring_bits);
   core::InferenceConfig cfg(ring);
-  auto ch = SocketChannel::connect(host, port);
   core::InferenceClient client(cfg);
 
-  for (int b = 0; b < batches; ++b) {
-    client.run_offline(*ch, batch);
-    const auto& info = client.info();
-    const auto x = nn::synthetic_images(info.dims[0], batch, ring_bits / 2,
-                                        ring, Prg::random_block());
-    const auto logits = client.run_online(*ch, x);
-    const auto cls = nn::argmax_logits(ring, logits);
-    std::printf("[client] batch %d predictions:", b + 1);
-    for (auto c : cls) std::printf(" %zu", c);
-    std::printf("\n");
+  SocketOptions opts;
+  opts.connect_timeout_ms = 30'000;
+  opts.recv_timeout_ms = 60'000;
+  constexpr int kMaxAttempts = 5;
+
+  const Block input_seed = Prg::random_block();
+  int done = 0;
+  int attempts = 0;
+  double mb_received = 0;
+  while (done < batches) {
+    try {
+      auto sock = SocketChannel::connect(host, port, opts);
+      FramedChannel ch(*sock);
+      while (done < batches) {
+        client.run_offline(ch, batch);
+        if (client.resumed())
+          std::printf("[client] batch %d resumed (offline phase skipped)\n",
+                      done + 1);
+        const auto& info = client.info();
+        const auto x = nn::synthetic_images(info.dims[0], batch, ring_bits / 2,
+                                            ring, input_seed);
+        const auto logits = client.run_online(ch, x);
+        const auto cls = nn::argmax_logits(ring, logits);
+        std::printf("[client] batch %d predictions:", done + 1);
+        for (auto c : cls) std::printf(" %zu", c);
+        std::printf("\n");
+        ++done;
+        attempts = 0;
+        mb_received = static_cast<double>(ch.stats().bytes_received) / 1e6;
+      }
+    } catch (const ProtocolError& e) {
+      std::fprintf(stderr, "[client] protocol error (fatal): %s\n", e.what());
+      return 1;
+    } catch (const ChannelError& e) {
+      if (++attempts >= kMaxAttempts) {
+        std::fprintf(stderr, "[client] giving up after %d attempts: %s\n",
+                     attempts, e.what());
+        return 1;
+      }
+      std::fprintf(stderr, "[client] connection lost (%s), reconnecting...\n",
+                   e.what());
+      client.reset_session();
+    }
   }
-  std::printf("[client] total received %.2f MB\n",
-              static_cast<double>(ch->stats().bytes_received) / 1e6);
+  std::printf("[client] total received %.2f MB (last connection)\n",
+              mb_received);
   return 0;
 }

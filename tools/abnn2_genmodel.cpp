@@ -10,11 +10,12 @@
 #include <sstream>
 
 #include "nn/model_io.h"
+#include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  if (argc < 2 || argc > 5) {
     std::fprintf(stderr,
                  "usage: %s <out.mdl> [scheme] [ring_bits] [arch|cnn|cnn-pool]\n",
                  argv[0]);
@@ -23,7 +24,9 @@ int main(int argc, char** argv) {
   const std::string path = argv[1];
   const std::string spec = argc > 2 ? argv[2] : "s(2,2,2,2)";
   const std::size_t ring_bits =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 32;
+      argc > 3 ? static_cast<std::size_t>(
+                     cli::parse_u64_or_die(argv[3], "ring_bits", 1, 64))
+               : 32;
   const std::string arch = argc > 4 ? argv[4] : "784,128,128,10";
 
   const ss::Ring ring(ring_bits);
@@ -40,7 +43,12 @@ int main(int argc, char** argv) {
     std::stringstream ss(arch);
     std::string item;
     while (std::getline(ss, item, ','))
-      dims.push_back(static_cast<std::size_t>(std::stoul(item)));
+      dims.push_back(static_cast<std::size_t>(cli::parse_u64_or_die(
+          item.c_str(), "layer width", 1, u64{1} << 20)));
+    if (dims.size() < 2) {
+      std::fprintf(stderr, "error: arch needs at least two layer widths\n");
+      return 2;
+    }
     model = nn::random_model(ring, scheme, dims, seed);
   }
 

@@ -1,35 +1,79 @@
-// Model-serving CLI: loads a model file and serves one secure prediction
-// connection.
+// Model-serving CLI: loads a model file and serves secure prediction batches
+// over framed TCP sessions.
 //
 //   abnn2_server <model.mdl> <port> [batches=1]
+//
+// Transport failures (client crash, cut connection, corrupted frame) do not
+// kill the server: it logs the error, drops the per-connection session state,
+// and re-accepts. Offline triplet material for an interrupted batch is
+// retained, so a reconnecting client resumes at the online phase instead of
+// paying the offline cost again.
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 
 #include "core/inference.h"
+#include "net/framed_channel.h"
 #include "net/socket_channel.h"
 #include "nn/model_io.h"
+#include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  if (argc < 3 || argc > 4) {
     std::fprintf(stderr, "usage: %s <model.mdl> <port> [batches]\n", argv[0]);
     return 2;
   }
-  const nn::Model model = nn::load_model(argv[1]);
-  const u16 port = static_cast<u16>(std::atoi(argv[2]));
-  const int batches = argc > 3 ? std::atoi(argv[3]) : 1;
+  const u16 port = cli::parse_port_or_die(argv[2]);
+  const int batches = argc > 3 ? static_cast<int>(cli::parse_u64_or_die(
+                                     argv[3], "batches", 1, 1'000'000))
+                               : 1;
+  nn::Model model{ss::Ring(1)};
+  try {
+    model = nn::load_model(argv[1]);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
 
   core::InferenceConfig cfg(model.ring);
+  core::InferenceServer server(model, cfg);
   std::printf("[server] model: %zu layers, %zu weights; listening on :%u\n",
               model.layers.size(), model.num_weights(), port);
-  auto ch = SocketChannel::listen(port);
-  core::InferenceServer server(model, cfg);
-  for (int b = 0; b < batches; ++b) {
-    server.run_offline(*ch);
-    server.run_online(*ch);
-    std::printf("[server] batch %d served (%.2f MB sent so far)\n", b + 1,
-                static_cast<double>(ch->stats().bytes_sent) / 1e6);
+
+  std::optional<SocketListener> listener;
+  try {
+    listener.emplace(port);
+  } catch (const ChannelError& e) {
+    std::fprintf(stderr, "error: cannot listen on port %u: %s\n", port,
+                 e.what());
+    return 2;
+  }
+  SocketOptions opts;
+  opts.recv_timeout_ms = 60'000;  // a silent peer is a dead peer
+
+  int served = 0;
+  while (served < batches) {
+    try {
+      auto sock = listener->accept(opts);
+      FramedChannel ch(*sock);
+      while (served < batches) {
+        server.run_offline(ch);
+        server.run_online(ch);
+        ++served;
+        std::printf("[server] batch %d/%d served (%.2f MB sent)\n", served,
+                    batches, static_cast<double>(ch.stats().bytes_sent) / 1e6);
+      }
+    } catch (const ProtocolError& e) {
+      // Corrupt frames / mismatched peers are not retryable on the same
+      // connection; drop it and wait for a well-behaved client.
+      std::fprintf(stderr, "[server] protocol error: %s\n", e.what());
+      server.reset_session();
+    } catch (const ChannelError& e) {
+      std::fprintf(stderr, "[server] connection lost: %s\n", e.what());
+      server.reset_session();
+    }
   }
   return 0;
 }

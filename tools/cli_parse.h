@@ -1,0 +1,42 @@
+// Strict argv parsing for the serving CLIs. atoi() silently maps garbage to
+// 0 — "abnn2_server m.mdl http" would listen on an ephemeral port instead of
+// failing — so every numeric argument goes through these helpers, which
+// reject non-numeric input, trailing junk, and out-of-range values with a
+// usage error.
+#pragma once
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/defines.h"
+
+namespace abnn2::cli {
+
+/// Parses a decimal u64 in [min, max]; exits with a usage error otherwise.
+inline u64 parse_u64_or_die(const char* arg, const char* what, u64 min,
+                            u64 max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(arg, &end, 10);
+  if (end == arg || *end != '\0' || errno == ERANGE ||
+      std::strchr(arg, '-') != nullptr) {
+    std::fprintf(stderr, "error: %s: '%s' is not a valid number\n", what, arg);
+    std::exit(2);
+  }
+  if (v < min || v > max) {
+    std::fprintf(stderr, "error: %s: %llu out of range [%llu, %llu]\n", what,
+                 v, static_cast<unsigned long long>(min),
+                 static_cast<unsigned long long>(max));
+    std::exit(2);
+  }
+  return static_cast<u64>(v);
+}
+
+inline u16 parse_port_or_die(const char* arg) {
+  return static_cast<u16>(parse_u64_or_die(arg, "port", 1, 65535));
+}
+
+}  // namespace abnn2::cli

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Builds the test suite under AddressSanitizer + UBSan and runs it.
+#
+#   tools/run_sanitized_tests.sh [sanitizers] [ctest args...]
+#
+#   tools/run_sanitized_tests.sh                      # address,undefined
+#   tools/run_sanitized_tests.sh thread               # TSan instead
+#   tools/run_sanitized_tests.sh address -R Chaos     # one suite under ASan
+#
+# Uses a dedicated build directory (build-sanitize) so the regular build is
+# untouched. Benchmarks and examples are skipped to keep the instrumented
+# build small.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SAN="${1:-address,undefined}"
+shift || true
+
+BUILD_DIR="build-sanitize"
+cmake -B "$BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DABNN2_SANITIZE="$SAN" \
+  -DABNN2_BUILD_BENCH=OFF \
+  -DABNN2_BUILD_EXAMPLES=OFF
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "$BUILD_DIR" --output-on-failure "$@"
