@@ -9,6 +9,7 @@
 //  - ABNN2_BENCH_FAST=1 shrinks sweeps for quick smoke runs.
 #pragma once
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -43,7 +44,9 @@ RunCost summarize(const TwoPartyResult<R0, R1>& res, const NetworkModel& wan) {
   c.comm_mb = mb(static_cast<double>(res.total_comm_bytes()));
   c.lan_s = res.simulated_seconds(kLan);
   c.wan_s = res.simulated_seconds(wan);
-  c.rounds = res.stats0.rounds + res.stats1.rounds;
+  // Both endpoints observe the same flip for every round trip; the
+  // protocol-level round count is the max, not the sum (see channel.h).
+  c.rounds = std::max(res.stats0.rounds, res.stats1.rounds);
   return c;
 }
 

@@ -13,6 +13,7 @@
 #include "bench_util.h"
 #include "core/triplet_gen.h"
 #include "nn/model.h"
+#include "runtime/thread_pool.h"
 
 namespace abnn2 {
 namespace {
@@ -104,5 +105,22 @@ int main() {
   }
   std::printf(
       "\n(run time = compute + simulated LAN transfer; see DESIGN.md #2)\n");
+
+  // Parallel-runtime speedup on this host: the largest (2,2,2,2) cell with a
+  // 1-thread pool vs the default pool size (ABNN2_THREADS / hardware
+  // concurrency). Transcripts are identical; only compute time changes.
+  {
+    const std::size_t nt = runtime::num_threads();
+    const std::size_t b = batches.back();
+    const auto scheme = nn::FragScheme::parse("(2,2,2,2)");
+    runtime::set_threads(1);
+    const double serial_s = run_cell(scheme, b, ring).compute_s;
+    runtime::set_threads(nt);
+    const double par_s = run_cell(scheme, b, ring).compute_s;
+    std::printf(
+        "parallel runtime: threads=%zu compute %.3fs, serial %.3fs "
+        "-> %.2fx speedup (batch=%zu, (2,2,2,2))\n",
+        nt, par_s, serial_s, serial_s / par_s, b);
+  }
   return 0;
 }

@@ -13,6 +13,7 @@
 #include "baselines/secureml.h"
 #include "core/triplet_gen.h"
 #include "nn/model.h"
+#include "runtime/thread_pool.h"
 
 namespace abnn2 {
 namespace {
@@ -96,6 +97,23 @@ int main() {
     std::printf("%-10s %6zu | %10.1fx %9.1fx %9.1fx |\n", "WAN speedup", d,
                 sm.wan_s / ours[0].wan_s, sm.wan_s / ours[1].wan_s,
                 sm.wan_s / ours[2].wan_s);
+  }
+
+  // Parallel-runtime speedup on this host: the largest 8-bit cell with a
+  // 1-thread pool vs the default pool size (ABNN2_THREADS / hardware
+  // concurrency). Transcripts are identical; only compute time changes.
+  {
+    const std::size_t nt = runtime::num_threads();
+    const std::size_t d = dims.back();
+    const auto scheme = nn::FragScheme::parse("(2,2,2,2)");
+    runtime::set_threads(1);
+    const double serial_s = run_ours(scheme, d, ring).compute_s;
+    runtime::set_threads(nt);
+    const double par_s = run_ours(scheme, d, ring).compute_s;
+    std::printf(
+        "\nparallel runtime: threads=%zu compute %.3fs, serial %.3fs "
+        "-> %.2fx speedup (d=%zu, 8-bit)\n",
+        nt, par_s, serial_s, serial_s / par_s, d);
   }
   return 0;
 }

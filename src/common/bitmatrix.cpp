@@ -1,5 +1,7 @@
 #include "common/bitmatrix.h"
 
+#include "runtime/thread_pool.h"
+
 namespace abnn2 {
 namespace {
 
@@ -24,7 +26,10 @@ BitMatrix BitMatrix::transpose() const {
   // rows 8*jb..8*jb+7, byte column i/8.
   const std::size_t full_row_tiles = rows_ / 8;
   const std::size_t byte_cols = stride_;
-  for (std::size_t it = 0; it < full_row_tiles; ++it) {
+  // Row tile `it` only writes output byte column `it`, so tiles are
+  // independent and the loop parallelizes with disjoint writes. Small
+  // matrices stay serial: the fork/join overhead would dominate.
+  const auto do_row_tile = [&](std::size_t it) {
     const std::size_t i0 = it * 8;
     for (std::size_t jb = 0; jb < byte_cols; ++jb) {
       u64 tile = 0;
@@ -41,6 +46,11 @@ BitMatrix BitMatrix::transpose() const {
         if (b) out.row(out_i0 + k)[out_jb] = b;
       }
     }
+  };
+  if (rows_ * cols_ >= (std::size_t{1} << 16)) {
+    runtime::parallel_for(full_row_tiles, do_row_tile);
+  } else {
+    for (std::size_t it = 0; it < full_row_tiles; ++it) do_row_tile(it);
   }
   // Remaining rows (rows_ % 8) handled bitwise.
   for (std::size_t i = full_row_tiles * 8; i < rows_; ++i)

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <string>
@@ -88,6 +89,14 @@ constexpr std::size_t round_up(std::size_t x, std::size_t m) { return ceil_div(x
 /// Mask selecting the low `l` bits of a 64-bit word (l in [0,64]).
 constexpr u64 mask_l(std::size_t l) {
   return l >= 64 ? ~u64{0} : ((u64{1} << l) - 1);
+}
+
+/// Renders v as a zero-padded hex literal, e.g. 0x00c0ffee. Used by
+/// diagnostics that quote wire constants (handshake magic, versions).
+inline std::string hex_u32(u32 v) {
+  char buf[11];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return std::string(buf);
 }
 
 }  // namespace abnn2

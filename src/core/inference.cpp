@@ -3,6 +3,7 @@
 #include "common/packing.h"
 #include "crypto/sha256.h"
 #include "nn/model_io.h"
+#include "runtime/thread_pool.h"
 
 namespace abnn2::core {
 namespace {
@@ -74,6 +75,7 @@ InferenceServer::InferenceServer(nn::Model model, InferenceConfig cfg)
     : model_(std::move(model)), cfg_(cfg) {
   model_.validate();
   ABNN2_CHECK_ARG(model_.ring == cfg_.ring, "model/config ring mismatch");
+  if (cfg_.threads != 0) runtime::set_threads(cfg_.threads);
   const auto bytes = nn::serialize_model(model_);
   digest_ = Sha256::hash(bytes.data(), bytes.size());
 }
@@ -90,13 +92,13 @@ void InferenceServer::run_offline(Channel& ch) {
   const u32 magic = recv_u32v(ch);
   if (magic != kHandshakeMagicClient)
     throw ProtocolError(
-        "handshake: bad client magic 0x" + std::to_string(magic) +
+        "handshake: bad client magic " + hex_u32(magic) +
         " (peer is not an abnn2 client, or the stream is desynchronized)");
   const u32 version = recv_u32v(ch);
   if (version != kProtocolVersion)
     throw ProtocolError("handshake: client speaks protocol version " +
-                        std::to_string(version) + ", this server speaks " +
-                        std::to_string(kProtocolVersion));
+                        hex_u32(version) + ", this server speaks " +
+                        hex_u32(kProtocolVersion));
   const u64 cli_ring = ch.recv_u64();
   if (cli_ring != cfg_.ring.bits())
     throw ProtocolError("handshake: client ring width " +
@@ -239,7 +241,9 @@ void InferenceServer::run_online(Channel& ch) {
   }
 }
 
-InferenceClient::InferenceClient(InferenceConfig cfg) : cfg_(cfg) {}
+InferenceClient::InferenceClient(InferenceConfig cfg) : cfg_(cfg) {
+  if (cfg_.threads != 0) runtime::set_threads(cfg_.threads);
+}
 
 InferenceClient::Session& InferenceClient::session() {
   if (!sess_) sess_ = std::make_unique<Session>(cfg_);
@@ -266,13 +270,13 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   const u32 magic = recv_u32v(ch);
   if (magic != kHandshakeMagicServer)
     throw ProtocolError(
-        "handshake: bad server magic 0x" + std::to_string(magic) +
+        "handshake: bad server magic " + hex_u32(magic) +
         " (peer is not an abnn2 server, or the stream is desynchronized)");
   const u32 version = recv_u32v(ch);
   if (version != kProtocolVersion)
     throw ProtocolError("handshake: server speaks protocol version " +
-                        std::to_string(version) + ", this client speaks " +
-                        std::to_string(kProtocolVersion));
+                        hex_u32(version) + ", this client speaks " +
+                        hex_u32(kProtocolVersion));
   const u64 srv_ring = ch.recv_u64();
   ABNN2_CHECK(srv_ring == cfg_.ring.bits(),
               "server ring width differs from client config");

@@ -47,7 +47,9 @@ namespace abnn2::core {
 /// exact served model when the client sets `expected_model_digest`.
 inline constexpr u32 kHandshakeMagicClient = 0x43324241;  // "AB2C"
 inline constexpr u32 kHandshakeMagicServer = 0x53324241;  // "AB2S"
-inline constexpr u32 kProtocolVersion = 1;
+/// v2: IKNP/KK13 extend() sends all correction rows as one coalesced wire
+/// message instead of one message per code column (see ot/iknp.h, ot/kk13.h).
+inline constexpr u32 kProtocolVersion = 2;
 
 /// Which offline triplet generator drives the linear layers. The online
 /// phase (share algebra + GC ReLU) is identical for all backends, exactly
@@ -67,6 +69,12 @@ struct InferenceConfig {
   Reveal reveal = Reveal::kLogits;
   std::size_t chunk_instances = 8192;
   std::size_t trunc_bits = 0;  // 0 = paper-faithful (no rescaling)
+  /// Size of the process-wide runtime thread pool used by the hot kernels
+  /// (OT column expansion, pad hashing, garbling, matmul). 0 keeps the
+  /// current process default (ABNN2_THREADS env, else hardware concurrency);
+  /// nonzero calls runtime::set_threads() in the server/client constructor.
+  /// Results are identical for every pool size.
+  std::size_t threads = 0;
   /// Client-side model pin: when set, the handshake fails with ProtocolError
   /// unless the server's model digest matches exactly.
   std::optional<std::array<u8, 32>> expected_model_digest;

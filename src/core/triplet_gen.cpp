@@ -1,6 +1,7 @@
 #include "core/triplet_gen.h"
 
 #include "common/packing.h"
+#include "runtime/thread_pool.h"
 
 namespace abnn2::core {
 namespace {
@@ -34,18 +35,22 @@ void sync_params(Channel& ch, std::size_t m, std::size_t n, std::size_t o,
               "triplet generation parameter mismatch between parties");
 }
 
-std::size_t blob_fields_one_batch(const FragScheme& scheme, std::size_t count) {
-  std::size_t fields = 0;
-  for (std::size_t f = 0; f < scheme.gamma(); ++f)
-    fields += scheme.table_size(f) - 1;
-  // All instances in a chunk cycle through the fragments evenly only when
-  // count is a multiple of gamma; handle the general tail per instance.
-  const std::size_t per_weight = fields;
-  const std::size_t full = count / scheme.gamma();
-  std::size_t total = full * per_weight;
-  for (std::size_t f = 0; f < count % scheme.gamma(); ++f)
-    total += scheme.table_size(f) - 1;
-  return total;
+// Prefix offsets of each instance's fields inside the packed blob of one
+// chunk: instance k owns fields [off[k], off[k+1]). Fixing the layout up
+// front lets the per-instance work run on the thread pool with disjoint
+// writes.
+std::vector<std::size_t> blob_offsets(const FragScheme& scheme,
+                                      const InstanceIter& it, std::size_t t0,
+                                      std::size_t count, std::size_t o,
+                                      BatchMode mode) {
+  std::vector<std::size_t> off(count + 1, 0);
+  for (std::size_t k = 0; k < count; ++k) {
+    const u32 nf = scheme.table_size(it.f(t0 + k));
+    off[k + 1] = off[k] + (mode == BatchMode::kOneBatchCot
+                               ? nf - 1
+                               : static_cast<std::size_t>(nf) * o);
+  }
+  return off;
 }
 
 }  // namespace
@@ -68,6 +73,11 @@ MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
   sync_params(ch, m, n, o, gamma, l, mode);
 
   MatU64 u(m, o);
+  // Per-slice partial accumulators, reduced once after all chunks: ring
+  // addition is commutative and associative, so the result is independent of
+  // the slice count and of which thread ran which slice.
+  const std::size_t n_slices = runtime::num_threads();
+  std::vector<MatU64> partial(n_slices, MatU64(m, o));
   std::size_t t0 = 0;
   while (t0 < total) {
     const std::size_t count = std::min(cfg.chunk_instances, total - t0);
@@ -83,53 +93,54 @@ MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
     // The chunk layout fixes the blob size exactly, so bound recv_msg by it:
     // a corrupted/desynchronized length prefix fails fast instead of
     // allocating.
-    std::size_t fields = 0;
-    if (mode == BatchMode::kOneBatchCot) {
-      for (std::size_t k = 0; k < count; ++k)
-        fields += scheme.table_size(it.f(t0 + k)) - 1;
-    } else {
-      for (std::size_t k = 0; k < count; ++k)
-        fields += scheme.table_size(it.f(t0 + k)) * o;
-    }
+    const std::vector<std::size_t> off =
+        blob_offsets(scheme, it, t0, count, o, mode);
+    const std::size_t fields = off[count];
     // Receive the masked-message blob and pick out the chosen messages.
     const std::vector<u8> blob = ch.recv_msg(bytes_for_bits(fields * l));
+    const std::vector<u64> vals = unpack_bits(blob, l, fields);
     if (mode == BatchMode::kOneBatchCot) {
-      const std::vector<u64> vals = unpack_bits(blob, l, fields);
-      std::size_t pos = 0;
-      for (std::size_t k = 0; k < count; ++k) {
-        const std::size_t t = t0 + k;
-        const u32 nf = scheme.table_size(it.f(t));
-        const u32 w = choices[k];
-        u64 contrib;
-        if (w == 0) {
-          contrib = ring.neg(ot.pad(k).low_bits(l));
-        } else {
-          const u64 masked = vals[pos + w - 1];
-          contrib = ring.reduce(masked ^ ot.pad(k).low_bits(l));
-        }
-        u.at(it.i(t), 0) = ring.add(u.at(it.i(t), 0), contrib);
-        pos += nf - 1;
-      }
-      ABNN2_CHECK(pos == fields, "blob walk mismatch");
+      runtime::parallel_slices(
+          count, n_slices,
+          [&](std::size_t slice, std::size_t kb, std::size_t ke) {
+            MatU64& up = partial[slice];
+            for (std::size_t k = kb; k < ke; ++k) {
+              const std::size_t t = t0 + k;
+              const u32 w = choices[k];
+              u64 contrib;
+              if (w == 0) {
+                contrib = ring.neg(ot.pad(k).low_bits(l));
+              } else {
+                const u64 masked = vals[off[k] + w - 1];
+                contrib = ring.reduce(masked ^ ot.pad(k).low_bits(l));
+              }
+              up.at(it.i(t), 0) = ring.add(up.at(it.i(t), 0), contrib);
+            }
+          });
     } else {
-      const std::vector<u64> vals = unpack_bits(blob, l, fields);
-      std::vector<u64> pad(o);
-      std::size_t pos = 0;
-      for (std::size_t k = 0; k < count; ++k) {
-        const std::size_t t = t0 + k;
-        const u32 nf = scheme.table_size(it.f(t));
-        const u32 w = choices[k];
-        ro_expand_u64(ot.pad(k), l, pad.data(), o);
-        const std::size_t base = pos + static_cast<std::size_t>(w) * o;
-        u64* urow = u.row(it.i(t));
-        for (std::size_t b = 0; b < o; ++b)
-          urow[b] = ring.add(urow[b], ring.reduce(vals[base + b] ^ pad[b]));
-        pos += static_cast<std::size_t>(nf) * o;
-      }
-      ABNN2_CHECK(pos == fields, "blob walk mismatch");
+      runtime::parallel_slices(
+          count, n_slices,
+          [&](std::size_t slice, std::size_t kb, std::size_t ke) {
+            MatU64& up = partial[slice];
+            std::vector<u64> pad(o);
+            for (std::size_t k = kb; k < ke; ++k) {
+              const std::size_t t = t0 + k;
+              const u32 w = choices[k];
+              ro_expand_u64(ot.pad(k), l, pad.data(), o);
+              const std::size_t base =
+                  off[k] + static_cast<std::size_t>(w) * o;
+              u64* urow = up.row(it.i(t));
+              for (std::size_t b = 0; b < o; ++b)
+                urow[b] =
+                    ring.add(urow[b], ring.reduce(vals[base + b] ^ pad[b]));
+            }
+          });
     }
     t0 += count;
   }
+  for (const MatU64& p : partial)
+    for (std::size_t x = 0; x < u.data().size(); ++x)
+      u.data()[x] = ring.add(u.data()[x], p.data()[x]);
   return u;
 }
 
@@ -151,49 +162,75 @@ MatU64 triplet_gen_client(Channel& ch, Kk13Sender& ot, const MatU64& r,
   sync_params(ch, m, n, o, gamma, l, mode);
 
   MatU64 v(m, o);
+  const std::size_t n_slices = runtime::num_threads();
   std::size_t t0 = 0;
   while (t0 < total) {
     const std::size_t count = std::min(cfg.chunk_instances, total - t0);
     ot.extend(ch, count);
 
-    std::vector<u64> fields;
+    const std::vector<std::size_t> off =
+        blob_offsets(scheme, it, t0, count, o, mode);
+    std::vector<u64> fields(off[count]);
     if (mode == BatchMode::kOneBatchCot) {
-      fields.reserve(blob_fields_one_batch(scheme, count));
+      // Each instance writes its own blob segment; the share that feeds the
+      // v accumulator is stashed per instance and reduced serially after.
+      std::vector<u64> share(count);
+      runtime::parallel_slices(
+          count, n_slices,
+          [&](std::size_t, std::size_t kb, std::size_t ke) {
+            for (std::size_t k = kb; k < ke; ++k) {
+              const std::size_t t = t0 + k;
+              const std::size_t f = it.f(t);
+              const u32 nf = scheme.table_size(f);
+              const u64 rj = r.at(it.j(t), 0);
+              const u64 pad0 = ot.pad(k, 0).low_bits(l);
+              const u64 v0 = scheme.value(f, 0, ring);
+              // Share s = value_0 * r + pad_0; server with choice 0 gets
+              // -pad_0.
+              const u64 s = ring.add(ring.mul(v0, rj), pad0);
+              share[k] = s;
+              for (u32 cand = 1; cand < nf; ++cand) {
+                const u64 msg =
+                    ring.sub(ring.mul(scheme.value(f, cand, ring), rj), s);
+                fields[off[k] + cand - 1] =
+                    msg ^ ot.pad(k, cand).low_bits(l);
+              }
+            }
+          });
       for (std::size_t k = 0; k < count; ++k) {
-        const std::size_t t = t0 + k;
-        const std::size_t f = it.f(t);
-        const u32 nf = scheme.table_size(f);
-        const u64 rj = r.at(it.j(t), 0);
-        const u64 pad0 = ot.pad(k, 0).low_bits(l);
-        const u64 v0 = scheme.value(f, 0, ring);
-        // Share s = value_0 * r + pad_0; server with choice 0 gets -pad_0.
-        const u64 s = ring.add(ring.mul(v0, rj), pad0);
-        v.at(it.i(t), 0) = ring.add(v.at(it.i(t), 0), s);
-        for (u32 cand = 1; cand < nf; ++cand) {
-          const u64 msg = ring.sub(ring.mul(scheme.value(f, cand, ring), rj), s);
-          fields.push_back(msg ^ ot.pad(k, cand).low_bits(l));
-        }
+        u64& slot = v.at(it.i(t0 + k), 0);
+        slot = ring.add(slot, share[k]);
       }
     } else {
-      std::vector<u64> pad(o), s(o);
+      // Randomness is drawn serially in the original instance order, so the
+      // PRG stream — and hence the transcript — is identical for every
+      // thread count.
+      std::vector<u64> svals(count * o);
+      for (u64& sv : svals) sv = ring.random(prg);
+      runtime::parallel_slices(
+          count, n_slices,
+          [&](std::size_t, std::size_t kb, std::size_t ke) {
+            std::vector<u64> pad(o);
+            for (std::size_t k = kb; k < ke; ++k) {
+              const std::size_t t = t0 + k;
+              const std::size_t f = it.f(t);
+              const u32 nf = scheme.table_size(f);
+              const u64* rrow = r.row(it.j(t));
+              const u64* s = svals.data() + k * o;
+              for (u32 cand = 0; cand < nf; ++cand) {
+                const u64 val = scheme.value(f, cand, ring);
+                ro_expand_u64(ot.pad(k, cand), l, pad.data(), o);
+                u64* dst = fields.data() + off[k] +
+                           static_cast<std::size_t>(cand) * o;
+                for (std::size_t b = 0; b < o; ++b)
+                  dst[b] = ring.sub(ring.mul(val, rrow[b]), s[b]) ^ pad[b];
+              }
+            }
+          });
       for (std::size_t k = 0; k < count; ++k) {
-        const std::size_t t = t0 + k;
-        const std::size_t f = it.f(t);
-        const u32 nf = scheme.table_size(f);
-        const u64* rrow = r.row(it.j(t));
-        u64* vrow = v.row(it.i(t));
-        for (std::size_t b = 0; b < o; ++b) {
-          s[b] = ring.random(prg);
-          vrow[b] = ring.add(vrow[b], s[b]);
-        }
-        for (u32 cand = 0; cand < nf; ++cand) {
-          const u64 val = scheme.value(f, cand, ring);
-          ro_expand_u64(ot.pad(k, cand), l, pad.data(), o);
-          for (std::size_t b = 0; b < o; ++b) {
-            const u64 msg = ring.sub(ring.mul(val, rrow[b]), s[b]);
-            fields.push_back(msg ^ pad[b]);
-          }
-        }
+        u64* vrow = v.row(it.i(t0 + k));
+        const u64* s = svals.data() + k * o;
+        for (std::size_t b = 0; b < o; ++b) vrow[b] = ring.add(vrow[b], s[b]);
       }
     }
     const std::vector<u8> blob = pack_bits(fields, l);

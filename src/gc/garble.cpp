@@ -1,6 +1,7 @@
 #include "gc/garble.h"
 
 #include "crypto/aes.h"
+#include "runtime/thread_pool.h"
 
 namespace abnn2::gc {
 namespace {
@@ -27,56 +28,67 @@ Garbler::Garbler(const Circuit& c, std::size_t n_instances, u64 tweak_base,
   in_g_labels_.resize(n_instances * c.in_g.size());
   in_e_labels_.resize(n_instances * c.in_e.size());
 
-  std::vector<Block> w(c.num_wires);  // zero-labels
-  for (std::size_t k = 0; k < n_instances; ++k) {
-    for (std::size_t i = 0; i < c.in_g.size(); ++i) {
-      w[c.in_g[i]] = prg.next_block();
-      in_g_labels_[k * c.in_g.size() + i] = w[c.in_g[i]];
-    }
-    for (std::size_t i = 0; i < c.in_e.size(); ++i) {
-      w[c.in_e[i]] = prg.next_block();
-      in_e_labels_[k * c.in_e.size() + i] = w[c.in_e[i]];
-    }
-    Block* table = batch_.tables.data() + k * 2 * n_and;
-    u64 tweak = tweak_base + k * n_and;
-    for (const Gate& g : c.gates) {
-      switch (g.op) {
-        case Op::kXor:
-          w[g.out] = w[g.a] ^ w[g.b];
-          break;
-        case Op::kNot:
-          w[g.out] = w[g.a] ^ delta_;
-          break;
-        case Op::kAnd: {
-          const Block a0 = w[g.a], b0 = w[g.b];
-          const bool pa = a0.lsb(), pb = b0.lsb();
-          const u64 j0 = 2 * tweak, j1 = 2 * tweak + 1;
-          ++tweak;
-          // Garbler half gate.
-          const Block ha0 = hash_label(a0, 0, j0);
-          const Block ha1 = hash_label(a0 ^ delta_, 0, j0);
-          Block tg = ha0 ^ ha1;
-          if (pb) tg ^= delta_;
-          Block wg = ha0;
-          if (pa) wg ^= tg;
-          // Evaluator half gate.
-          const Block hb0 = hash_label(b0, 0, j1);
-          const Block hb1 = hash_label(b0 ^ delta_, 0, j1);
-          const Block te = hb0 ^ hb1 ^ a0;
-          Block we = hb0;
-          if (pb) we ^= te ^ a0;
-          table[0] = tg;
-          table[1] = te;
-          table += 2;
-          w[g.out] = wg ^ we;
-          break;
+  // Input zero-labels for instance k come from Prg(label_seed, k), not from
+  // the shared `prg` stream, so instances garble independently on the thread
+  // pool with a schedule- and thread-count-independent result. The labels
+  // are garbler-local secrets; only the (already per-instance) tables and
+  // masked labels ever hit the wire.
+  const Block label_seed = prg.next_block();
+  runtime::parallel_slices(
+      n_instances, runtime::num_threads(),
+      [&](std::size_t, std::size_t kb, std::size_t ke) {
+        std::vector<Block> w(c.num_wires);  // zero-labels
+        for (std::size_t k = kb; k < ke; ++k) {
+          Prg kprg(label_seed, static_cast<u64>(k));
+          for (std::size_t i = 0; i < c.in_g.size(); ++i) {
+            w[c.in_g[i]] = kprg.next_block();
+            in_g_labels_[k * c.in_g.size() + i] = w[c.in_g[i]];
+          }
+          for (std::size_t i = 0; i < c.in_e.size(); ++i) {
+            w[c.in_e[i]] = kprg.next_block();
+            in_e_labels_[k * c.in_e.size() + i] = w[c.in_e[i]];
+          }
+          Block* table = batch_.tables.data() + k * 2 * n_and;
+          u64 tweak = tweak_base + k * n_and;
+          for (const Gate& g : c.gates) {
+            switch (g.op) {
+              case Op::kXor:
+                w[g.out] = w[g.a] ^ w[g.b];
+                break;
+              case Op::kNot:
+                w[g.out] = w[g.a] ^ delta_;
+                break;
+              case Op::kAnd: {
+                const Block a0 = w[g.a], b0 = w[g.b];
+                const bool pa = a0.lsb(), pb = b0.lsb();
+                const u64 j0 = 2 * tweak, j1 = 2 * tweak + 1;
+                ++tweak;
+                // Garbler half gate.
+                const Block ha0 = hash_label(a0, 0, j0);
+                const Block ha1 = hash_label(a0 ^ delta_, 0, j0);
+                Block tg = ha0 ^ ha1;
+                if (pb) tg ^= delta_;
+                Block wg = ha0;
+                if (pa) wg ^= tg;
+                // Evaluator half gate.
+                const Block hb0 = hash_label(b0, 0, j1);
+                const Block hb1 = hash_label(b0 ^ delta_, 0, j1);
+                const Block te = hb0 ^ hb1 ^ a0;
+                Block we = hb0;
+                if (pb) we ^= te ^ a0;
+                table[0] = tg;
+                table[1] = te;
+                table += 2;
+                w[g.out] = wg ^ we;
+                break;
+              }
+            }
+          }
+          for (std::size_t i = 0; i < c.out.size(); ++i)
+            batch_.decode_bits[k * c.out.size() + i] =
+                static_cast<u8>(w[c.out[i]].lsb());
         }
-      }
-    }
-    for (std::size_t i = 0; i < c.out.size(); ++i)
-      batch_.decode_bits[k * c.out.size() + i] =
-          static_cast<u8>(w[c.out[i]].lsb());
-  }
+      });
 }
 
 std::vector<u8> Evaluator::eval(const Circuit& c, const GarbledBatch& batch,
@@ -95,40 +107,48 @@ std::vector<u8> Evaluator::eval(const Circuit& c, const GarbledBatch& batch,
               "evaluator label count mismatch");
 
   std::vector<u8> out(n_instances * c.out.size());
-  std::vector<Block> w(c.num_wires);
-  for (std::size_t k = 0; k < n_instances; ++k) {
-    for (std::size_t i = 0; i < c.in_g.size(); ++i)
-      w[c.in_g[i]] = g_labels[k * c.in_g.size() + i];
-    for (std::size_t i = 0; i < c.in_e.size(); ++i)
-      w[c.in_e[i]] = e_labels[k * c.in_e.size() + i];
-    const Block* table = batch.tables.data() + k * 2 * n_and;
-    u64 tweak = tweak_base + k * n_and;
-    for (const Gate& g : c.gates) {
-      switch (g.op) {
-        case Op::kXor:
-          w[g.out] = w[g.a] ^ w[g.b];
-          break;
-        case Op::kNot:
-          w[g.out] = w[g.a];  // evaluator keeps the label; decode flips bit
-          break;
-        case Op::kAnd: {
-          const Block a = w[g.a], b = w[g.b];
-          const u64 j0 = 2 * tweak, j1 = 2 * tweak + 1;
-          ++tweak;
-          Block wg = hash_label(a, 0, j0);
-          if (a.lsb()) wg ^= table[0];
-          Block we = hash_label(b, 0, j1);
-          if (b.lsb()) we ^= table[1] ^ a;
-          table += 2;
-          w[g.out] = wg ^ we;
-          break;
+  // Instances are independent (per-instance tables, tweaks, labels, output
+  // bytes), so evaluation parallelizes over k with disjoint writes; each
+  // slice reuses one wire-label scratch vector.
+  runtime::parallel_slices(
+      n_instances, runtime::num_threads(),
+      [&](std::size_t, std::size_t kb, std::size_t ke) {
+        std::vector<Block> w(c.num_wires);
+        for (std::size_t k = kb; k < ke; ++k) {
+          for (std::size_t i = 0; i < c.in_g.size(); ++i)
+            w[c.in_g[i]] = g_labels[k * c.in_g.size() + i];
+          for (std::size_t i = 0; i < c.in_e.size(); ++i)
+            w[c.in_e[i]] = e_labels[k * c.in_e.size() + i];
+          const Block* table = batch.tables.data() + k * 2 * n_and;
+          u64 tweak = tweak_base + k * n_and;
+          for (const Gate& g : c.gates) {
+            switch (g.op) {
+              case Op::kXor:
+                w[g.out] = w[g.a] ^ w[g.b];
+                break;
+              case Op::kNot:
+                w[g.out] = w[g.a];  // evaluator keeps label; decode flips bit
+                break;
+              case Op::kAnd: {
+                const Block a = w[g.a], b = w[g.b];
+                const u64 j0 = 2 * tweak, j1 = 2 * tweak + 1;
+                ++tweak;
+                Block wg = hash_label(a, 0, j0);
+                if (a.lsb()) wg ^= table[0];
+                Block we = hash_label(b, 0, j1);
+                if (b.lsb()) we ^= table[1] ^ a;
+                table += 2;
+                w[g.out] = wg ^ we;
+                break;
+              }
+            }
+          }
+          for (std::size_t i = 0; i < c.out.size(); ++i)
+            out[k * c.out.size() + i] =
+                static_cast<u8>(w[c.out[i]].lsb() ^
+                                (batch.decode_bits[k * c.out.size() + i] & 1));
         }
-      }
-    }
-    for (std::size_t i = 0; i < c.out.size(); ++i)
-      out[k * c.out.size() + i] = static_cast<u8>(
-          w[c.out[i]].lsb() ^ (batch.decode_bits[k * c.out.size() + i] & 1));
-  }
+      });
   return out;
 }
 

@@ -5,8 +5,15 @@
 // (real deployments). The base class meters traffic: bytes in each direction
 // and communication rounds (a round is counted whenever the direction flips
 // from sending to receiving), which feeds the LAN/WAN NetworkModel.
+//
+// Round-counting convention: every round trip is observed at *both*
+// endpoints (each side flips send->recv once per ping-pong), so the
+// protocol-level round count of a run is max(a.rounds, b.rounds) — never the
+// sum, which double-counts. NetworkModel::simulate and bench::summarize both
+// use the max.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 #include <span>
 #include <vector>
@@ -103,11 +110,16 @@ struct NetworkModel {
 
   /// Simulated elapsed time for a protocol run: compute time plus transfer
   /// time for all traffic plus one RTT per communication round.
+  ///
+  /// The round count is max(a.rounds, b.rounds): both endpoints observe the
+  /// same direction flip for every round trip, so summing the two counters
+  /// would charge each RTT roughly twice (see the convention note at the top
+  /// of this header).
   double simulate(double compute_s, const ChannelStats& a,
                   const ChannelStats& b) const {
     const double bytes =
         static_cast<double>(a.bytes_sent) + static_cast<double>(b.bytes_sent);
-    const double rounds = static_cast<double>(a.rounds + b.rounds);
+    const double rounds = static_cast<double>(std::max(a.rounds, b.rounds));
     return compute_s + bytes / bandwidth_bytes_per_s + rounds * rtt_s;
   }
 };

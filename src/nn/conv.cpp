@@ -1,5 +1,7 @@
 #include "nn/conv.h"
 
+#include "runtime/thread_pool.h"
+
 namespace abnn2::nn {
 
 MatU64 im2col(const ConvSpec& spec, const MatU64& x) {
@@ -7,31 +9,32 @@ MatU64 im2col(const ConvSpec& spec, const MatU64& x) {
   const std::size_t batch = x.cols();
   const std::size_t oh = spec.out_h(), ow = spec.out_w();
   MatU64 out(spec.patch_size(), oh * ow * batch);
-  for (std::size_t b = 0; b < batch; ++b) {
-    for (std::size_t oy = 0; oy < oh; ++oy) {
-      for (std::size_t ox = 0; ox < ow; ++ox) {
-        const std::size_t col = b * oh * ow + oy * ow + ox;
-        for (std::size_t c = 0; c < spec.in_c; ++c) {
-          for (std::size_t ky = 0; ky < spec.k_h; ++ky) {
-            for (std::size_t kx = 0; kx < spec.k_w; ++kx) {
-              const std::size_t row = (c * spec.k_h + ky) * spec.k_w + kx;
-              const i64 iy = static_cast<i64>(oy * spec.stride + ky) -
-                             static_cast<i64>(spec.pad);
-              const i64 ix = static_cast<i64>(ox * spec.stride + kx) -
-                             static_cast<i64>(spec.pad);
-              if (iy < 0 || ix < 0 || iy >= static_cast<i64>(spec.in_h) ||
-                  ix >= static_cast<i64>(spec.in_w))
-                continue;  // zero padding
-              const std::size_t src =
-                  (c * spec.in_h + static_cast<std::size_t>(iy)) * spec.in_w +
-                  static_cast<std::size_t>(ix);
-              out.at(row, col) = x.at(src, b);
-            }
-          }
+  // Each (batch, output position) owns one output column — disjoint writes,
+  // so the flattened column loop parallelizes cleanly.
+  runtime::parallel_for(batch * oh * ow, [&](std::size_t col) {
+    const std::size_t b = col / (oh * ow);
+    const std::size_t rem = col % (oh * ow);
+    const std::size_t oy = rem / ow;
+    const std::size_t ox = rem % ow;
+    for (std::size_t c = 0; c < spec.in_c; ++c) {
+      for (std::size_t ky = 0; ky < spec.k_h; ++ky) {
+        for (std::size_t kx = 0; kx < spec.k_w; ++kx) {
+          const std::size_t row = (c * spec.k_h + ky) * spec.k_w + kx;
+          const i64 iy = static_cast<i64>(oy * spec.stride + ky) -
+                         static_cast<i64>(spec.pad);
+          const i64 ix = static_cast<i64>(ox * spec.stride + kx) -
+                         static_cast<i64>(spec.pad);
+          if (iy < 0 || ix < 0 || iy >= static_cast<i64>(spec.in_h) ||
+              ix >= static_cast<i64>(spec.in_w))
+            continue;  // zero padding
+          const std::size_t src =
+              (c * spec.in_h + static_cast<std::size_t>(iy)) * spec.in_w +
+              static_cast<std::size_t>(ix);
+          out.at(row, col) = x.at(src, b);
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -42,7 +45,8 @@ MatU64 conv_plain(const ss::Ring& ring, const ConvSpec& spec,
                   "kernel shape mismatch");
   const MatU64 patches = im2col(spec, x);
   MatU64 y(spec.out_c, patches.cols());
-  for (std::size_t i = 0; i < spec.out_c; ++i)
+  // One output row per out-channel: disjoint writes across i.
+  runtime::parallel_for(spec.out_c, [&](std::size_t i) {
     for (std::size_t j = 0; j < spec.patch_size(); ++j) {
       const u64 w = ring.reduce(kernel_values.at(i, j));
       if (w == 0) continue;
@@ -51,6 +55,7 @@ MatU64 conv_plain(const ss::Ring& ring, const ConvSpec& spec,
       for (std::size_t k = 0; k < patches.cols(); ++k)
         dst[k] = ring.add(dst[k], ring.mul(w, src[k]));
     }
+  });
   return y;
 }
 

@@ -1,5 +1,7 @@
 #include "nn/model.h"
 
+#include "runtime/thread_pool.h"
+
 namespace abnn2::nn {
 
 std::size_t Model::num_weights() const {
@@ -40,7 +42,8 @@ MatU64 matmul_codes(const ss::Ring& ring, const MatU64& codes,
                     const FragScheme& scheme, const MatU64& x) {
   ABNN2_CHECK_ARG(codes.cols() == x.rows(), "matmul dimension mismatch");
   MatU64 y(codes.rows(), x.cols());
-  for (std::size_t i = 0; i < codes.rows(); ++i) {
+  // One output row per weight row: disjoint writes across i.
+  runtime::parallel_for(codes.rows(), [&](std::size_t i) {
     for (std::size_t j = 0; j < codes.cols(); ++j) {
       const u64 w = scheme.interpret_ring(codes.at(i, j), ring);
       if (w == 0) continue;
@@ -49,7 +52,7 @@ MatU64 matmul_codes(const ss::Ring& ring, const MatU64& codes,
       for (std::size_t k = 0; k < x.cols(); ++k)
         yr[k] = ring.add(yr[k], ring.mul(w, xr[k]));
     }
-  }
+  });
   return y;
 }
 

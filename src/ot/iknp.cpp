@@ -1,5 +1,7 @@
 #include "ot/iknp.h"
 
+#include "runtime/thread_pool.h"
+
 namespace abnn2 {
 namespace {
 
@@ -25,14 +27,16 @@ void IknpSender::extend(Channel& ch, std::size_t m) {
   index_base_ += count();
   const std::size_t row_bytes = bytes_for_bits(m);
   // Column-major: row j of `cols` is column j of the logical m x kKappa
-  // matrix Q.
+  // matrix Q. All kKappa correction rows arrive coalesced in a single wire
+  // message (protocol v2) instead of one tiny message per column; the column
+  // expansion itself is embarrassingly parallel (one PRG per column).
   BitMatrix cols(kKappa, m);
-  std::vector<u8> u(row_bytes);
-  for (std::size_t j = 0; j < kKappa; ++j) {
+  std::vector<u8> u(kKappa * row_bytes);
+  ch.recv(u.data(), u.size());
+  runtime::parallel_for(kKappa, [&](std::size_t j) {
     seed_prg_[j].bytes(cols.row(j), row_bytes);
-    ch.recv(u.data(), row_bytes);
-    if (s_[j]) cols.xor_row(j, u.data());
-  }
+    if (s_[j]) cols.xor_row(j, u.data() + j * row_bytes);
+  });
   q_ = cols.transpose();
 }
 
@@ -54,10 +58,10 @@ void IknpSender::send_blocks(Channel& ch,
                              std::span<const std::array<Block, 2>> msgs) {
   ABNN2_CHECK_ARG(msgs.size() == count(), "message count mismatch");
   std::vector<Block> wire(2 * msgs.size());
-  for (std::size_t i = 0; i < msgs.size(); ++i) {
+  runtime::parallel_for(msgs.size(), [&](std::size_t i) {
     wire[2 * i] = msgs[i][0] ^ pad(i, false).block0();
     wire[2 * i + 1] = msgs[i][1] ^ pad(i, true).block0();
-  }
+  });
   ch.send_blocks(wire.data(), wire.size());
 }
 
@@ -69,12 +73,12 @@ std::vector<u64> IknpSender::send_correlated(Channel& ch,
   const u64 mask = mask_l(l);
   std::vector<u64> share(deltas.size());
   std::vector<u64> adj(deltas.size());
-  for (std::size_t i = 0; i < deltas.size(); ++i) {
+  runtime::parallel_for(deltas.size(), [&](std::size_t i) {
     const u64 h0 = pad(i, false).low_bits(l);
     const u64 h1 = pad(i, true).low_bits(l);
     share[i] = h0;
     adj[i] = (deltas[i] + h0 - h1) & mask;
-  }
+  });
   ch.send_u64s(adj.data(), adj.size());
   return share;
 }
@@ -98,15 +102,18 @@ void IknpReceiver::extend(Channel& ch, const BitVec& choices) {
   std::vector<u8> cbytes(row_bytes);
   choices.to_bytes(cbytes.data());
 
+  // Correction rows for all kKappa columns are computed in parallel and sent
+  // as one coalesced wire message (protocol v2).
   BitMatrix cols(kKappa, m);
-  std::vector<u8> u(row_bytes);
-  for (std::size_t j = 0; j < kKappa; ++j) {
+  std::vector<u8> u(kKappa * row_bytes);
+  runtime::parallel_for(kKappa, [&](std::size_t j) {
+    u8* uj = u.data() + j * row_bytes;
     seed_prg_[j][0].bytes(cols.row(j), row_bytes);   // t0 column
-    seed_prg_[j][1].bytes(u.data(), row_bytes);      // t1 column
-    for (std::size_t b = 0; b < row_bytes; ++b)
-      u[b] ^= cols.row(j)[b] ^ cbytes[b];
-    ch.send(u.data(), row_bytes);
-  }
+    seed_prg_[j][1].bytes(uj, row_bytes);            // t1 column
+    const u8* t0 = cols.row(j);
+    for (std::size_t b = 0; b < row_bytes; ++b) uj[b] ^= t0[b] ^ cbytes[b];
+  });
+  ch.send(u.data(), u.size());
   t_ = cols.transpose();
 }
 
@@ -119,8 +126,9 @@ std::vector<Block> IknpReceiver::recv_blocks(Channel& ch) {
   std::vector<Block> wire(2 * count());
   ch.recv_blocks(wire.data(), wire.size());
   std::vector<Block> out(count());
-  for (std::size_t i = 0; i < count(); ++i)
+  runtime::parallel_for(count(), [&](std::size_t i) {
     out[i] = wire[2 * i + (choices_[i] ? 1 : 0)] ^ pad(i).block0();
+  });
   return out;
 }
 
@@ -130,10 +138,10 @@ std::vector<u64> IknpReceiver::recv_correlated(Channel& ch, std::size_t l) {
   std::vector<u64> adj(count());
   ch.recv_u64s(adj.data(), adj.size());
   std::vector<u64> out(count());
-  for (std::size_t i = 0; i < count(); ++i) {
+  runtime::parallel_for(count(), [&](std::size_t i) {
     const u64 hb = pad(i).low_bits(l);
     out[i] = choices_[i] ? ((adj[i] + hb) & mask) : hb;
-  }
+  });
   return out;
 }
 

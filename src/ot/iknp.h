@@ -8,6 +8,13 @@
 // A setup() runs kKappa base OTs once; extend() can then be called any
 // number of times, each producing `m` OT instances with globally unique
 // random-oracle indices.
+//
+// Wire format (protocol v2): each extend() exchanges exactly ONE message —
+// the receiver sends all kKappa correction rows coalesced into a single
+// kKappa * ceil(m/8)-byte buffer (column j at offset j * row_bytes) — rather
+// than one tiny message per column. Column expansion and the per-instance
+// random-oracle pad loops run on the runtime thread pool; results are
+// independent of the pool size (disjoint writes per column/instance).
 #pragma once
 
 #include <array>

@@ -1,5 +1,7 @@
 #include "ot/kk13.h"
 
+#include "runtime/thread_pool.h"
+
 namespace abnn2 {
 namespace {
 
@@ -26,14 +28,16 @@ void Kk13Sender::extend(Channel& ch, std::size_t m) {
   ABNN2_CHECK_ARG(m > 0, "empty extension");
   index_base_ += count();
   const std::size_t row_bytes = bytes_for_bits(m);
+  // All kKkCodeBits correction rows arrive coalesced in one wire message
+  // (protocol v2); column expansion runs on the thread pool.
   BitMatrix cols(kKkCodeBits, m);
-  std::vector<u8> u(row_bytes);
-  for (std::size_t j = 0; j < kKkCodeBits; ++j) {
+  std::vector<u8> u(kKkCodeBits * row_bytes);
+  ch.recv(u.data(), u.size());
+  runtime::parallel_for(kKkCodeBits, [&](std::size_t j) {
     seed_prg_[j].bytes(cols.row(j), row_bytes);
-    ch.recv(u.data(), row_bytes);
     const bool sj = (j < 128) ? s_[0].bit(j) : s_[1].bit(j - 128);
-    if (sj) cols.xor_row(j, u.data());
-  }
+    if (sj) cols.xor_row(j, u.data() + j * row_bytes);
+  });
   q_ = cols.transpose();
 }
 
@@ -53,9 +57,10 @@ void Kk13Sender::send_blocks(Channel& ch, std::span<const Block> msgs, u32 n) {
   ABNN2_CHECK_ARG(n >= 2 && n <= kKkMaxN, "n out of range");
   ABNN2_CHECK_ARG(msgs.size() == count() * n, "message count mismatch");
   std::vector<Block> wire(msgs.size());
-  for (std::size_t i = 0; i < count(); ++i)
+  runtime::parallel_for(count(), [&](std::size_t i) {
     for (u32 j = 0; j < n; ++j)
       wire[i * n + j] = msgs[i * n + j] ^ pad(i, j).block0();
+  });
   ch.send_blocks(wire.data(), wire.size());
 }
 
@@ -88,16 +93,19 @@ void Kk13Receiver::extend(Channel& ch, std::span<const u32> choices) {
   }
   const BitMatrix d_cols = d_rows.transpose();
 
+  // Correction rows for all kKkCodeBits columns are computed in parallel and
+  // sent as one coalesced wire message (protocol v2).
   BitMatrix cols(kKkCodeBits, m);
-  std::vector<u8> u(row_bytes);
-  for (std::size_t j = 0; j < kKkCodeBits; ++j) {
+  std::vector<u8> u(kKkCodeBits * row_bytes);
+  runtime::parallel_for(kKkCodeBits, [&](std::size_t j) {
+    u8* uj = u.data() + j * row_bytes;
     seed_prg_[j][0].bytes(cols.row(j), row_bytes);  // t0 column
-    seed_prg_[j][1].bytes(u.data(), row_bytes);     // t1 column
+    seed_prg_[j][1].bytes(uj, row_bytes);           // t1 column
     const u8* d = d_cols.row(j);
-    u8* t0 = cols.row(j);
-    for (std::size_t b = 0; b < row_bytes; ++b) u[b] ^= t0[b] ^ d[b];
-    ch.send(u.data(), row_bytes);
-  }
+    const u8* t0 = cols.row(j);
+    for (std::size_t b = 0; b < row_bytes; ++b) uj[b] ^= t0[b] ^ d[b];
+  });
+  ch.send(u.data(), u.size());
   t_ = cols.transpose();
 }
 
@@ -111,10 +119,10 @@ std::vector<Block> Kk13Receiver::recv_blocks(Channel& ch, u32 n) {
   std::vector<Block> wire(count() * n);
   ch.recv_blocks(wire.data(), wire.size());
   std::vector<Block> out(count());
-  for (std::size_t i = 0; i < count(); ++i) {
+  runtime::parallel_for(count(), [&](std::size_t i) {
     ABNN2_CHECK(choices_[i] < n, "stored choice exceeds n");
     out[i] = wire[i * n + choices_[i]] ^ pad(i).block0();
-  }
+  });
   return out;
 }
 

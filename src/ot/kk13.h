@@ -17,6 +17,11 @@
 // masked messages from these pads: N x (o*l)-bit messages in the multi-batch
 // scheme (paper 4.1.2), or N-1 messages with the pad-of-0-as-share C-OT trick
 // in the one-batch scheme (paper 4.1.3).
+//
+// Wire format (protocol v2): each extend() sends the 256 correction rows as
+// ONE coalesced message (column j at offset j * row_bytes) instead of one
+// tiny message per column; column expansion and pad loops run on the runtime
+// thread pool with schedule-independent results.
 #pragma once
 
 #include <span>

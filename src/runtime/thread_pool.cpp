@@ -1,0 +1,157 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace abnn2::runtime {
+
+struct ThreadPool::Job {
+  SliceFn fn;
+  std::size_t n = 0;
+  std::size_t n_slices = 0;
+  std::atomic<std::size_t> next{0};  // next unclaimed slice
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::size_t done = 0;  // guarded by mu
+  std::exception_ptr error;
+
+  std::pair<std::size_t, std::size_t> bounds(std::size_t s) const {
+    return {n * s / n_slices, n * (s + 1) / n_slices};
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : n_threads_(threads == 0 ? 1 : threads) {
+  workers_.reserve(n_threads_ - 1);
+  for (std::size_t i = 0; i + 1 < n_threads_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_claimed(Job& job) {
+  for (;;) {
+    const std::size_t s = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (s >= job.n_slices) return;
+    const auto [b, e] = job.bounds(s);
+    std::exception_ptr err;
+    if (b < e) {
+      try {
+        job.fn(s, b, e);
+      } catch (...) {
+        err = std::current_exception();
+      }
+    }
+    std::lock_guard lk(job.mu);
+    if (err && !job.error) job.error = err;
+    if (++job.done == job.n_slices) job.done_cv.notify_all();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock lk(mu_);
+  for (;;) {
+    cv_.wait(lk, [&] { return stop_ || !jobs_.empty(); });
+    if (stop_) return;
+    std::shared_ptr<Job> job = jobs_.front();
+    if (job->next.load(std::memory_order_relaxed) >= job->n_slices) {
+      // Fully claimed; drop it so the next job (if any) becomes visible.
+      jobs_.pop_front();
+      continue;
+    }
+    lk.unlock();
+    run_claimed(*job);
+    lk.lock();
+    if (!jobs_.empty() && jobs_.front() == job) jobs_.pop_front();
+  }
+}
+
+void ThreadPool::run_slices(std::size_t n, std::size_t n_slices,
+                            const SliceFn& fn) {
+  if (n == 0) return;
+  if (n_slices == 0) n_slices = 1;
+  if (n_threads_ == 1 || n_slices == 1) {
+    // Inline path: same slice geometry as the parallel path so per-slice
+    // scratch state behaves identically, run in slice order on the caller.
+    for (std::size_t s = 0; s < n_slices; ++s) {
+      const std::size_t b = n * s / n_slices;
+      const std::size_t e = n * (s + 1) / n_slices;
+      if (b < e) fn(s, b, e);
+    }
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->n = n;
+  job->n_slices = n_slices;
+  {
+    std::lock_guard lk(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+
+  // The caller always helps with its own job, so completion never depends on
+  // a worker being free (two parties can share the pool without deadlock).
+  run_claimed(*job);
+  {
+    std::unique_lock jlk(job->mu);
+    job->done_cv.wait(jlk, [&] { return job->done == job->n_slices; });
+  }
+  {
+    // The job may still sit in the queue if the caller claimed everything
+    // before any worker woke up; remove it.
+    std::lock_guard lk(mu_);
+    for (auto it = jobs_.begin(); it != jobs_.end(); ++it) {
+      if (*it == job) {
+        jobs_.erase(it);
+        break;
+      }
+    }
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+namespace {
+
+std::size_t default_threads() {
+  if (const char* env = std::getenv("ABNN2_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<std::size_t>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::mutex g_pool_mu;
+std::unique_ptr<ThreadPool> g_pool;
+
+}  // namespace
+
+ThreadPool& pool() {
+  std::lock_guard lk(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(default_threads());
+  return *g_pool;
+}
+
+void set_threads(std::size_t n) {
+  auto next = std::make_unique<ThreadPool>(n == 0 ? default_threads() : n);
+  std::lock_guard lk(g_pool_mu);
+  g_pool = std::move(next);
+}
+
+std::size_t num_threads() { return pool().threads(); }
+
+}  // namespace abnn2::runtime

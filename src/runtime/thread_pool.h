@@ -1,0 +1,99 @@
+// Minimal parallel runtime: a fixed-size, work-stealing-free thread pool with
+// statically partitioned parallel-for.
+//
+// Design constraints (see DESIGN.md "Threading model"):
+//  * Determinism. Work is split into contiguous slices with fixed boundaries
+//    (slice s of S over n items covers [n*s/S, n*(s+1)/S)). Which OS thread
+//    executes a slice is unspecified, but call sites only ever rely on the
+//    slice *index* (e.g. per-slice scratch accumulators reduced in slice
+//    order), so results are independent of scheduling and of the pool size
+//    whenever the per-slice state is merged with commutative/associative
+//    operations or slices write disjoint outputs.
+//  * No blocking inside slices. Slice bodies must be pure compute — never
+//    channel I/O — so two protocol parties running in one process (as the
+//    tests do via run_two_parties) can share the global pool without
+//    deadlock: a caller always helps execute its own job, so forward
+//    progress never depends on a free worker.
+//  * Exceptions thrown by a slice are captured and rethrown on the calling
+//    thread after the job drains (first one wins).
+//
+// The global pool size comes from, in priority order: runtime::set_threads(n)
+// (n == 0 restores the default), the ABNN2_THREADS environment variable, and
+// std::thread::hardware_concurrency(). With one thread every parallel_for
+// runs inline on the caller with zero synchronization.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace abnn2::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns threads-1 workers; the caller of run_slices counts as the last
+  /// executor. threads == 0 is treated as 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threads() const { return n_threads_; }
+
+  /// fn(slice, begin, end): called once per non-empty slice with the fixed
+  /// bounds above. Blocks until every slice has finished; rethrows the first
+  /// slice exception. Safe to call concurrently from multiple threads.
+  using SliceFn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+  void run_slices(std::size_t n, std::size_t n_slices, const SliceFn& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void run_claimed(Job& job);
+
+  std::size_t n_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  bool stop_ = false;
+};
+
+/// Process-wide pool shared by every party in the process.
+ThreadPool& pool();
+
+/// Replaces the global pool with one of n threads (0 = ABNN2_THREADS env,
+/// else hardware_concurrency). Not safe while parallel work is in flight.
+void set_threads(std::size_t n);
+
+/// Size of the current global pool.
+std::size_t num_threads();
+
+/// Runs fn(i) for i in [0, n), statically partitioned into one contiguous
+/// slice per pool thread.
+template <class F>
+void parallel_for(std::size_t n, F&& fn) {
+  ThreadPool& p = pool();
+  p.run_slices(n, p.threads(),
+               [&fn](std::size_t, std::size_t b, std::size_t e) {
+                 for (std::size_t i = b; i < e; ++i) fn(i);
+               });
+}
+
+/// Runs fn(slice, begin, end) over [0, n) split into exactly n_slices fixed
+/// contiguous slices (empty slices are skipped). Use when the call site keeps
+/// per-slice scratch state: the slice geometry depends only on (n, n_slices),
+/// never on the pool size or scheduling.
+template <class F>
+void parallel_slices(std::size_t n, std::size_t n_slices, F&& fn) {
+  pool().run_slices(n, n_slices, std::forward<F>(fn));
+}
+
+}  // namespace abnn2::runtime

@@ -5,6 +5,7 @@
 #include "common/bitvec.h"
 #include "common/block.h"
 #include "common/crc32c.h"
+#include "common/packing.h"
 #include "common/serial.h"
 #include "crypto/prg.h"
 
@@ -142,6 +143,85 @@ TEST(BitMatrix, DoubleTransposeIsIdentity) {
     for (std::size_t j = 0; j < m.cols(); ++j)
       m.set(i, j, prg.next_bit());
   EXPECT_EQ(m.transpose().transpose(), m);
+}
+
+// Cross-check the tiled (and, above the size threshold, parallel) transpose
+// against the naive bitwise loop on ragged shapes where rows/cols are not
+// multiples of 8, including shapes big enough to take the parallel path.
+TEST(BitMatrix, TransposeMatchesNaiveOnRaggedShapes) {
+  const std::pair<std::size_t, std::size_t> shapes[] = {
+      {1, 1},  {3, 5},    {7, 9},    {9, 17},   {13, 130},
+      {127, 3}, {130, 257}, {511, 513}, {1025, 259}};
+  Prg prg(Block{3, 5});
+  for (const auto& [rows, cols] : shapes) {
+    BitMatrix m(rows, cols);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) m.set(i, j, prg.next_bit());
+    const BitMatrix t = m.transpose();
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j)
+        ASSERT_EQ(t.get(j, i), m.get(i, j)) << rows << "x" << cols << " at ("
+                                            << i << "," << j << ")";
+  }
+}
+
+TEST(Packing, RoundTripAcrossAllWidths) {
+  Prg prg(Block{77, 1});
+  for (std::size_t l = 1; l <= 64; ++l) {
+    // 64+l values so every byte alignment of the l-bit fields occurs.
+    std::vector<u64> vals(64 + l);
+    for (u64& v : vals) v = prg.next_u64();
+    const std::vector<u8> blob = pack_bits(vals, l);
+    EXPECT_EQ(blob.size(), bytes_for_bits(vals.size() * l));
+    const std::vector<u64> back = unpack_bits(blob, l, vals.size());
+    ASSERT_EQ(back.size(), vals.size());
+    for (std::size_t i = 0; i < vals.size(); ++i)
+      ASSERT_EQ(back[i], vals[i] & mask_l(l)) << "l=" << l << " i=" << i;
+  }
+}
+
+TEST(Packing, Width64KeepsFullWords) {
+  // l=64 exercises the mask_l(64) edge: no truncation at all.
+  const std::vector<u64> vals = {~u64{0}, 0, 1, u64{1} << 63,
+                                 0x0123456789abcdefull};
+  const std::vector<u8> blob = pack_bits(vals, 64);
+  EXPECT_EQ(blob.size(), vals.size() * 8);
+  EXPECT_EQ(unpack_bits(blob, 64, vals.size()), vals);
+}
+
+TEST(Packing, BitWriterReaderRoundTripMixedWidths) {
+  Prg prg(Block{77, 2});
+  // Mixed-width stream covering every width 1..64 several times, in an
+  // irregular order so fields straddle byte boundaries both ways.
+  std::vector<std::pair<std::size_t, u64>> fields;
+  for (int rep = 0; rep < 3; ++rep)
+    for (std::size_t w = 1; w <= 64; ++w) {
+      const std::size_t width = (rep % 2) ? 65 - w : w;
+      fields.emplace_back(width, prg.next_u64());
+    }
+  BitWriter bw;
+  std::size_t total_bits = 0;
+  for (const auto& [width, v] : fields) {
+    bw.write(v, width);
+    total_bits += width;
+  }
+  EXPECT_EQ(bw.bits(), total_bits);
+  const std::vector<u8> buf = bw.take();
+  EXPECT_EQ(buf.size(), bytes_for_bits(total_bits));
+  BitReader br(buf);
+  for (const auto& [width, v] : fields)
+    ASSERT_EQ(br.read(width), v & mask_l(width)) << "width=" << width;
+}
+
+TEST(Packing, BitReaderThrowsPastEnd) {
+  BitWriter bw;
+  bw.write(0x5a, 7);
+  const std::vector<u8> buf = bw.take();  // 1 byte
+  BitReader br(buf);
+  EXPECT_EQ(br.read(7), 0x5au);
+  EXPECT_THROW(br.read(2), ProtocolError);  // only 1 bit of slack remains
 }
 
 TEST(Serial, RoundTrip) {

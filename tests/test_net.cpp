@@ -120,9 +120,59 @@ TEST(NetworkModel, SimulatedTimeComposition) {
   s0.rounds = 2;
   s1.rounds = 3;
   const double t = kWanTable3.simulate(0.5, s0, s1);
-  EXPECT_NEAR(t, 0.5 + 1.0 + 5 * 0.072, 1e-9);
+  // Round count is max(a, b): both endpoints observe the same flips, so the
+  // old sum (5 here) charged each round trip nearly twice.
+  EXPECT_NEAR(t, 0.5 + 1.0 + 3 * 0.072, 1e-9);
   // LAN is strictly faster than WAN for the same traffic.
   EXPECT_LT(kLan.simulate(0.5, s0, s1), t);
+}
+
+TEST(NetworkModel, OnePingPongCostsExactlyOneRtt) {
+  // One send + one recv on each side: a single round trip, so the simulated
+  // time must include exactly one RTT on top of the transfer time.
+  auto res = run_two_parties(
+      [](Channel& ch) {
+        ch.send_u64(1);
+        return ch.recv_u64();
+      },
+      [](Channel& ch) {
+        const u64 v = ch.recv_u64();
+        ch.send_u64(v + 1);
+        return v;
+      });
+  EXPECT_EQ(res.stats0.rounds, 1u);
+  EXPECT_EQ(res.stats1.rounds, 0u);
+  const NetworkModel net{1.0e9, 0.040, "test"};
+  const double transfer = 16.0 / 1.0e9;
+  EXPECT_NEAR(net.simulate(0.0, res.stats0, res.stats1), transfer + 0.040,
+              1e-12);
+}
+
+TEST(NetworkModel, SustainedPingPongIsNotDoubleCounted) {
+  // k request/response exchanges cost k RTTs. The initiator counts k flips,
+  // the responder k-1; summing (2k-1) was the accounting bug.
+  constexpr int kExchanges = 3;
+  auto res = run_two_parties(
+      [](Channel& ch) {
+        for (int i = 0; i < kExchanges; ++i) {
+          ch.send_u64(static_cast<u64>(i));
+          ch.recv_u64();
+        }
+        return 0;
+      },
+      [](Channel& ch) {
+        for (int i = 0; i < kExchanges; ++i) {
+          const u64 v = ch.recv_u64();
+          ch.send_u64(v);
+        }
+        return 0;
+      });
+  EXPECT_EQ(res.stats0.rounds, 3u);
+  EXPECT_EQ(res.stats1.rounds, 2u);
+  const NetworkModel net{1.0e9, 0.040, "test"};
+  const double transfer = 48.0 / 1.0e9;
+  EXPECT_NEAR(net.simulate(0.0, res.stats0, res.stats1),
+              transfer + kExchanges * 0.040, 1e-12);
 }
 
 TEST(PartyRunner, PropagatesExceptionsFromEitherParty) {
@@ -576,6 +626,73 @@ TEST(Handshake, ModelDigestPinRejectsWrongModel) {
             return 0;
           }),
       ProtocolError);
+}
+
+// Handshake diagnostics render wire constants as real hexadecimal (the old
+// code glued decimal digits behind an "0x" prefix).
+TEST(Handshake, BadMagicDiagnosticRendersHex) {
+  using core::InferenceConfig;
+  using core::InferenceServer;
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {6, 4}, Block{700, 1});
+  InferenceConfig cfg(ring);
+  try {
+    run_two_parties(
+        [&](Channel& ch) {
+          InferenceServer server(model, cfg);
+          server.run_offline(ch);
+          return 0;
+        },
+        [&](Channel& ch) {
+          const u32 bad_magic = 0x00C0FFEE;
+          ch.send(&bad_magic, 4);
+          ch.recv_u64();  // server aborts; this throws ChannelError
+          return 0;
+        });
+    FAIL() << "bad magic was accepted";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0x00c0ffee"), std::string::npos) << what;
+    EXPECT_EQ(what.find("0x12648430"), std::string::npos)
+        << "decimal digits behind a hex prefix: " << what;
+  }
+}
+
+TEST(Handshake, VersionMismatchDiagnosticRendersHex) {
+  using core::InferenceClient;
+  using core::InferenceConfig;
+  const ss::Ring ring(32);
+  InferenceConfig cfg(ring);
+  try {
+    run_two_parties(
+        [&](Channel& ch) {
+          // Fake server: consume the client hello, answer with the right
+          // magic but a bogus protocol version.
+          u32 v32;
+          ch.recv(&v32, 4);  // magic
+          ch.recv(&v32, 4);  // version
+          ch.recv_u64();     // ring bits
+          ch.recv_u64();     // batch
+          ch.recv_u64();     // flags
+          const u32 magic = core::kHandshakeMagicServer;
+          ch.send(&magic, 4);
+          const u32 bogus_version = 0x00000099;
+          ch.send(&bogus_version, 4);
+          return 0;
+        },
+        [&](Channel& ch) {
+          InferenceClient client(cfg);
+          client.run_offline(ch, 1);
+          return 0;
+        });
+    FAIL() << "version mismatch was accepted";
+  } catch (const ProtocolError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("0x00000099"), std::string::npos) << what;
+    EXPECT_NE(what.find(hex_u32(core::kProtocolVersion)), std::string::npos)
+        << what;
+  }
 }
 
 }  // namespace

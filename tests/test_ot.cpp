@@ -42,6 +42,57 @@ TEST(WhCode, Linearity) {
       EXPECT_EQ(cw_xor(wh_codeword(a), wh_codeword(b)), wh_codeword(a ^ b));
 }
 
+// Protocol v2: each extend() sends the whole correction matrix as exactly
+// ONE wire message from the receiver (the sender sends nothing), instead of
+// one tiny message per code column.
+TEST(Iknp, ExtendCoalescesCorrectionsIntoOneMessage) {
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{31, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        const u64 before = ch.stats().messages_sent;
+        s.extend(ch, 333);
+        return ch.stats().messages_sent - before;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{31, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        BitVec choices(333);
+        const u64 before = ch.stats().messages_sent;
+        r.extend(ch, choices);
+        return ch.stats().messages_sent - before;
+      });
+  EXPECT_EQ(res.party0, 0u);
+  EXPECT_EQ(res.party1, 1u);
+}
+
+TEST(Kk13, ExtendCoalescesCorrectionsIntoOneMessage) {
+  std::vector<u32> choices(200);
+  for (std::size_t i = 0; i < choices.size(); ++i)
+    choices[i] = static_cast<u32>(i % 7);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{32, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        const u64 before = ch.stats().messages_sent;
+        s.extend(ch, choices.size());
+        return ch.stats().messages_sent - before;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{32, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        const u64 before = ch.stats().messages_sent;
+        r.extend(ch, choices);
+        return ch.stats().messages_sent - before;
+      });
+  EXPECT_EQ(res.party0, 0u);
+  EXPECT_EQ(res.party1, 1u);
+}
+
 TEST(BaseOt, ReceiverGetsChosenMessage) {
   constexpr std::size_t n = 16;
   BitVec choices(n);

@@ -1,0 +1,360 @@
+// Tests for the parallel runtime: ThreadPool/parallel_for semantics,
+// schedule-independence of the parallel kernels, end-to-end determinism of a
+// full MNIST-scale inference across thread counts, and the chaos/reconnect
+// behavior with the pool enabled.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/bitmatrix.h"
+#include "core/inference.h"
+#include "crypto/prg.h"
+#include "net/fault_channel.h"
+#include "net/framed_channel.h"
+#include "net/party_runner.h"
+#include "nn/model.h"
+#include "runtime/thread_pool.h"
+
+namespace abnn2 {
+namespace {
+
+using core::InferenceClient;
+using core::InferenceConfig;
+using core::InferenceServer;
+
+// Restores the process-default pool size (ABNN2_THREADS env / hardware
+// concurrency) when a test that overrides it goes out of scope.
+struct ThreadGuard {
+  ~ThreadGuard() { runtime::set_threads(0); }
+};
+
+TEST(ThreadPool, SetThreadsControlsPoolSize) {
+  ThreadGuard guard;
+  runtime::set_threads(3);
+  EXPECT_EQ(runtime::num_threads(), 3u);
+  runtime::set_threads(1);
+  EXPECT_EQ(runtime::num_threads(), 1u);
+  runtime::set_threads(0);
+  EXPECT_GE(runtime::num_threads(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  constexpr std::size_t kN = 10'000;
+  std::vector<std::atomic<int>> hits(kN);
+  runtime::parallel_for(kN, [&](std::size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_EQ(hits[i].load(), 1) << i;
+  runtime::parallel_for(0, [&](std::size_t) { FAIL() << "empty range ran"; });
+}
+
+TEST(ThreadPool, SlicesPartitionTheRangeContiguously) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  // More slices than threads and a range that does not divide evenly.
+  constexpr std::size_t kN = 103;
+  constexpr std::size_t kSlices = 7;
+  std::vector<int> owner(kN, -1);
+  runtime::parallel_slices(
+      kN, kSlices, [&](std::size_t slice, std::size_t b, std::size_t e) {
+        ASSERT_LT(b, e);
+        for (std::size_t i = b; i < e; ++i) {
+          ASSERT_EQ(owner[i], -1) << "index covered twice";
+          owner[i] = static_cast<int>(slice);
+        }
+      });
+  // Every index covered, slice ids non-decreasing over the range.
+  for (std::size_t i = 0; i < kN; ++i) ASSERT_NE(owner[i], -1) << i;
+  for (std::size_t i = 1; i < kN; ++i) ASSERT_GE(owner[i], owner[i - 1]);
+}
+
+TEST(ThreadPool, PropagatesSliceExceptions) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  EXPECT_THROW(runtime::parallel_for(1000,
+                                     [&](std::size_t i) {
+                                       if (i == 777)
+                                         throw ProtocolError("boom");
+                                     }),
+               ProtocolError);
+  // The pool survives a throwing job.
+  std::atomic<int> ran{0};
+  runtime::parallel_for(100, [&](std::size_t) { ++ran; });
+  EXPECT_EQ(ran.load(), 100);
+}
+
+// Two caller threads (the shape of run_two_parties: both protocol parties in
+// one process) share the global pool concurrently. Callers always help with
+// their own job, so this must complete even with zero free workers.
+TEST(ThreadPool, ConcurrentCallersShareThePool) {
+  ThreadGuard guard;
+  runtime::set_threads(2);
+  constexpr std::size_t kN = 4096;
+  auto work = [&](u64 mult) {
+    u64 expect = 0;
+    for (std::size_t i = 0; i < kN; ++i) expect += mult * i;
+    for (int rep = 0; rep < 50; ++rep) {
+      std::vector<u64> vals(kN);
+      runtime::parallel_for(kN, [&](std::size_t i) { vals[i] = mult * i; });
+      u64 sum = 0;
+      for (u64 v : vals) sum += v;
+      EXPECT_EQ(sum, expect);
+    }
+  };
+  std::thread other([&] { work(3); });
+  work(7);
+  other.join();
+}
+
+// The parallel compute kernels are bit-identical for every pool size.
+TEST(ParallelKernels, ResultsIndependentOfThreadCount) {
+  ThreadGuard guard;
+  const ss::Ring ring(32);
+  const auto scheme = nn::FragScheme::parse("(2,2,2,2)");
+  const auto model =
+      nn::random_model(ring, scheme, {64, 48}, Block{810, 1});
+  const auto x = nn::synthetic_images(64, 8, 16, ring, Block{810, 2});
+
+  BitMatrix bm(600, 300);
+  Prg prg(Block{810, 3});
+  for (std::size_t i = 0; i < bm.rows(); ++i)
+    for (std::size_t j = 0; j < bm.cols(); ++j) bm.set(i, j, prg.next_bit());
+
+  runtime::set_threads(1);
+  const auto y1 = nn::matmul_codes(ring, model.layers[0].codes, scheme, x);
+  const auto t1 = bm.transpose();
+  runtime::set_threads(4);
+  const auto y4 = nn::matmul_codes(ring, model.layers[0].codes, scheme, x);
+  const auto t4 = bm.transpose();
+  EXPECT_EQ(y1, y4);
+  EXPECT_EQ(t1, t4);
+}
+
+// Satellite: one full MNIST-scale inference (the Fig. 4 architecture,
+// 784-128-128-10) run with a 1-thread and a 4-thread pool over MemChannel.
+// Outputs must be byte-identical and the metered traffic must match exactly
+// — parallelism may never change the transcript. set_threads() is the
+// programmatic equivalent of launching with ABNN2_THREADS=1 / =4.
+TEST(ParallelDeterminism, MnistInferenceIsIdenticalAcrossThreadCounts) {
+  ThreadGuard guard;
+  const ss::Ring ring(32);
+  const auto model = nn::fig4_model(ring, nn::FragScheme::binary(),
+                                    Block{900, 1});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(784, batch, 16, ring, Block{900, 2});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+
+  auto run_with = [&](std::size_t threads) {
+    InferenceConfig cfg(ring);
+    cfg.threads = threads;
+    InferenceServer server(model, cfg);  // ctor applies cfg.threads
+    InferenceClient client(cfg);
+    return run_two_parties(
+        [&](Channel& ch) {
+          server.run_offline(ch);
+          server.run_online(ch);
+          return 0;
+        },
+        [&](Channel& ch) {
+          client.run_offline(ch, batch);
+          return client.run_online(ch, x);
+        });
+  };
+
+  const auto serial = run_with(1);
+  const auto parallel = run_with(4);
+
+  EXPECT_EQ(serial.party1, want);
+  EXPECT_EQ(serial.party1, parallel.party1);  // byte-identical logits
+
+  // Identical transcript shape: same bytes, same message counts, same round
+  // structure at both endpoints.
+  EXPECT_EQ(serial.stats0.bytes_sent, parallel.stats0.bytes_sent);
+  EXPECT_EQ(serial.stats0.bytes_received, parallel.stats0.bytes_received);
+  EXPECT_EQ(serial.stats0.messages_sent, parallel.stats0.messages_sent);
+  EXPECT_EQ(serial.stats0.rounds, parallel.stats0.rounds);
+  EXPECT_EQ(serial.stats1.bytes_sent, parallel.stats1.bytes_sent);
+  EXPECT_EQ(serial.stats1.bytes_received, parallel.stats1.bytes_received);
+  EXPECT_EQ(serial.stats1.messages_sent, parallel.stats1.messages_sent);
+  EXPECT_EQ(serial.stats1.rounds, parallel.stats1.rounds);
+}
+
+// Chaos sweep with the pool enabled: deterministic faults under the framed
+// layer must still produce either the exact result or a typed error — never
+// a hang or a wrong answer — when the hot paths run on 4 threads.
+TEST(ParallelDeterminism, ChaosSweepSurvivesWithPoolEnabled) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {20, 12, 4}, Block{910, 1});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(20, batch, 12, ring, Block{910, 2});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+  InferenceConfig cfg(ring);
+
+  struct RunOut {
+    u64 server_sent = 0, server_recv = 0, client_sent = 0, client_recv = 0;
+    bool ok = false;
+  };
+  const auto run_once = [&](FaultPlan sp, FaultPlan cp) {
+    RunOut out;
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, sp);
+          FramedChannel f(fc);
+          server.run_offline(f);
+          server.run_online(f);
+          return std::pair{fc.stats().bytes_sent, fc.stats().bytes_received};
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, cp);
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          auto logits = client.run_online(f, x);
+          EXPECT_EQ(logits, want) << "fault produced a WRONG result: "
+                                  << sp.describe() << " / " << cp.describe();
+          return std::tuple{fc.stats().bytes_sent, fc.stats().bytes_received,
+                            logits == want};
+        });
+    out.server_sent = res.party0.first;
+    out.server_recv = res.party0.second;
+    out.client_sent = std::get<0>(res.party1);
+    out.client_recv = std::get<1>(res.party1);
+    out.ok = std::get<2>(res.party1);
+    return out;
+  };
+
+  const RunOut clean = run_once(FaultPlan{}, FaultPlan{});
+  ASSERT_TRUE(clean.ok);
+
+  int successes = 0, typed_failures = 0;
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    FaultPlan sp, cp;
+    if (seed % 2) {
+      sp = FaultPlan::from_seed(seed, clean.server_sent, clean.server_recv);
+    } else {
+      cp = FaultPlan::from_seed(seed, clean.client_sent, clean.client_recv);
+    }
+    try {
+      const RunOut out = run_once(sp, cp);
+      EXPECT_TRUE(out.ok) << "seed " << seed;
+      ++successes;
+    } catch (const ProtocolError&) {
+      ++typed_failures;
+    } catch (const ChannelError&) {
+      ++typed_failures;
+    }
+  }
+  EXPECT_GE(successes + typed_failures, 12);
+  EXPECT_GE(typed_failures, 1) << "no seed injected an effective fault";
+}
+
+// Reconnect-and-resume with the pool enabled: a batch interrupted mid-online
+// resumes on retained offline material and still produces the exact result.
+TEST(ParallelDeterminism, ReconnectResumeWorksWithPoolEnabled) {
+  ThreadGuard guard;
+  runtime::set_threads(4);
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {20, 12, 4}, Block{920, 1});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(20, batch, 12, ring, Block{920, 2});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+  InferenceConfig cfg(ring);
+
+  // Calibrate the client's offline send volume (bytes through the fault
+  // layer, i.e. framed) so the cut lands inside the online phase.
+  u64 offline_sent = 0;
+  {
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    run_two_parties(
+        [&](Channel& ch) {
+          FramedChannel f(ch);
+          server.run_offline(f);
+          return 0;
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, FaultPlan{});
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          return fc.stats().bytes_sent;
+        });
+    // Re-run below with fresh parties; only the traffic volume is needed.
+    offline_sent = [&] {
+      InferenceServer s2(model, cfg);
+      InferenceClient c2(cfg);
+      auto res = run_two_parties(
+          [&](Channel& ch) {
+            FramedChannel f(ch);
+            s2.run_offline(f);
+            return 0;
+          },
+          [&](Channel& ch) {
+            FaultInjectingChannel fc(ch, FaultPlan{});
+            FramedChannel f(fc);
+            c2.run_offline(f, batch);
+            return fc.stats().bytes_sent;
+          });
+      return res.party1;
+    }();
+  }
+  ASSERT_GT(offline_sent, 0u);
+
+  InferenceServer server(model, cfg);
+  InferenceClient client(cfg);
+  // Connection 1: the client's link dies partway into the online phase.
+  FaultPlan cut;
+  cut.kind = FaultPlan::Kind::kCutSend;
+  cut.trigger_offset = offline_sent + 100;
+  try {
+    run_two_parties(
+        [&](Channel& ch) {
+          FramedChannel f(ch);
+          server.run_offline(f);
+          server.run_online(f);
+          return 0;
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, cut);
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          client.run_online(f, x);
+          return 0;
+        });
+    FAIL() << "injected cut never fired";
+  } catch (const ChannelError&) {
+  } catch (const ProtocolError&) {
+  }
+  EXPECT_TRUE(server.has_offline_material());
+  EXPECT_TRUE(client.has_offline_material());
+
+  // Connection 2: reconnect, resume on retained triplets, exact result.
+  server.reset_session();
+  client.reset_session();
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        FramedChannel f(ch);
+        server.run_offline(f);
+        server.run_online(f);
+        return 0;
+      },
+      [&](Channel& ch) {
+        FramedChannel f(ch);
+        client.run_offline(f, batch);
+        return client.run_online(f, x);
+      });
+  EXPECT_TRUE(client.resumed());
+  EXPECT_EQ(res.party1, want);
+  EXPECT_FALSE(server.has_offline_material());  // consumed by the success
+}
+
+}  // namespace
+}  // namespace abnn2
