@@ -12,10 +12,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <string>
+#include <string_view>
 
 #include "crypto/ro.h"
 #include "net/party_runner.h"
+#include "obs/obs.h"
 
 namespace abnn2::bench {
 
@@ -28,6 +31,68 @@ inline void setup_bench_env() { set_ro_mode(RoMode::kFixedKeyAes); }
 
 inline double mb(double bytes) { return bytes / 1.0e6; }
 
+/// Installs a fresh obs::Collector for its lifetime (restoring whatever was
+/// installed before), so one protocol run's traffic and timing can be
+/// attributed to named spans instead of diffed out of raw ChannelStats.
+class ScopedCollector {
+ public:
+  ScopedCollector() : prev_(obs::set_collector(&col_)) {}
+  ~ScopedCollector() { obs::set_collector(prev_); }
+  ScopedCollector(const ScopedCollector&) = delete;
+  ScopedCollector& operator=(const ScopedCollector&) = delete;
+
+  obs::Collector& collector() { return col_; }
+  const obs::Collector& collector() const { return col_; }
+
+ private:
+  obs::Collector col_;
+  obs::Collector* prev_;
+};
+
+/// True when a recorded span name equals `base` or is an indexed instance of
+/// it ("triplets[3]" matches base "triplets").
+inline bool span_matches(const std::string& name, std::string_view base) {
+  if (name == base) return true;
+  return name.size() > base.size() + 1 && name.compare(0, base.size(), base) == 0 &&
+         name[base.size()] == '[';
+}
+
+/// Total bytes_sent over all spans (both parties) matching any base name.
+/// Summing each endpoint's sent bytes matches total_comm_bytes() accounting.
+inline u64 span_bytes_sent(const obs::Collector& col,
+                           std::initializer_list<std::string_view> bases) {
+  u64 total = 0;
+  for (const obs::SpanRecord& s : col.spans()) {
+    if (!s.has_traffic) continue;
+    for (std::string_view b : bases)
+      if (span_matches(s.name, b)) {
+        total += s.traffic.bytes_sent;
+        break;
+      }
+  }
+  return total;
+}
+
+/// Aggregate of one named top-level phase ("offline" / "online") across both
+/// parties: wall time is the max over the two parties' phase spans (they run
+/// concurrently), traffic is the sum of both endpoints' sent bytes.
+struct PhaseCost {
+  double seconds = 0;
+  double comm_mb = 0;
+};
+
+inline PhaseCost phase_cost(const obs::Collector& col, std::string_view phase) {
+  PhaseCost p;
+  double dur_us[2] = {0, 0};
+  for (const obs::SpanRecord& s : col.spans()) {
+    if (s.depth != 0 || !span_matches(s.name, phase)) continue;
+    if (s.has_traffic) p.comm_mb += mb(static_cast<double>(s.traffic.bytes_sent));
+    dur_us[s.party == 1 ? 1 : 0] += s.dur_us;
+  }
+  p.seconds = std::max(dur_us[0], dur_us[1]) / 1.0e6;
+  return p;
+}
+
 /// Timing/communication summary of one protocol execution.
 struct RunCost {
   double compute_s = 0;
@@ -35,6 +100,11 @@ struct RunCost {
   double lan_s = 0;
   double wan_s = 0;
   u64 rounds = 0;
+  // Phase breakdown (filled from a collector when one was installed).
+  double offline_s = 0;
+  double offline_mb = 0;
+  double online_s = 0;
+  double online_mb = 0;
 };
 
 template <class R0, class R1>
@@ -47,6 +117,19 @@ RunCost summarize(const TwoPartyResult<R0, R1>& res, const NetworkModel& wan) {
   // Both endpoints observe the same flip for every round trip; the
   // protocol-level round count is the max, not the sum (see channel.h).
   c.rounds = std::max(res.stats0.rounds, res.stats1.rounds);
+  return c;
+}
+
+template <class R0, class R1>
+RunCost summarize(const TwoPartyResult<R0, R1>& res, const NetworkModel& wan,
+                  const obs::Collector& col) {
+  RunCost c = summarize(res, wan);
+  const PhaseCost off = phase_cost(col, "offline");
+  const PhaseCost on = phase_cost(col, "online");
+  c.offline_s = off.seconds;
+  c.offline_mb = off.comm_mb;
+  c.online_s = on.seconds;
+  c.online_mb = on.comm_mb;
   return c;
 }
 

@@ -25,7 +25,8 @@ struct Measured {
 };
 
 // Measures one ABNN2 triplet run, returning payload bytes with the base-OT
-// setup cost separated out.
+// setup cost separated out. A single traced run replaces the old setup-only
+// extra run: the "kk13/base-ot" spans attribute setup traffic exactly.
 Measured measure_ours(const MatMulShape& s, const nn::FragScheme& scheme,
                       std::size_t l, core::BatchMode mode) {
   const ss::Ring ring(l);
@@ -36,21 +37,7 @@ Measured measure_ours(const MatMulShape& s, const nn::FragScheme& scheme,
   core::TripletConfig cfg(ring);
   cfg.mode = mode;
 
-  // Setup-only run to isolate base-OT traffic.
-  auto setup_res = run_two_parties(
-      [&](Channel& ch) {
-        Prg prg(Block{2, 1});
-        Kk13Receiver ot;
-        ot.setup(ch, prg);
-        return 0;
-      },
-      [&](Channel& ch) {
-        Prg prg(Block{2, 2});
-        Kk13Sender ot;
-        ot.setup(ch, prg);
-        return 0;
-      });
-
+  bench::ScopedCollector trace;
   auto res = run_two_parties(
       [&](Channel& ch) {
         Prg prg(Block{2, 1});
@@ -64,7 +51,8 @@ Measured measure_ours(const MatMulShape& s, const nn::FragScheme& scheme,
         ot.setup(ch, prg);
         return core::triplet_gen_client(ch, ot, r, scheme, s.m, cfg, prg);
       });
-  const double setup = static_cast<double>(setup_res.total_comm_bytes());
+  const double setup = static_cast<double>(
+      bench::span_bytes_sent(trace.collector(), {"kk13/base-ot"}));
   return {static_cast<double>(res.total_comm_bytes()) - setup, setup};
 }
 
@@ -74,19 +62,7 @@ Measured measure_secureml(const MatMulShape& s, std::size_t l) {
   nn::MatU64 w = nn::random_mat(s.m, s.n, l, dprg);
   nn::MatU64 r = nn::random_mat(s.n, s.o, l, dprg);
 
-  auto setup_res = run_two_parties(
-      [&](Channel& ch) {
-        Prg prg(Block{4, 1});
-        IknpReceiver ot;
-        ot.setup(ch, prg);
-        return 0;
-      },
-      [&](Channel& ch) {
-        Prg prg(Block{4, 2});
-        IknpSender ot;
-        ot.setup(ch, prg);
-        return 0;
-      });
+  bench::ScopedCollector trace;
   auto res = run_two_parties(
       [&](Channel& ch) {
         Prg prg(Block{4, 1});
@@ -100,7 +76,8 @@ Measured measure_secureml(const MatMulShape& s, std::size_t l) {
         ot.setup(ch, prg);
         return baselines::secureml_triplet_client(ch, ot, r, s.m, ring, prg);
       });
-  const double setup = static_cast<double>(setup_res.total_comm_bytes());
+  const double setup = static_cast<double>(
+      bench::span_bytes_sent(trace.collector(), {"iknp/base-ot"}));
   return {static_cast<double>(res.total_comm_bytes()) - setup, setup};
 }
 

@@ -27,6 +27,9 @@ RunCost run_e2e(Backend backend, const std::string& spec, std::size_t l,
   core::InferenceConfig cfg(ring);
   cfg.backend = backend;
 
+  // Span-attributed run: the "offline"/"online" phase spans provide the
+  // Off/On communication split without a second metered execution.
+  bench::ScopedCollector trace;
   auto res = run_two_parties(
       [&](Channel& ch) {
         core::InferenceServer server(model, cfg);
@@ -39,7 +42,7 @@ RunCost run_e2e(Backend backend, const std::string& spec, std::size_t l,
         client.run_offline(ch, batch);
         return client.run_online(ch, x).rows();
       });
-  return bench::summarize(res, kWanQuotient);
+  return bench::summarize(res, kWanQuotient, trace.collector());
 }
 
 }  // namespace
@@ -61,6 +64,8 @@ int main() {
   for (auto b : batches) std::printf("WAN(s)@%-4zu ", b);
   std::printf("| ");
   for (auto b : batches) std::printf("Comm(MB)@%-4zu ", b);
+  std::printf("| ");
+  for (auto b : batches) std::printf("Off/On(MB)@%-4zu ", b);
   std::printf("\n");
 
   auto print_row = [&](const char* lname, const char* cfgname,
@@ -71,6 +76,9 @@ int main() {
     for (const auto& c : cells) std::printf("%11.2f ", c.wan_s);
     std::printf("| ");
     for (const auto& c : cells) std::printf("%13.2f ", c.comm_mb);
+    std::printf("| ");
+    for (const auto& c : cells)
+      std::printf("%7.2f/%-7.2f ", c.offline_mb, c.online_mb);
     std::printf("\n");
   };
 

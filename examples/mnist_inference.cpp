@@ -10,13 +10,19 @@
 //
 //   ./build/examples/mnist_inference [eta_spec] [batch]
 //   e.g. ./build/examples/mnist_inference "s(3,3,2)" 8
+//
+// Set ABNN2_TRACE=<path> to write a Chrome trace_event JSON of the run
+// (load it in chrome://tracing or Perfetto); the per-layer summary table is
+// printed to stderr.
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <iostream>
 #include <string>
 
 #include "core/inference.h"
 #include "net/party_runner.h"
+#include "obs/obs.h"
 
 using namespace abnn2;
 
@@ -40,6 +46,7 @@ nn::MatF make_float_layer(std::size_t out, std::size_t in, u64 seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_trace_from_env();
   const std::string spec = argc > 1 ? argv[1] : "s(2,2,2,2)";
   const std::size_t batch =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;
@@ -90,5 +97,11 @@ int main(int argc, char** argv) {
   std::printf("\ntotal communication %.2f MB, wall %.2f s (batch %zu)\n",
               static_cast<double>(res.total_comm_bytes()) / 1e6,
               res.wall_seconds, batch);
+
+  if (obs::enabled()) {
+    obs::collector()->write_summary(std::cerr);
+    obs::flush_trace();
+    std::fprintf(stderr, "trace written to %s\n", obs::trace_path().c_str());
+  }
   return cls == expect_cls ? 0 : 1;
 }

@@ -22,6 +22,7 @@
 #include "net/framed_channel.h"
 #include "net/socket_channel.h"
 #include "nn/model_io.h"
+#include "obs/obs.h"
 
 using namespace abnn2;
 
@@ -88,6 +89,7 @@ int run_client(u16 port) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::init_trace_from_env();
   const std::string role = argc > 1 ? argv[1] : "demo";
   const u16 port =
       argc > 2 ? static_cast<u16>(std::atoi(argv[2])) : u16{9900};

@@ -3,6 +3,7 @@
 #include "common/packing.h"
 #include "crypto/sha256.h"
 #include "nn/model_io.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace abnn2::core {
@@ -59,7 +60,27 @@ MatU64 server_linear(const ss::Ring& ring, const nn::FcLayer& layer,
   return y;
 }
 
+// Tracing setup shared by both constructors: honor ABNN2_TRACE, then an
+// explicit trace_path, and publish the pool size while a collector is live.
+void init_observability(const InferenceConfig& cfg) {
+  obs::init_trace_from_env();
+  if (!cfg.trace_path.empty()) obs::init_trace(cfg.trace_path);
+  if (obs::enabled())
+    obs::set_gauge("runtime.threads",
+                   static_cast<double>(runtime::num_threads()));
+}
+
 }  // namespace
+
+void InferenceConfig::validate() const {
+  ABNN2_CHECK_ARG(trunc_bits < ring.bits(),
+                  "trunc_bits must be smaller than the ring width (" +
+                      std::to_string(trunc_bits) + " >= " +
+                      std::to_string(ring.bits()) + ")");
+  ABNN2_CHECK_ARG(chunk_instances >= 1,
+                  "chunk_instances must be positive (0 makes no progress)");
+  ABNN2_CHECK_ARG(threads <= 1024, "threads out of range (max 1024)");
+}
 
 u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party) {
   if (f == 0) return share;
@@ -73,9 +94,11 @@ u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party) {
 
 InferenceServer::InferenceServer(nn::Model model, InferenceConfig cfg)
     : model_(std::move(model)), cfg_(cfg) {
+  cfg_.validate();
   model_.validate();
   ABNN2_CHECK_ARG(model_.ring == cfg_.ring, "model/config ring mismatch");
   if (cfg_.threads != 0) runtime::set_threads(cfg_.threads);
+  init_observability(cfg_);
   const auto bytes = nn::serialize_model(model_);
   digest_ = Sha256::hash(bytes.data(), bytes.size());
 }
@@ -88,91 +111,106 @@ InferenceServer::Session& InferenceServer::session() {
 void InferenceServer::reset_session() { sess_.reset(); }
 
 void InferenceServer::run_offline(Channel& ch) {
-  // ---- session handshake ----------------------------------------------
-  const u32 magic = recv_u32v(ch);
-  if (magic != kHandshakeMagicClient)
-    throw ProtocolError(
-        "handshake: bad client magic " + hex_u32(magic) +
-        " (peer is not an abnn2 client, or the stream is desynchronized)");
-  const u32 version = recv_u32v(ch);
-  if (version != kProtocolVersion)
-    throw ProtocolError("handshake: client speaks protocol version " +
-                        hex_u32(version) + ", this server speaks " +
-                        hex_u32(kProtocolVersion));
-  const u64 cli_ring = ch.recv_u64();
-  if (cli_ring != cfg_.ring.bits())
-    throw ProtocolError("handshake: client ring width " +
-                        std::to_string(cli_ring) + " != server ring width " +
-                        std::to_string(cfg_.ring.bits()));
-  const u64 batch = ch.recv_u64();
-  ABNN2_CHECK(batch >= 1 && batch <= (u64{1} << 20), "bad batch size");
-  const u64 flags = ch.recv_u64();
-  // Resume: the client retained offline material for an interrupted batch
-  // and we retained the matching triplets — skip the offline cost entirely.
-  const bool resume = (flags & 1) && !u_.empty() && o_ == batch;
-  o_ = batch;
+  obs::ScopedParty party(0);
+  obs::Scope phase("offline", &ch);
 
-  send_u32v(ch, kHandshakeMagicServer);
-  send_u32v(ch, kProtocolVersion);
-  ch.send_u64(cfg_.ring.bits());
-  ch.send_u64(static_cast<u64>(cfg_.relu));
-  ch.send_u64(static_cast<u64>(cfg_.backend));
-  ch.send_u64(static_cast<u64>(cfg_.reveal));
-  ch.send(digest_.data(), digest_.size());
-  ch.send_u64(resume ? 1 : 0);
+  // ---- session handshake ----------------------------------------------
+  bool resume;
+  {
+    obs::Scope span("handshake", &ch);
+    const u32 magic = recv_u32v(ch);
+    if (magic != kHandshakeMagicClient)
+      throw ProtocolError(
+          "handshake: bad client magic " + hex_u32(magic) +
+          " (peer is not an abnn2 client, or the stream is desynchronized)");
+    const u32 version = recv_u32v(ch);
+    if (version != kProtocolVersion)
+      throw ProtocolError("handshake: client speaks protocol version " +
+                          hex_u32(version) + ", this server speaks " +
+                          hex_u32(kProtocolVersion));
+    const u64 cli_ring = ch.recv_u64();
+    if (cli_ring != cfg_.ring.bits())
+      throw ProtocolError("handshake: client ring width " +
+                          std::to_string(cli_ring) + " != server ring width " +
+                          std::to_string(cfg_.ring.bits()));
+    const u64 batch = ch.recv_u64();
+    ABNN2_CHECK(batch >= 1 && batch <= (u64{1} << 20), "bad batch size");
+    const u64 flags = ch.recv_u64();
+    // Resume: the client retained offline material for an interrupted batch
+    // and we retained the matching triplets — skip the offline cost entirely.
+    resume = (flags & 1) && !u_.empty() && o_ == batch;
+    o_ = batch;
+
+    send_u32v(ch, kHandshakeMagicServer);
+    send_u32v(ch, kProtocolVersion);
+    ch.send_u64(cfg_.ring.bits());
+    ch.send_u64(static_cast<u64>(cfg_.relu));
+    ch.send_u64(static_cast<u64>(cfg_.backend));
+    ch.send_u64(static_cast<u64>(cfg_.reveal));
+    ch.send(digest_.data(), digest_.size());
+    ch.send_u64(resume ? 1 : 0);
+  }
   if (resume) return;
 
   u_.clear();
   // ---- model architecture ---------------------------------------------
-  ch.send_u64(model_.layers.size());
-  ch.send_u64(model_.input_dim());
-  for (const auto& layer : model_.layers) {
-    ch.send_u64(layer.out_dim());
-    send_string(ch, layer.scheme.name());
-    ch.send_u64(layer.conv.has_value());
-    if (layer.conv) {
-      const auto& cv = *layer.conv;
-      for (u64 v : {cv.in_c, cv.in_h, cv.in_w, cv.k_h, cv.k_w, cv.out_c,
-                    cv.stride, cv.pad})
-        ch.send_u64(v);
-    }
-    ch.send_u64(layer.pool.has_value());
-    if (layer.pool) {
-      const auto& pl = *layer.pool;
-      for (u64 v : {pl.c, pl.h, pl.w, pl.win_h, pl.win_w, pl.stride})
-        ch.send_u64(v);
+  {
+    obs::Scope span("model-arch", &ch);
+    ch.send_u64(model_.layers.size());
+    ch.send_u64(model_.input_dim());
+    for (const auto& layer : model_.layers) {
+      ch.send_u64(layer.out_dim());
+      send_string(ch, layer.scheme.name());
+      ch.send_u64(layer.conv.has_value());
+      if (layer.conv) {
+        const auto& cv = *layer.conv;
+        for (u64 v : {cv.in_c, cv.in_h, cv.in_w, cv.k_h, cv.k_w, cv.out_c,
+                      cv.stride, cv.pad})
+          ch.send_u64(v);
+      }
+      ch.send_u64(layer.pool.has_value());
+      if (layer.pool) {
+        const auto& pl = *layer.pool;
+        for (u64 v : {pl.c, pl.h, pl.w, pl.win_h, pl.win_w, pl.stride})
+          ch.send_u64(v);
+      }
     }
   }
 
   // ---- backend setup (once per session/connection) ----------------------
   Session& s = session();
-  switch (cfg_.backend) {
-    case Backend::kAbnn2:
-      if (!s.kk_setup) {
-        s.kk.setup(ch, prg_);
-        s.kk_setup = true;
-      }
-      break;
-    case Backend::kSecureML:
-    case Backend::kQuotient:
-      if (!s.iknp_setup) {
-        s.iknp.setup(ch, prg_);
-        s.iknp_setup = true;
-      }
-      break;
-    case Backend::kMiniONN:
-      if (!s.minionn) {
-        s.minionn = std::make_unique<baselines::MinionnServer>(
-            cfg_.ring.bits() <= 32 ? 32 : 64);
-      }
-      break;
+  {
+    obs::Scope span("backend-setup", &ch);
+    switch (cfg_.backend) {
+      case Backend::kAbnn2:
+        if (!s.kk_setup) {
+          s.kk.setup(ch, prg_);
+          s.kk_setup = true;
+        }
+        break;
+      case Backend::kSecureML:
+      case Backend::kQuotient:
+        if (!s.iknp_setup) {
+          s.iknp.setup(ch, prg_);
+          s.iknp_setup = true;
+        }
+        break;
+      case Backend::kMiniONN:
+        if (!s.minionn) {
+          s.minionn = std::make_unique<baselines::MinionnServer>(
+              cfg_.ring.bits() <= 32 ? 32 : 64);
+        }
+        break;
+    }
   }
 
   // ---- triplets per layer ---------------------------------------------
   TripletConfig tcfg(cfg_.ring);
   tcfg.mode = cfg_.batch_mode;
   tcfg.chunk_instances = cfg_.chunk_instances;
-  for (const auto& layer : model_.layers) {
+  for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+    const auto& layer = model_.layers[li];
+    obs::Scope span("triplets", &ch, static_cast<i64>(li));
     // For conv layers, one triplet column per (output position, batch item).
     const std::size_t o_eff =
         layer.conv ? layer.conv->out_positions() * o_ : o_;
@@ -210,30 +248,45 @@ void InferenceServer::run_offline(Channel& ch) {
 
 void InferenceServer::run_online(Channel& ch) {
   ABNN2_CHECK(!u_.empty(), "offline phase must run before online");
+  obs::ScopedParty party(0);
+  obs::Scope phase("online", &ch);
   Session& s = session();
   const auto& ring = cfg_.ring;
   const std::size_t l = ring.bits();
 
   // First layer input share from the client.
-  MatU64 z0 = recv_mat(ch, model_.input_dim(), o_, l);
+  MatU64 z0;
+  {
+    obs::Scope span("recv-input", &ch);
+    z0 = recv_mat(ch, model_.input_dim(), o_, l);
+  }
 
   for (std::size_t li = 0; li < model_.layers.size(); ++li) {
-    MatU64 y0 = server_linear(ring, model_.layers[li], z0, u_[li]);
-    if (cfg_.trunc_bits > 0)
-      for (auto& v : y0.data()) v = truncate_share(ring, v, cfg_.trunc_bits, 0);
+    MatU64 y0;
+    {
+      obs::Scope span("linear", nullptr, static_cast<i64>(li));
+      y0 = server_linear(ring, model_.layers[li], z0, u_[li]);
+      if (cfg_.trunc_bits > 0)
+        for (auto& v : y0.data())
+          v = truncate_share(ring, v, cfg_.trunc_bits, 0);
+    }
 
     if (li + 1 == model_.layers.size()) {
       if (cfg_.reveal == Reveal::kArgmax) {
+        obs::Scope span("argmax", &ch);
         argmax_server_batch(ch, s.argmax_gc, ring, y0, prg_);
       } else {
+        obs::Scope span("reveal", &ch);
         send_mat(ch, y0, l);  // reveal the server's logit share
       }
       u_.clear();  // triplets are one-use; consumed only on success
       return;
     }
     if (model_.layers[li].pool) {
+      obs::Scope span("maxpool", &ch, static_cast<i64>(li));
       z0 = s.maxpool.run(ch, *model_.layers[li].pool, y0, prg_);
     } else {
+      obs::Scope span("relu", &ch, static_cast<i64>(li));
       const auto z0_flat = s.relu.run(ch, y0.data(), prg_);
       z0 = MatU64(y0.rows(), o_);
       z0.data() = z0_flat;
@@ -242,7 +295,9 @@ void InferenceServer::run_online(Channel& ch) {
 }
 
 InferenceClient::InferenceClient(InferenceConfig cfg) : cfg_(cfg) {
+  cfg_.validate();
   if (cfg_.threads != 0) runtime::set_threads(cfg_.threads);
+  init_observability(cfg_);
 }
 
 InferenceClient::Session& InferenceClient::session() {
@@ -254,6 +309,8 @@ void InferenceClient::reset_session() { sess_.reset(); }
 
 void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   ABNN2_CHECK_ARG(batch >= 1, "batch must be positive");
+  obs::ScopedParty party(1);
+  obs::Scope phase("offline", &ch);
   resumed_ = false;
   // Offer a resume when a previous batch of the same size was interrupted
   // after its offline phase completed.
@@ -261,51 +318,57 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   o_ = batch;
 
   // ---- session handshake ----------------------------------------------
-  send_u32v(ch, kHandshakeMagicClient);
-  send_u32v(ch, kProtocolVersion);
-  ch.send_u64(cfg_.ring.bits());
-  ch.send_u64(o_);
-  ch.send_u64(want_resume ? 1 : 0);
-
-  const u32 magic = recv_u32v(ch);
-  if (magic != kHandshakeMagicServer)
-    throw ProtocolError(
-        "handshake: bad server magic " + hex_u32(magic) +
-        " (peer is not an abnn2 server, or the stream is desynchronized)");
-  const u32 version = recv_u32v(ch);
-  if (version != kProtocolVersion)
-    throw ProtocolError("handshake: server speaks protocol version " +
-                        hex_u32(version) + ", this client speaks " +
-                        hex_u32(kProtocolVersion));
-  const u64 srv_ring = ch.recv_u64();
-  ABNN2_CHECK(srv_ring == cfg_.ring.bits(),
-              "server ring width differs from client config");
-  const u64 srv_relu = ch.recv_u64();
-  ABNN2_CHECK(srv_relu == static_cast<u64>(cfg_.relu),
-              "server ReLU mode differs from client config");
-  const u64 srv_backend = ch.recv_u64();
-  ABNN2_CHECK(srv_backend == static_cast<u64>(cfg_.backend),
-              "server backend differs from client config");
-  const u64 srv_reveal = ch.recv_u64();
-  ABNN2_CHECK(srv_reveal == static_cast<u64>(cfg_.reveal),
-              "server reveal mode differs from client config");
+  u64 srv_ring;
   std::array<u8, 32> digest;
-  ch.recv(digest.data(), digest.size());
-  if (cfg_.expected_model_digest && digest != *cfg_.expected_model_digest)
-    throw ProtocolError("handshake: server model digest " +
-                        Sha256::hex(digest) + " does not match pinned " +
-                        Sha256::hex(*cfg_.expected_model_digest));
-  const u64 resume_granted = ch.recv_u64();
-  if (resume_granted) {
-    ABNN2_CHECK(want_resume, "server granted a resume we did not request");
-    info_.model_digest = digest;
-    resumed_ = true;
-    return;  // r_/v_/info_ retained from the interrupted batch
+  {
+    obs::Scope span("handshake", &ch);
+    send_u32v(ch, kHandshakeMagicClient);
+    send_u32v(ch, kProtocolVersion);
+    ch.send_u64(cfg_.ring.bits());
+    ch.send_u64(o_);
+    ch.send_u64(want_resume ? 1 : 0);
+
+    const u32 magic = recv_u32v(ch);
+    if (magic != kHandshakeMagicServer)
+      throw ProtocolError(
+          "handshake: bad server magic " + hex_u32(magic) +
+          " (peer is not an abnn2 server, or the stream is desynchronized)");
+    const u32 version = recv_u32v(ch);
+    if (version != kProtocolVersion)
+      throw ProtocolError("handshake: server speaks protocol version " +
+                          hex_u32(version) + ", this client speaks " +
+                          hex_u32(kProtocolVersion));
+    srv_ring = ch.recv_u64();
+    ABNN2_CHECK(srv_ring == cfg_.ring.bits(),
+                "server ring width differs from client config");
+    const u64 srv_relu = ch.recv_u64();
+    ABNN2_CHECK(srv_relu == static_cast<u64>(cfg_.relu),
+                "server ReLU mode differs from client config");
+    const u64 srv_backend = ch.recv_u64();
+    ABNN2_CHECK(srv_backend == static_cast<u64>(cfg_.backend),
+                "server backend differs from client config");
+    const u64 srv_reveal = ch.recv_u64();
+    ABNN2_CHECK(srv_reveal == static_cast<u64>(cfg_.reveal),
+                "server reveal mode differs from client config");
+    ch.recv(digest.data(), digest.size());
+    if (cfg_.expected_model_digest && digest != *cfg_.expected_model_digest)
+      throw ProtocolError("handshake: server model digest " +
+                          Sha256::hex(digest) + " does not match pinned " +
+                          Sha256::hex(*cfg_.expected_model_digest));
+    const u64 resume_granted = ch.recv_u64();
+    if (resume_granted) {
+      ABNN2_CHECK(want_resume, "server granted a resume we did not request");
+      info_.model_digest = digest;
+      resumed_ = true;
+    }
   }
+  if (resumed_) return;  // r_/v_/info_ retained from the interrupted batch
   r_.clear();
   v_.clear();
 
   // ---- model architecture ---------------------------------------------
+  std::optional<obs::Scope> arch_span;
+  arch_span.emplace("model-arch", &ch);
   info_ = ModelInfo{};
   info_.ring_bits = srv_ring;
   info_.model_digest = digest;
@@ -359,34 +422,39 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
                   "conv spec inconsistent with layer output");
     }
   }
+  arch_span.reset();
 
   Session& s = session();
-  switch (cfg_.backend) {
-    case Backend::kAbnn2:
-      if (!s.kk_setup) {
-        s.kk.setup(ch, prg_);
-        s.kk_setup = true;
-      }
-      break;
-    case Backend::kSecureML:
-    case Backend::kQuotient:
-      if (!s.iknp_setup) {
-        s.iknp.setup(ch, prg_);
-        s.iknp_setup = true;
-      }
-      break;
-    case Backend::kMiniONN:
-      if (!s.minionn) {
-        s.minionn = std::make_unique<baselines::MinionnClient>(
-            cfg_.ring.bits() <= 32 ? 32 : 64, prg_);
-      }
-      break;
+  {
+    obs::Scope span("backend-setup", &ch);
+    switch (cfg_.backend) {
+      case Backend::kAbnn2:
+        if (!s.kk_setup) {
+          s.kk.setup(ch, prg_);
+          s.kk_setup = true;
+        }
+        break;
+      case Backend::kSecureML:
+      case Backend::kQuotient:
+        if (!s.iknp_setup) {
+          s.iknp.setup(ch, prg_);
+          s.iknp_setup = true;
+        }
+        break;
+      case Backend::kMiniONN:
+        if (!s.minionn) {
+          s.minionn = std::make_unique<baselines::MinionnClient>(
+              cfg_.ring.bits() <= 32 ? 32 : 64, prg_);
+        }
+        break;
+    }
   }
 
   TripletConfig tcfg(cfg_.ring);
   tcfg.mode = cfg_.batch_mode;
   tcfg.chunk_instances = cfg_.chunk_instances;
   for (u64 i = 0; i < n_layers; ++i) {
+    obs::Scope span("triplets", &ch, static_cast<i64>(i));
     const std::size_t in_dim = info_.dims[i];
     const auto& conv = info_.convs[i];
     r_.push_back(nn::random_mat(in_dim, o_, cfg_.ring.bits(), prg_));
@@ -427,20 +495,26 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
   ABNN2_CHECK(!r_.empty(), "offline phase must run before online");
   ABNN2_CHECK_ARG(x.rows() == info_.dims[0] && x.cols() == o_,
                   "input shape mismatch");
+  obs::ScopedParty party(1);
+  obs::Scope phase("online", &ch);
   Session& s = session();
   const auto& ring = cfg_.ring;
   const std::size_t l = ring.bits();
 
   // <x>_0 = x - R_0 goes to the server; <x>_1 = R_0 stays here.
-  MatU64 x0(x.rows(), x.cols());
-  for (std::size_t i = 0; i < x.data().size(); ++i)
-    x0.data()[i] = ring.sub(x.data()[i], r_[0].data()[i]);
-  send_mat(ch, x0, l);
+  {
+    obs::Scope span("send-input", &ch);
+    MatU64 x0(x.rows(), x.cols());
+    for (std::size_t i = 0; i < x.data().size(); ++i)
+      x0.data()[i] = ring.sub(x.data()[i], r_[0].data()[i]);
+    send_mat(ch, x0, l);
+  }
 
   const std::size_t n_layers = v_.size();
   for (std::size_t li = 0; li + 1 < n_layers; ++li) {
     // y1 = V_li (this party's share of the linear output); z1 = R_{li+1}.
     if (info_.pools[li]) {
+      obs::Scope span("maxpool", &ch, static_cast<i64>(li));
       nn::MatU64 y1m = v_[li];
       if (cfg_.trunc_bits > 0)
         for (auto& v : y1m.data())
@@ -448,6 +522,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
       s.maxpool.run(ch, *info_.pools[li], y1m, r_[li + 1], prg_);
       continue;
     }
+    obs::Scope span("relu", &ch, static_cast<i64>(li));
     std::vector<u64> y1 = v_[li].data();
     if (cfg_.trunc_bits > 0)
       for (auto& v : y1) v = truncate_share(ring, v, cfg_.trunc_bits, 1);
@@ -458,6 +533,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
   // the paper's share reveal.
   const std::size_t out_dim = info_.dims.back();
   if (cfg_.reveal == Reveal::kArgmax) {
+    obs::Scope span("argmax", &ch);
     MatU64 y1m(out_dim, o_);
     y1m.data() = v_.back().data();
     if (cfg_.trunc_bits > 0)
@@ -470,6 +546,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
     v_.clear();
     return cls;
   }
+  obs::Scope span("reveal", &ch);
   MatU64 y0 = recv_mat(ch, out_dim, o_, l);
   MatU64 logits(out_dim, o_);
   for (std::size_t i = 0; i < logits.data().size(); ++i) {

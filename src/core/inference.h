@@ -27,6 +27,7 @@
 #include "core/argmax.h"
 #include "core/maxpool.h"
 #include "core/nonlinear.h"
+#include "core/protocol_seeds.h"
 #include "core/triplet_gen.h"
 #include "nn/model.h"
 
@@ -78,8 +79,19 @@ struct InferenceConfig {
   /// Client-side model pin: when set, the handshake fails with ProtocolError
   /// unless the server's model digest matches exactly.
   std::optional<std::array<u8, 32>> expected_model_digest;
+  /// When non-empty, installs the process-global trace collector writing a
+  /// Chrome trace_event JSON to this path (same effect as ABNN2_TRACE; the
+  /// first path installed in the process wins — see obs/obs.h). Tracing
+  /// never changes the wire transcript.
+  std::string trace_path;
 
   explicit InferenceConfig(ss::Ring r) : ring(r) {}
+
+  /// Rejects nonsense configurations with std::invalid_argument before any
+  /// protocol state exists (called by both the server and the client
+  /// constructor): truncating at least the whole ring width would zero every
+  /// share, and a zero OT chunk size would loop forever without progress.
+  void validate() const;
 };
 
 /// Public model architecture exchanged in the handshake (shapes and
@@ -129,9 +141,9 @@ class InferenceServer {
   /// Per-connection cryptographic state; never outlives a transport session.
   struct Session {
     Kk13Receiver kk;
-    IknpReceiver iknp{0x5EC0'0001};  // SecureML / QUOTIENT backends
+    IknpReceiver iknp{kIknpBaselineTag};  // SecureML / QUOTIENT backends
     std::unique_ptr<baselines::MinionnServer> minionn;
-    gc::GcGarbler argmax_gc{0xA43A'0001};
+    gc::GcGarbler argmax_gc{kArgmaxGcTag};
     ReluServer relu;
     MaxPoolServer maxpool;
     bool kk_setup = false;
@@ -177,9 +189,9 @@ class InferenceClient {
  private:
   struct Session {
     Kk13Sender kk;
-    IknpSender iknp{0x5EC0'0001};
+    IknpSender iknp{kIknpBaselineTag};
     std::unique_ptr<baselines::MinionnClient> minionn;
-    gc::GcEvaluator argmax_gc{0xA43A'0001};
+    gc::GcEvaluator argmax_gc{kArgmaxGcTag};
     ReluClient relu;
     MaxPoolClient maxpool;
     bool kk_setup = false;

@@ -1,0 +1,24 @@
+// Random-oracle tag seeds shared by BOTH parties of a protocol instance.
+//
+// Each OT extension / GC engine namespaces its random-oracle queries with a
+// 64-bit tag; the two endpoints of one protocol must construct their sender
+// and receiver (garbler and evaluator) halves with the SAME tag or every
+// derived pad disagrees and the transcript decodes to garbage. These
+// constants are the single source of truth for the engine-level protocol
+// instances — the server and client Session structs both reference them
+// instead of repeating magic literals on each side.
+#pragma once
+
+#include "common/defines.h"
+
+namespace abnn2::core {
+
+/// IKNP extension driving the SecureML / QUOTIENT baseline backends
+/// (InferenceServer::Session::iknp and InferenceClient::Session::iknp).
+inline constexpr u64 kIknpBaselineTag = 0x5EC0'0001;
+
+/// Garbled circuit computing the final secure-argmax reveal
+/// (InferenceServer::Session::argmax_gc / InferenceClient counterpart).
+inline constexpr u64 kArgmaxGcTag = 0xA43A'0001;
+
+}  // namespace abnn2::core

@@ -1,6 +1,7 @@
 #include "core/triplet_gen.h"
 
 #include "common/packing.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace abnn2::core {
@@ -70,6 +71,8 @@ MatU64 triplet_gen_server(Channel& ch, Kk13Receiver& ot, const MatU64& codes,
   const std::size_t gamma = scheme.gamma();
   const std::size_t total = m * n * gamma;
   const InstanceIter it{n, gamma};
+  obs::Scope span("triplet-gen/server", &ch);
+  obs::add_count("triplet.instances", total);
   sync_params(ch, m, n, o, gamma, l, mode);
 
   MatU64 u(m, o);
@@ -159,6 +162,7 @@ MatU64 triplet_gen_client(Channel& ch, Kk13Sender& ot, const MatU64& r,
   const std::size_t gamma = scheme.gamma();
   const std::size_t total = m * n * gamma;
   const InstanceIter it{n, gamma};
+  obs::Scope span("triplet-gen/client", &ch);
   sync_params(ch, m, n, o, gamma, l, mode);
 
   MatU64 v(m, o);

@@ -1,6 +1,7 @@
 #include "gc/garble.h"
 
 #include "crypto/aes.h"
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace abnn2::gc {
@@ -18,6 +19,8 @@ Garbler::Garbler(const Circuit& c, std::size_t n_instances, u64 tweak_base,
                  Prg& prg)
     : circ_(&c) {
   ABNN2_CHECK_ARG(n_instances > 0, "empty batch");
+  obs::Scope span("gc/garble");
+  obs::add_count("gc.and_gates", n_instances * c.and_count());
   delta_ = prg.next_block();
   delta_.set_bit(0, true);  // lsb(Delta) = 1 for point-and-permute
 
@@ -105,6 +108,7 @@ std::vector<u8> Evaluator::eval(const Circuit& c, const GarbledBatch& batch,
               "garbler label count mismatch");
   ABNN2_CHECK(e_labels.size() == n_instances * c.in_e.size(),
               "evaluator label count mismatch");
+  obs::Scope span("gc/eval");
 
   std::vector<u8> out(n_instances * c.out.size());
   // Instances are independent (per-instance tables, tweaks, labels, output

@@ -1,10 +1,13 @@
 #include "gc/protocol.h"
 
+#include "obs/obs.h"
+
 namespace abnn2::gc {
 
 void GcGarbler::run(Channel& ch, const Circuit& c, std::size_t n,
                     std::span<const u8> g_bits, Prg& prg) {
   ABNN2_CHECK_ARG(g_bits.size() == n * c.in_g.size(), "input bit count mismatch");
+  obs::Scope span("gc/garbler-run", &ch);
   if (!ot_ready_) {
     ot_.setup(ch, prg);
     ot_ready_ = true;
@@ -47,6 +50,7 @@ void GcGarbler::run(Channel& ch, const Circuit& c, std::size_t n,
 std::vector<u8> GcEvaluator::run(Channel& ch, const Circuit& c, std::size_t n,
                                  std::span<const u8> e_bits, Prg& prg) {
   ABNN2_CHECK_ARG(e_bits.size() == n * c.in_e.size(), "input bit count mismatch");
+  obs::Scope span("gc/eval-run", &ch);
   if (!ot_ready_) {
     ot_.setup(ch, prg);
     ot_ready_ = true;

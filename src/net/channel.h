@@ -33,6 +33,23 @@ struct ChannelStats {
   u64 total_bytes() const { return bytes_sent + bytes_received; }
 };
 
+/// Field-wise delta between two snapshots of the SAME channel, `a` taken
+/// after `b`. The standard way to attribute traffic to a protocol phase:
+///
+///   const ChannelStats before = ch.snapshot();
+///   ... phase ...
+///   const ChannelStats cost = ch.snapshot() - before;
+inline ChannelStats operator-(const ChannelStats& a, const ChannelStats& b) {
+  return {a.bytes_sent - b.bytes_sent, a.bytes_received - b.bytes_received,
+          a.messages_sent - b.messages_sent, a.rounds - b.rounds};
+}
+
+inline bool operator==(const ChannelStats& a, const ChannelStats& b) {
+  return a.bytes_sent == b.bytes_sent &&
+         a.bytes_received == b.bytes_received &&
+         a.messages_sent == b.messages_sent && a.rounds == b.rounds;
+}
+
 class Channel {
  public:
   virtual ~Channel() = default;
@@ -90,6 +107,8 @@ class Channel {
   }
 
   const ChannelStats& stats() const { return stats_; }
+  /// Copy of the current stats, for before/after deltas via operator-.
+  ChannelStats snapshot() const { return stats_; }
   void reset_stats() { stats_ = {}; sent_since_recv_ = false; }
 
  protected:

@@ -1,0 +1,329 @@
+#include "obs/obs.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+
+namespace abnn2::obs {
+namespace {
+
+double steady_ns() {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Chrome trace pids: one synthetic "process" per party so Perfetto groups
+// the two endpoints of an in-process run side by side.
+int party_pid(int party) { return party < 0 ? 2 : party; }
+
+const char* party_pname(int pid) {
+  switch (pid) {
+    case 0: return "party0 (server)";
+    case 1: return "party1 (client)";
+    default: return "untagged (pool workers)";
+  }
+}
+
+void json_escape(std::ostream& os, std::string_view s) {
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          os << buf;
+        } else {
+          os << ch;
+        }
+    }
+  }
+}
+
+void json_number(std::ostream& os, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  os << buf;
+}
+
+}  // namespace
+
+Collector::Collector() : epoch_ns_(steady_ns()) {}
+
+double Collector::now_us() const { return (steady_ns() - epoch_ns_) / 1e3; }
+
+void Collector::record(SpanRecord r) {
+  std::lock_guard lk(mu_);
+  spans_.push_back(std::move(r));
+}
+
+void Collector::add_count(std::string_view name, u64 v) {
+  std::lock_guard lk(mu_);
+  counters_[std::string(name)] += v;
+}
+
+void Collector::set_gauge(std::string_view name, double v) {
+  std::lock_guard lk(mu_);
+  gauges_[std::string(name)] = v;
+}
+
+std::vector<SpanRecord> Collector::spans() const {
+  std::lock_guard lk(mu_);
+  return spans_;
+}
+
+std::map<std::string, u64> Collector::counters() const {
+  std::lock_guard lk(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> Collector::gauges() const {
+  std::lock_guard lk(mu_);
+  return gauges_;
+}
+
+std::size_t Collector::span_count() const {
+  std::lock_guard lk(mu_);
+  return spans_.size();
+}
+
+void Collector::clear() {
+  std::lock_guard lk(mu_);
+  spans_.clear();
+  counters_.clear();
+  gauges_.clear();
+}
+
+void Collector::write_chrome_trace(std::ostream& os) const {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  {
+    std::lock_guard lk(mu_);
+    spans = spans_;
+    counters = counters_;
+    gauges = gauges_;
+  }
+
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+    os << "\n";
+  };
+
+  // Process-name metadata for every pid that appears.
+  bool pid_seen[3] = {false, false, false};
+  for (const SpanRecord& s : spans) pid_seen[party_pid(s.party)] = true;
+  for (int pid = 0; pid < 3; ++pid) {
+    if (!pid_seen[pid]) continue;
+    sep();
+    os << "{\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"";
+    json_escape(os, party_pname(pid));
+    os << "\"}}";
+  }
+
+  double end_us = 0;
+  for (const SpanRecord& s : spans) {
+    end_us = std::max(end_us, s.start_us + s.dur_us);
+    sep();
+    os << "{\"ph\":\"X\",\"cat\":\"abnn2\",\"name\":\"";
+    json_escape(os, s.name);
+    os << "\",\"pid\":" << party_pid(s.party) << ",\"tid\":" << s.tid
+       << ",\"ts\":";
+    json_number(os, s.start_us);
+    os << ",\"dur\":";
+    json_number(os, s.dur_us);
+    os << ",\"args\":{\"party\":" << s.party << ",\"depth\":" << s.depth;
+    if (s.has_traffic) {
+      os << ",\"bytes_sent\":" << s.traffic.bytes_sent
+         << ",\"bytes_received\":" << s.traffic.bytes_received
+         << ",\"messages_sent\":" << s.traffic.messages_sent
+         << ",\"rounds\":" << s.traffic.rounds;
+    }
+    os << "}}";
+  }
+
+  for (const auto& [name, v] : counters) {
+    sep();
+    os << "{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"";
+    json_escape(os, name);
+    os << "\",\"ts\":";
+    json_number(os, end_us);
+    os << ",\"args\":{\"value\":" << v << "}}";
+  }
+  for (const auto& [name, v] : gauges) {
+    sep();
+    os << "{\"ph\":\"C\",\"pid\":2,\"tid\":0,\"name\":\"";
+    json_escape(os, name);
+    os << "\",\"ts\":";
+    json_number(os, end_us);
+    os << ",\"args\":{\"value\":";
+    json_number(os, v);
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void Collector::write_summary(std::ostream& os) const {
+  std::vector<SpanRecord> spans;
+  std::map<std::string, u64> counters;
+  std::map<std::string, double> gauges;
+  {
+    std::lock_guard lk(mu_);
+    spans = spans_;
+    counters = counters_;
+    gauges = gauges_;
+  }
+
+  // Aggregate by (party, name), first-seen order.
+  struct Agg {
+    int party;
+    std::string name;
+    u64 count = 0;
+    double wall_us = 0;
+    bool has_traffic = false;
+    ChannelStats traffic;
+  };
+  std::vector<Agg> rows;
+  std::map<std::pair<int, std::string>, std::size_t> idx;
+  for (const SpanRecord& s : spans) {
+    const auto key = std::make_pair(s.party, s.name);
+    auto it = idx.find(key);
+    if (it == idx.end()) {
+      it = idx.emplace(key, rows.size()).first;
+      rows.push_back(Agg{s.party, s.name});
+    }
+    Agg& a = rows[it->second];
+    ++a.count;
+    a.wall_us += s.dur_us;
+    if (s.has_traffic) {
+      a.has_traffic = true;
+      a.traffic.bytes_sent += s.traffic.bytes_sent;
+      a.traffic.bytes_received += s.traffic.bytes_received;
+      a.traffic.messages_sent += s.traffic.messages_sent;
+      a.traffic.rounds += s.traffic.rounds;
+    }
+  }
+
+  char buf[256];
+  os << "==== obs summary ====\n";
+  std::snprintf(buf, sizeof buf, "%-6s %-28s %8s %12s %12s %12s %7s %7s\n",
+                "party", "span", "count", "wall(ms)", "sent(B)", "recv(B)",
+                "msgs", "rounds");
+  os << buf;
+  for (const Agg& a : rows) {
+    char party[8];
+    if (a.party < 0)
+      std::snprintf(party, sizeof party, "-");
+    else
+      std::snprintf(party, sizeof party, "%d", a.party);
+    if (a.has_traffic) {
+      std::snprintf(buf, sizeof buf,
+                    "%-6s %-28s %8llu %12.3f %12llu %12llu %7llu %7llu\n",
+                    party, a.name.c_str(),
+                    static_cast<unsigned long long>(a.count), a.wall_us / 1e3,
+                    static_cast<unsigned long long>(a.traffic.bytes_sent),
+                    static_cast<unsigned long long>(a.traffic.bytes_received),
+                    static_cast<unsigned long long>(a.traffic.messages_sent),
+                    static_cast<unsigned long long>(a.traffic.rounds));
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "%-6s %-28s %8llu %12.3f %12s %12s %7s %7s\n", party,
+                    a.name.c_str(), static_cast<unsigned long long>(a.count),
+                    a.wall_us / 1e3, "-", "-", "-", "-");
+    }
+    os << buf;
+  }
+  if (!counters.empty()) {
+    os << "---- counters ----\n";
+    for (const auto& [name, v] : counters) {
+      std::snprintf(buf, sizeof buf, "%-35s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(v));
+      os << buf;
+    }
+  }
+  if (!gauges.empty()) {
+    os << "---- gauges ----\n";
+    for (const auto& [name, v] : gauges) {
+      std::snprintf(buf, sizeof buf, "%-35s %.3f\n", name.c_str(), v);
+      os << buf;
+    }
+  }
+}
+
+// ---- process-global trace file ------------------------------------------
+
+namespace {
+
+struct GlobalTrace {
+  std::mutex mu;
+  std::unique_ptr<Collector> col;
+  std::string path;
+};
+
+GlobalTrace& global_trace() {
+  static GlobalTrace gt;
+  return gt;
+}
+
+const std::string& empty_path() {
+  static const std::string empty;
+  return empty;
+}
+
+}  // namespace
+
+Collector* init_trace(const std::string& path) {
+  GlobalTrace& gt = global_trace();
+  std::lock_guard lk(gt.mu);
+  if (gt.col) return gt.col.get();  // first path wins
+  if (path.empty()) return nullptr;
+  gt.col = std::make_unique<Collector>();
+  gt.path = path;
+  set_collector(gt.col.get());
+  std::atexit([] { flush_trace(); });
+  return gt.col.get();
+}
+
+bool init_trace_from_env() {
+  static const bool env_checked = [] {
+    const char* path = std::getenv("ABNN2_TRACE");
+    if (path != nullptr && path[0] != '\0') init_trace(std::string(path));
+    return true;
+  }();
+  (void)env_checked;
+  GlobalTrace& gt = global_trace();
+  std::lock_guard lk(gt.mu);
+  return gt.col != nullptr;
+}
+
+void flush_trace() {
+  GlobalTrace& gt = global_trace();
+  std::lock_guard lk(gt.mu);
+  if (!gt.col || gt.path.empty()) return;
+  std::ofstream os(gt.path, std::ios::trunc);
+  if (!os) {
+    std::fprintf(stderr, "obs: cannot write trace file %s\n", gt.path.c_str());
+    return;
+  }
+  gt.col->write_chrome_trace(os);
+}
+
+const std::string& trace_path() {
+  GlobalTrace& gt = global_trace();
+  std::lock_guard lk(gt.mu);
+  return gt.col ? gt.path : empty_path();
+}
+
+}  // namespace abnn2::obs

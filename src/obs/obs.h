@@ -1,0 +1,234 @@
+// Observability layer: protocol tracing spans and per-layer metrics.
+//
+// One instrumentation API shared by the engine, the benches, the examples
+// and the tests, instead of every caller diffing raw ChannelStats by hand:
+//
+//   obs::Collector col;                    // owns spans + counters + gauges
+//   obs::Collector* prev = obs::set_collector(&col);
+//   { obs::Scope s("triplets", &ch, li);   // RAII span, channel-attributed
+//     ... protocol work ...
+//   }                                      // dtor records wall time + the
+//                                          // ChannelStats delta on `ch`
+//   obs::set_collector(prev);
+//   col.write_chrome_trace(os);            // chrome://tracing / Perfetto
+//   col.write_summary(os);                 // plain-text per-layer table
+//
+// Overhead contract: with no collector installed (the default), a Scope is
+// one relaxed atomic load — no allocation, no clock read, no channel
+// snapshot, and nothing is ever sent on the wire either way, so the
+// transcript is byte-identical with tracing on or off. The engine is
+// instrumented unconditionally; only an installed collector makes the
+// spans observable.
+//
+// Span taxonomy (see DESIGN.md "Observability"): top-level phase spans
+// ("offline", "online") nest the protocol steps ("handshake", "model-arch",
+// "backend-setup", "triplets[i]", "linear[i]", "relu[i]", "maxpool[i]",
+// "reveal", "argmax", "send-input") above the primitive spans emitted by the
+// OT extensions ("iknp/base-ot", "iknp/extend", "kk13/base-ot",
+// "kk13/extend"), the garbled-circuit engine ("gc/garbler-run",
+// "gc/eval-run", "gc/garble", "gc/eval") and the thread pool
+// ("pool/slice[s]", tagged with the executing pool thread id).
+//
+// Parties: both endpoints of an in-process two-party run share one
+// process-global collector; spans carry the party tag of their thread
+// (obs::ScopedParty, set by InferenceServer/Client: 0 = server,
+// 1 = client, -1 = untagged, e.g. pool workers). Exporters map the party to
+// the Chrome trace pid. Nesting depth is tracked per thread, so "sum the
+// depth-0 spans of one party" reproduces that endpoint's ChannelStats
+// exactly when all traffic flows inside top-level spans (golden-schema
+// tested).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/channel.h"
+
+namespace abnn2::obs {
+
+/// One closed span. `name` already carries the index suffix ("triplets[2]").
+struct SpanRecord {
+  std::string name;
+  int party = -1;       // 0 server, 1 client, -1 untagged (pool workers, ...)
+  u32 tid = 0;          // stable small id of the recording thread
+  u32 depth = 0;        // nesting depth on the recording thread when opened
+  double start_us = 0;  // relative to the collector's epoch
+  double dur_us = 0;
+  bool has_traffic = false;  // true iff a Channel was attributed
+  ChannelStats traffic;      // endpoint ChannelStats delta over the span
+};
+
+/// Thread-safe sink for spans, counters and gauges, with two exporters.
+/// A Collector must outlive every Scope opened while it is installed.
+class Collector {
+ public:
+  Collector();
+
+  void record(SpanRecord r);
+  void add_count(std::string_view name, u64 v);
+  void set_gauge(std::string_view name, double v);
+
+  std::vector<SpanRecord> spans() const;
+  std::map<std::string, u64> counters() const;
+  std::map<std::string, double> gauges() const;
+  std::size_t span_count() const;
+  void clear();
+
+  /// Microseconds since this collector's construction (span timestamps).
+  double now_us() const;
+
+  /// Chrome trace_event JSON ("X" complete events + process-name metadata
+  /// + "C" counter events); loads in chrome://tracing and Perfetto.
+  void write_chrome_trace(std::ostream& os) const;
+  /// Plain-text per-span aggregate table (per party, insertion order),
+  /// followed by counters and gauges.
+  void write_summary(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+  std::map<std::string, u64> counters_;
+  std::map<std::string, double> gauges_;
+  double epoch_ns_ = 0;  // steady_clock origin, captured at construction
+};
+
+namespace detail {
+inline std::atomic<Collector*> g_collector{nullptr};
+/// Count of Scope activations (spans actually opened against a collector).
+/// With tracing disabled this never moves — the zero-overhead test pins it.
+inline std::atomic<u64> g_activations{0};
+inline int& tl_party() {
+  thread_local int party = -1;
+  return party;
+}
+inline u32& tl_depth() {
+  thread_local u32 depth = 0;
+  return depth;
+}
+}  // namespace detail
+
+/// Installs `c` as the process-global collector (nullptr disables tracing).
+/// Returns the previously installed collector so callers can restore it.
+inline Collector* set_collector(Collector* c) {
+  return detail::g_collector.exchange(c, std::memory_order_acq_rel);
+}
+inline Collector* collector() {
+  return detail::g_collector.load(std::memory_order_acquire);
+}
+inline bool enabled() { return collector() != nullptr; }
+
+/// Stable small per-thread id (assigned on first use; used as trace tid).
+inline u32 thread_id() {
+  static std::atomic<u32> next{1};
+  thread_local const u32 id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+inline u64 debug_activation_count() {
+  return detail::g_activations.load(std::memory_order_relaxed);
+}
+
+/// Tags every span opened on this thread (and only this thread) with a
+/// party id for the span's lifetime. InferenceServer uses 0, InferenceClient
+/// uses 1; threads that never set it stay -1 (untagged).
+class ScopedParty {
+ public:
+  explicit ScopedParty(int party) : prev_(detail::tl_party()) {
+    detail::tl_party() = party;
+  }
+  ~ScopedParty() { detail::tl_party() = prev_; }
+  ScopedParty(const ScopedParty&) = delete;
+  ScopedParty& operator=(const ScopedParty&) = delete;
+
+ private:
+  int prev_;
+};
+
+inline int current_party() { return detail::tl_party(); }
+
+/// RAII tracing span. When a Channel is attributed, the span records that
+/// endpoint's ChannelStats delta (bytes/messages/rounds) between open and
+/// close; `index >= 0` suffixes the name ("triplets[3]") so per-layer spans
+/// aggregate into per-layer rows. With no collector installed, construction
+/// is a single relaxed atomic load and nothing else happens.
+class Scope {
+ public:
+  explicit Scope(const char* name, Channel* ch = nullptr, i64 index = -1) {
+    Collector* c = detail::g_collector.load(std::memory_order_acquire);
+    if (!c) return;
+    col_ = c;
+    name_ = name;
+    index_ = index;
+    ch_ = ch;
+    party_ = detail::tl_party();
+    depth_ = detail::tl_depth()++;
+    detail::g_activations.fetch_add(1, std::memory_order_relaxed);
+    if (ch_) start_traffic_ = ch_->snapshot();
+    start_us_ = c->now_us();
+  }
+  ~Scope() {
+    if (!col_) return;
+    --detail::tl_depth();
+    SpanRecord r;
+    r.name = index_ >= 0
+                 ? std::string(name_) + "[" + std::to_string(index_) + "]"
+                 : std::string(name_);
+    r.party = party_;
+    r.tid = thread_id();
+    r.depth = depth_;
+    r.start_us = start_us_;
+    r.dur_us = col_->now_us() - start_us_;
+    if (ch_) {
+      r.traffic = ch_->snapshot() - start_traffic_;
+      r.has_traffic = true;
+    }
+    col_->record(std::move(r));
+  }
+  Scope(const Scope&) = delete;
+  Scope& operator=(const Scope&) = delete;
+
+ private:
+  Collector* col_ = nullptr;
+  Channel* ch_ = nullptr;
+  const char* name_ = nullptr;
+  i64 index_ = -1;
+  int party_ = -1;
+  u32 depth_ = 0;
+  double start_us_ = 0;
+  ChannelStats start_traffic_;
+};
+
+/// Monotonic counter / gauge convenience wrappers; no-ops when disabled.
+inline void add_count(std::string_view name, u64 v) {
+  if (Collector* c = collector()) c->add_count(name, v);
+}
+inline void set_gauge(std::string_view name, double v) {
+  if (Collector* c = collector()) c->set_gauge(name, v);
+}
+
+// ---- process-global trace file ------------------------------------------
+//
+// `ABNN2_TRACE=<path>` (or InferenceConfig::trace_path) installs a
+// process-lifetime collector whose Chrome trace JSON is written to <path> by
+// flush_trace() and automatically at process exit. The first path wins;
+// later calls are no-ops, so the server and client constructors of an
+// in-process two-party run share one trace.
+
+/// Installs the global trace collector writing to `path` (empty = no-op,
+/// idempotent, first path wins). Returns the active global collector.
+Collector* init_trace(const std::string& path);
+/// Initializes from the ABNN2_TRACE environment variable (checked once per
+/// process). Returns true when a global trace collector is active.
+bool init_trace_from_env();
+/// Writes the global trace JSON to its path now (harmless without a trace).
+void flush_trace();
+/// Path of the active global trace file ("" when tracing is off).
+const std::string& trace_path();
+
+}  // namespace abnn2::obs

@@ -1,5 +1,6 @@
 #include "ot/iknp.h"
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace abnn2 {
@@ -13,6 +14,7 @@ std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
 
 void IknpSender::setup(Channel& ch, Prg& prg) {
   ABNN2_CHECK(!setup_done_, "setup called twice");
+  obs::Scope span("iknp/base-ot", &ch);
   s_.resize(kKappa);
   for (std::size_t j = 0; j < kKappa; ++j) s_.set(j, prg.next_bit());
   const std::vector<Block> seeds = base_ot_recv(ch, s_, prg);
@@ -24,6 +26,8 @@ void IknpSender::setup(Channel& ch, Prg& prg) {
 void IknpSender::extend(Channel& ch, std::size_t m) {
   ABNN2_CHECK(setup_done_, "extend before setup");
   ABNN2_CHECK_ARG(m > 0, "empty extension");
+  obs::Scope span("iknp/extend", &ch);
+  obs::add_count("iknp.extend.instances", m);
   index_base_ += count();
   const std::size_t row_bytes = bytes_for_bits(m);
   // Column-major: row j of `cols` is column j of the logical m x kKappa
@@ -85,6 +89,7 @@ std::vector<u64> IknpSender::send_correlated(Channel& ch,
 
 void IknpReceiver::setup(Channel& ch, Prg& prg) {
   ABNN2_CHECK(!setup_done_, "setup called twice");
+  obs::Scope span("iknp/base-ot", &ch);
   const auto seeds = base_ot_send(ch, kKappa, prg);
   seed_prg_.reserve(kKappa);
   for (std::size_t j = 0; j < kKappa; ++j)
@@ -95,6 +100,8 @@ void IknpReceiver::setup(Channel& ch, Prg& prg) {
 void IknpReceiver::extend(Channel& ch, const BitVec& choices) {
   ABNN2_CHECK(setup_done_, "extend before setup");
   ABNN2_CHECK_ARG(choices.size() > 0, "empty extension");
+  obs::Scope span("iknp/extend", &ch);
+  obs::add_count("iknp.extend.instances", choices.size());
   index_base_ += count();
   choices_ = choices;
   const std::size_t m = choices.size();

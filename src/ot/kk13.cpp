@@ -1,5 +1,6 @@
 #include "ot/kk13.h"
 
+#include "obs/obs.h"
 #include "runtime/thread_pool.h"
 
 namespace abnn2 {
@@ -13,6 +14,7 @@ std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
 
 void Kk13Sender::setup(Channel& ch, Prg& prg) {
   ABNN2_CHECK(!setup_done_, "setup called twice");
+  obs::Scope span("kk13/base-ot", &ch);
   BitVec s_bits(kKkCodeBits);
   for (std::size_t j = 0; j < kKkCodeBits; ++j) s_bits.set(j, prg.next_bit());
   s_[0] = Block{s_bits.words()[1], s_bits.words()[0]};
@@ -26,6 +28,8 @@ void Kk13Sender::setup(Channel& ch, Prg& prg) {
 void Kk13Sender::extend(Channel& ch, std::size_t m) {
   ABNN2_CHECK(setup_done_, "extend before setup");
   ABNN2_CHECK_ARG(m > 0, "empty extension");
+  obs::Scope span("kk13/extend", &ch);
+  obs::add_count("kk13.extend.instances", m);
   index_base_ += count();
   const std::size_t row_bytes = bytes_for_bits(m);
   // All kKkCodeBits correction rows arrive coalesced in one wire message
@@ -66,6 +70,7 @@ void Kk13Sender::send_blocks(Channel& ch, std::span<const Block> msgs, u32 n) {
 
 void Kk13Receiver::setup(Channel& ch, Prg& prg) {
   ABNN2_CHECK(!setup_done_, "setup called twice");
+  obs::Scope span("kk13/base-ot", &ch);
   const auto seeds = base_ot_send(ch, kKkCodeBits, prg);
   seed_prg_.reserve(kKkCodeBits);
   for (std::size_t j = 0; j < kKkCodeBits; ++j)
@@ -77,6 +82,8 @@ void Kk13Receiver::extend(Channel& ch, std::span<const u32> choices) {
   ABNN2_CHECK(setup_done_, "extend before setup");
   ABNN2_CHECK_ARG(!choices.empty(), "empty extension");
   for (u32 w : choices) ABNN2_CHECK_ARG(w < kKkMaxN, "choice exceeds code size");
+  obs::Scope span("kk13/extend", &ch);
+  obs::add_count("kk13.extend.instances", choices.size());
   index_base_ += count();
   choices_.assign(choices.begin(), choices.end());
   const std::size_t m = choices.size();

@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <exception>
 
+#include "obs/obs.h"
+
 namespace abnn2::runtime {
 
 struct ThreadPool::Job {
@@ -46,6 +48,7 @@ void ThreadPool::run_claimed(Job& job) {
     std::exception_ptr err;
     if (b < e) {
       try {
+        obs::Scope span("pool/slice", nullptr, static_cast<i64>(s));
         job.fn(s, b, e);
       } catch (...) {
         err = std::current_exception();
@@ -85,7 +88,10 @@ void ThreadPool::run_slices(std::size_t n, std::size_t n_slices,
     for (std::size_t s = 0; s < n_slices; ++s) {
       const std::size_t b = n * s / n_slices;
       const std::size_t e = n * (s + 1) / n_slices;
-      if (b < e) fn(s, b, e);
+      if (b < e) {
+        obs::Scope span("pool/slice", nullptr, static_cast<i64>(s));
+        fn(s, b, e);
+      }
     }
     return;
   }

@@ -1,0 +1,466 @@
+// Observability layer tests: ChannelStats snapshot algebra, config
+// validation, protocol seed constants, the zero-overhead-when-disabled
+// contract, and the golden Chrome-trace schema: a traced MNIST-scale
+// two-party run must emit well-formed trace_event JSON whose summed
+// per-span traffic equals the endpoint ChannelStats exactly.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/inference.h"
+#include "net/party_runner.h"
+#include "obs/obs.h"
+
+namespace abnn2 {
+namespace {
+
+using core::InferenceClient;
+using core::InferenceConfig;
+using core::InferenceServer;
+using nn::FragScheme;
+using ss::Ring;
+
+// ---- minimal JSON parser (tests only) -------------------------------------
+//
+// Just enough of RFC 8259 to validate the Chrome trace exporter: objects,
+// arrays, strings with the escapes the exporter emits, numbers, literals.
+
+struct Json {
+  enum Type { kNull, kBool, kNum, kStr, kArr, kObj };
+  Type type = kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<Json> arr;
+  std::map<std::string, Json> obj;
+
+  bool has(const std::string& k) const { return obj.count(k) != 0; }
+  const Json& at(const std::string& k) const {
+    auto it = obj.find(k);
+    if (it == obj.end())
+      throw std::runtime_error("json: missing key " + k);
+    return it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view s) : s_(s) {}
+
+  Json parse() {
+    Json v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing data");
+    return v;
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error("json: " + std::string(what) + " at offset " +
+                             std::to_string(pos_));
+  }
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_();
+      case 't': literal("true"); return make_bool(true);
+      case 'f': literal("false"); return make_bool(false);
+      case 'n': literal("null"); return Json{};
+      default: return number();
+    }
+  }
+  static Json make_bool(bool b) {
+    Json v;
+    v.type = Json::kBool;
+    v.b = b;
+    return v;
+  }
+  void literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) expect(*p);
+  }
+  Json object() {
+    expect('{');
+    Json v;
+    v.type = Json::kObj;
+    ws();
+    if (consume('}')) return v;
+    for (;;) {
+      ws();
+      Json key = string_();
+      ws();
+      expect(':');
+      v.obj.emplace(std::move(key.str), value());
+      ws();
+      if (consume(',')) continue;
+      expect('}');
+      return v;
+    }
+  }
+  Json array() {
+    expect('[');
+    Json v;
+    v.type = Json::kArr;
+    ws();
+    if (consume(']')) return v;
+    for (;;) {
+      v.arr.push_back(value());
+      ws();
+      if (consume(',')) continue;
+      expect(']');
+      return v;
+    }
+  }
+  Json string_() {
+    expect('"');
+    Json v;
+    v.type = Json::kStr;
+    for (;;) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) fail("bad escape");
+        char e = s_[pos_++];
+        switch (e) {
+          case '"': v.str += '"'; break;
+          case '\\': v.str += '\\'; break;
+          case '/': v.str += '/'; break;
+          case 'n': v.str += '\n'; break;
+          case 'r': v.str += '\r'; break;
+          case 't': v.str += '\t'; break;
+          case 'b': v.str += '\b'; break;
+          case 'f': v.str += '\f'; break;
+          case 'u':
+            if (pos_ + 4 > s_.size()) fail("bad \\u escape");
+            pos_ += 4;
+            v.str += '?';  // exporter never emits non-ASCII names
+            break;
+          default: fail("unknown escape");
+        }
+      } else {
+        v.str += c;
+      }
+    }
+  }
+  Json number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < s_.size() &&
+           ((s_[pos_] >= '0' && s_[pos_] <= '9') || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-'))
+      ++pos_;
+    if (pos_ == start) fail("expected number");
+    Json v;
+    v.type = Json::kNum;
+    v.num = std::strtod(std::string(s_.substr(start, pos_ - start)).c_str(),
+                        nullptr);
+    return v;
+  }
+};
+
+// ---- ChannelStats algebra --------------------------------------------------
+
+TEST(ChannelStatsOps, SubtractGivesFieldwiseDelta) {
+  const ChannelStats after{100, 50, 7, 3};
+  const ChannelStats before{40, 20, 2, 1};
+  const ChannelStats d = after - before;
+  EXPECT_EQ(d.bytes_sent, 60u);
+  EXPECT_EQ(d.bytes_received, 30u);
+  EXPECT_EQ(d.messages_sent, 5u);
+  EXPECT_EQ(d.rounds, 2u);
+  EXPECT_TRUE(d == ChannelStats({60, 30, 5, 2}));
+  EXPECT_FALSE(after == before);
+}
+
+TEST(ChannelStatsOps, SnapshotDeltaMetersOnePhase) {
+  auto [a, b] = MemChannel::make_pair();
+  u64 x = 7;
+  a->send(&x, 8);  // warm-up traffic outside the "phase"
+  b->recv(&x, 8);
+
+  const ChannelStats mark = a->snapshot();
+  a->send(&x, 8);
+  a->send(&x, 8);
+  b->recv(&x, 8);
+  b->recv(&x, 8);
+  const ChannelStats phase = a->snapshot() - mark;
+  EXPECT_EQ(phase.bytes_sent, 16u);
+  EXPECT_EQ(phase.messages_sent, 2u);
+  EXPECT_EQ(phase.bytes_received, 0u);
+}
+
+// ---- protocol seed constants ----------------------------------------------
+
+TEST(ProtocolSeeds, NamedConstantsKeepWireValues) {
+  // These tags are baked into every OT pad / GC hash of the v2 wire format;
+  // renaming the constants must not change the values.
+  EXPECT_EQ(core::kIknpBaselineTag, 0x5EC00001ull);
+  EXPECT_EQ(core::kArgmaxGcTag, 0xA43A0001ull);
+  EXPECT_NE(core::kIknpBaselineTag, core::kArgmaxGcTag);
+}
+
+// ---- InferenceConfig::validate ---------------------------------------------
+
+TEST(InferenceConfigValidate, AcceptsDefaultsAndBoundary) {
+  InferenceConfig cfg{Ring(32)};
+  EXPECT_NO_THROW(cfg.validate());
+  cfg.trunc_bits = 31;  // largest legal value for a 32-bit ring
+  cfg.chunk_instances = 1;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(InferenceConfigValidate, RejectsTruncBitsAtRingWidth) {
+  InferenceConfig cfg{Ring(32)};
+  cfg.trunc_bits = 32;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.trunc_bits = 64;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(InferenceConfigValidate, RejectsZeroChunkInstances) {
+  InferenceConfig cfg{Ring(16)};
+  cfg.chunk_instances = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(InferenceConfigValidate, ConstructorsRejectBadConfigs) {
+  const Ring ring(16);
+  const auto model =
+      nn::random_model(ring, FragScheme::parse("ternary"), {6, 4}, Block{3, 1});
+
+  InferenceConfig bad_chunk(ring);
+  bad_chunk.chunk_instances = 0;
+  EXPECT_THROW(InferenceServer(model, bad_chunk), std::invalid_argument);
+  EXPECT_THROW(InferenceClient{bad_chunk}, std::invalid_argument);
+
+  InferenceConfig bad_trunc(ring);
+  bad_trunc.trunc_bits = 16;
+  EXPECT_THROW(InferenceServer(model, bad_trunc), std::invalid_argument);
+  EXPECT_THROW(InferenceClient{bad_trunc}, std::invalid_argument);
+}
+
+// ---- core obs API ----------------------------------------------------------
+
+TEST(Obs, CountersAccumulateGaugesOverwrite) {
+  obs::Collector col;
+  obs::Collector* prev = obs::set_collector(&col);
+  obs::add_count("x", 2);
+  obs::add_count("x", 3);
+  obs::set_gauge("g", 1.5);
+  obs::set_gauge("g", 2.5);
+  obs::set_collector(prev);
+
+  EXPECT_EQ(col.counters().at("x"), 5u);
+  EXPECT_DOUBLE_EQ(col.gauges().at("g"), 2.5);
+  // After restore the collector no longer receives anything.
+  obs::add_count("x", 100);
+  EXPECT_EQ(col.counters().at("x"), 5u);
+}
+
+TEST(Obs, ScopeRecordsNestingIndexPartyAndTraffic) {
+  auto [a, b] = MemChannel::make_pair();
+  obs::Collector col;
+  obs::Collector* prev = obs::set_collector(&col);
+  {
+    obs::ScopedParty party(0);
+    obs::Scope outer("outer", a.get());
+    {
+      obs::Scope inner("step", a.get(), 3);
+      u64 x = 1;
+      a->send(&x, 8);
+      b->recv(&x, 8);
+    }
+  }
+  obs::set_collector(prev);
+
+  const auto spans = col.spans();
+  ASSERT_EQ(spans.size(), 2u);  // inner closes (and records) first
+  EXPECT_EQ(spans[0].name, "step[3]");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[0].party, 0);
+  ASSERT_TRUE(spans[0].has_traffic);
+  EXPECT_EQ(spans[0].traffic.bytes_sent, 8u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].depth, 0u);
+  EXPECT_EQ(spans[1].traffic.bytes_sent, 8u);
+  EXPECT_GE(spans[1].dur_us, spans[0].dur_us);
+}
+
+// ---- zero overhead when disabled -------------------------------------------
+
+std::pair<ChannelStats, ChannelStats> run_traced_inference(
+    std::size_t batch, const std::vector<std::size_t>& dims) {
+  const Ring ring(32);
+  const auto model = nn::random_model(ring, FragScheme::parse("ternary"), dims,
+                                      Block{11, 5});
+  const auto x = nn::synthetic_images(dims[0], batch, 16, ring, Block{12, 7});
+
+  InferenceConfig cfg(ring);
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        InferenceServer server(model, cfg);
+        server.run_offline(ch);
+        server.run_online(ch);
+        return 0;
+      },
+      [&](Channel& ch) {
+        InferenceClient client(cfg);
+        client.run_offline(ch, batch);
+        return client.run_online(ch, x).rows();
+      });
+  return {res.stats0, res.stats1};
+}
+
+TEST(Obs, DisabledTracingActivatesNothing) {
+  // No observer installed: a full two-party inference must not open a single
+  // span (the activation counter is the allocation-free proxy: every span
+  // activation allocates, zero activations means zero observer allocations).
+  obs::Collector* prev = obs::set_collector(nullptr);
+  ASSERT_FALSE(obs::enabled());
+  const u64 before = obs::debug_activation_count();
+  run_traced_inference(1, {8, 6, 4});
+  EXPECT_EQ(obs::debug_activation_count(), before);
+  obs::set_collector(prev);
+}
+
+TEST(Obs, TracingDoesNotChangeTheTranscript) {
+  obs::Collector* prev = obs::set_collector(nullptr);
+  const auto [plain0, plain1] = run_traced_inference(1, {8, 6, 4});
+
+  obs::Collector col;
+  obs::set_collector(&col);
+  const auto [traced0, traced1] = run_traced_inference(1, {8, 6, 4});
+  obs::set_collector(prev);
+
+  EXPECT_GT(col.span_count(), 0u);
+  // Identical byte/message/round metering in both directions — the observer
+  // never touches the wire.
+  EXPECT_TRUE(plain0 == traced0);
+  EXPECT_TRUE(plain1 == traced1);
+}
+
+// ---- golden Chrome-trace schema --------------------------------------------
+
+TEST(Obs, GoldenTraceSchemaMatchesEndpointStats) {
+  // MNIST-scale input layer, ternary weights (gamma = 1) to keep the OT
+  // volume test-sized.
+  obs::Collector col;
+  obs::Collector* prev = obs::set_collector(&col);
+  const auto [stats0, stats1] = run_traced_inference(2, {784, 16, 10});
+  obs::set_collector(prev);
+
+  std::ostringstream os;
+  col.write_chrome_trace(os);
+  const std::string text = os.str();
+
+  Json root;
+  ASSERT_NO_THROW(root = JsonParser(text).parse()) << text.substr(0, 400);
+  ASSERT_EQ(root.type, Json::kObj);
+  ASSERT_TRUE(root.has("traceEvents"));
+  const Json& events = root.at("traceEvents");
+  ASSERT_EQ(events.type, Json::kArr);
+  ASSERT_FALSE(events.arr.empty());
+
+  // Schema: every event has ph/pid/name; complete events carry ts, dur and
+  // an args object tagged with party and depth.
+  ChannelStats sum[2];
+  std::map<std::string, int> names;
+  std::size_t n_complete = 0, n_counters = 0, n_meta = 0;
+  for (const Json& e : events.arr) {
+    ASSERT_EQ(e.type, Json::kObj);
+    ASSERT_TRUE(e.has("ph"));
+    ASSERT_TRUE(e.has("pid"));
+    ASSERT_TRUE(e.has("name"));
+    const std::string ph = e.at("ph").str;
+    if (ph == "M") {
+      ++n_meta;
+      continue;
+    }
+    if (ph == "C") {
+      ++n_counters;
+      ASSERT_TRUE(e.at("args").has("value"));
+      continue;
+    }
+    ASSERT_EQ(ph, "X");
+    ++n_complete;
+    ASSERT_TRUE(e.has("ts"));
+    ASSERT_TRUE(e.has("dur"));
+    ASSERT_GE(e.at("dur").num, 0.0);
+    const Json& args = e.at("args");
+    ASSERT_EQ(args.type, Json::kObj);
+    ASSERT_TRUE(args.has("party"));
+    ASSERT_TRUE(args.has("depth"));
+    ++names[e.at("name").str];
+
+    // Top-level spans partition each endpoint's traffic exactly.
+    const int party = static_cast<int>(args.at("party").num);
+    if (args.at("depth").num == 0 && args.has("bytes_sent") &&
+        (party == 0 || party == 1)) {
+      sum[party].bytes_sent += static_cast<u64>(args.at("bytes_sent").num);
+      sum[party].bytes_received +=
+          static_cast<u64>(args.at("bytes_received").num);
+      sum[party].messages_sent +=
+          static_cast<u64>(args.at("messages_sent").num);
+      sum[party].rounds += static_cast<u64>(args.at("rounds").num);
+    }
+  }
+  EXPECT_GT(n_complete, 0u);
+  EXPECT_GT(n_counters, 0u);
+  EXPECT_GT(n_meta, 0u);
+
+  // The taxonomy's load-bearing spans all appear, for both parties.
+  for (const char* want : {"offline", "online", "handshake", "triplets[0]",
+                           "kk13/base-ot", "kk13/extend", "linear[0]",
+                           "relu[0]", "reveal", "send-input", "recv-input"})
+    EXPECT_TRUE(names.count(want) != 0) << "missing span " << want;
+
+  // Golden invariant: per party, the depth-0 spans ("offline" + "online")
+  // sum to that endpoint's ChannelStats, field for field.
+  EXPECT_TRUE(sum[0] == stats0)
+      << sum[0].bytes_sent << " vs " << stats0.bytes_sent;
+  EXPECT_TRUE(sum[1] == stats1)
+      << sum[1].bytes_sent << " vs " << stats1.bytes_sent;
+
+  // The summary exporter renders the same collector as a per-layer table.
+  std::ostringstream summary;
+  col.write_summary(summary);
+  const std::string table = summary.str();
+  EXPECT_NE(table.find("obs summary"), std::string::npos);
+  EXPECT_NE(table.find("offline"), std::string::npos);
+  EXPECT_NE(table.find("triplets[0]"), std::string::npos);
+  EXPECT_NE(table.find("kk13.extend.instances"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace abnn2

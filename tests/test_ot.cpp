@@ -51,18 +51,18 @@ TEST(Iknp, ExtendCoalescesCorrectionsIntoOneMessage) {
         Prg prg(Block{31, 1});
         IknpSender s;
         s.setup(ch, prg);
-        const u64 before = ch.stats().messages_sent;
+        const ChannelStats before = ch.snapshot();
         s.extend(ch, 333);
-        return ch.stats().messages_sent - before;
+        return (ch.snapshot() - before).messages_sent;
       },
       [&](Channel& ch) {
         Prg prg(Block{31, 2});
         IknpReceiver r;
         r.setup(ch, prg);
         BitVec choices(333);
-        const u64 before = ch.stats().messages_sent;
+        const ChannelStats before = ch.snapshot();
         r.extend(ch, choices);
-        return ch.stats().messages_sent - before;
+        return (ch.snapshot() - before).messages_sent;
       });
   EXPECT_EQ(res.party0, 0u);
   EXPECT_EQ(res.party1, 1u);
@@ -77,17 +77,17 @@ TEST(Kk13, ExtendCoalescesCorrectionsIntoOneMessage) {
         Prg prg(Block{32, 1});
         Kk13Sender s;
         s.setup(ch, prg);
-        const u64 before = ch.stats().messages_sent;
+        const ChannelStats before = ch.snapshot();
         s.extend(ch, choices.size());
-        return ch.stats().messages_sent - before;
+        return (ch.snapshot() - before).messages_sent;
       },
       [&](Channel& ch) {
         Prg prg(Block{32, 2});
         Kk13Receiver r;
         r.setup(ch, prg);
-        const u64 before = ch.stats().messages_sent;
+        const ChannelStats before = ch.snapshot();
         r.extend(ch, choices);
-        return ch.stats().messages_sent - before;
+        return (ch.snapshot() - before).messages_sent;
       });
   EXPECT_EQ(res.party0, 0u);
   EXPECT_EQ(res.party1, 1u);

@@ -15,11 +15,13 @@
 #include "core/inference.h"
 #include "net/framed_channel.h"
 #include "net/socket_channel.h"
+#include "obs/obs.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
+  obs::init_trace_from_env();
   if (argc < 4 || argc > 6) {
     std::fprintf(stderr,
                  "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",

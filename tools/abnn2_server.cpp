@@ -16,11 +16,13 @@
 #include "net/framed_channel.h"
 #include "net/socket_channel.h"
 #include "nn/model_io.h"
+#include "obs/obs.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
+  obs::init_trace_from_env();
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr, "usage: %s <model.mdl> <port> [batches]\n", argv[0]);
     return 2;
