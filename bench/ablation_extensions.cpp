@@ -96,6 +96,9 @@ RunCost run_nonlinear(bool sigmoid, std::size_t n) {
 }
 
 RunCost run_triplets_ro(RoMode mode) {
+  // Deliberate A/B of the RO instantiations between self-contained runs;
+  // the first-use guard must be released before each switch.
+  reset_ro_mode_for_bench();
   set_ro_mode(mode);
   const ss::Ring ring(32);
   const auto scheme = nn::FragScheme::parse("(2,2,2,2)");
@@ -117,6 +120,7 @@ RunCost run_triplets_ro(RoMode mode) {
         ot.setup(ch, prg);
         return core::triplet_gen_client(ch, ot, r, scheme, 128, cfg, prg);
       });
+  reset_ro_mode_for_bench();
   set_ro_mode(RoMode::kFixedKeyAes);
   return bench::summarize(res, kWanQuotient);
 }
@@ -124,9 +128,9 @@ RunCost run_triplets_ro(RoMode mode) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
   const std::size_t batch = bench::fast_mode() ? 2 : 8;
 
   bench::print_header("Ablation: reveal logits vs secure argmax (Fig-4 net)");
@@ -134,8 +138,9 @@ int main() {
               "rounds");
   for (auto [name, mode] :
        {std::pair{"logits", core::Reveal::kLogits},
-        std::pair{"argmax (GC)", core::Reveal::kArgmax}}) {
+        std::pair{"argmax", core::Reveal::kArgmax}}) {
     const auto c = run_fig4(mode, batch);
+    bench::json_row(std::string("reveal/") + name, c);
     std::printf("%-16s | %8.2f %10.2f %8llu\n", name, c.lan_s, c.comm_mb,
                 static_cast<unsigned long long>(c.rounds));
   }
@@ -144,6 +149,7 @@ int main() {
   std::printf("%-16s | %8s %10s\n", "model", "LAN(s)", "comm(MB)");
   for (bool pooled : {false, true}) {
     const auto c = run_cnn(pooled, batch);
+    bench::json_row(pooled ? "cnn/conv_pool_fc" : "cnn/conv_relu_fc", c);
     std::printf("%-16s | %8.2f %10.2f\n",
                 pooled ? "conv+pool+fc" : "conv+relu+fc", c.lan_s, c.comm_mb);
   }
@@ -153,6 +159,7 @@ int main() {
   std::printf("%zu neurons, l=32\n", n);
   for (bool sigmoid : {false, true}) {
     const auto c = run_nonlinear(sigmoid, n);
+    bench::json_row(sigmoid ? "nonlinear/sigmoid" : "nonlinear/relu", c);
     std::printf("%-16s | LAN %6.2f s, comm %8.2f MB\n",
                 sigmoid ? "sigmoid" : "ReLU (generic)", c.lan_s, c.comm_mb);
   }
@@ -161,6 +168,8 @@ int main() {
   for (auto [name, mode] : {std::pair{"SHA-256", RoMode::kSha256},
                             std::pair{"fixed-key AES", RoMode::kFixedKeyAes}}) {
     const auto c = run_triplets_ro(mode);
+    bench::json_row(mode == RoMode::kSha256 ? "ro/sha256" : "ro/fixed_key_aes",
+                    c);
     std::printf("%-16s | compute %6.2f s (comm identical: %.2f MB)\n", name,
                 c.compute_s, c.comm_mb);
   }

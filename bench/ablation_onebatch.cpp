@@ -44,9 +44,9 @@ bench::RunCost run_mode(const nn::FragScheme& scheme, core::BatchMode mode) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
 
   bench::print_header(
       "Ablation A: one-batch C-OT (4.1.3) vs multi-batch messages at o=1");
@@ -57,6 +57,8 @@ int main() {
     const auto scheme = nn::FragScheme::parse(spec);
     const auto ob = run_mode(scheme, core::BatchMode::kOneBatchCot);
     const auto mb = run_mode(scheme, core::BatchMode::kMultiBatch);
+    bench::json_row(std::string("onebatch/") + spec, ob);
+    bench::json_row(std::string("multibatch/") + spec, mb);
     std::printf("%-14s | %9.2fM %10.2f | %9.2fM %10.2f\n", spec, ob.comm_mb,
                 ob.lan_s, mb.comm_mb, mb.lan_s);
   }

@@ -44,9 +44,9 @@ bench::RunCost run_relu(ReluMode mode, std::size_t n, double neg_fraction) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
   const std::size_t n = bench::fast_mode() ? 2048 : 16384;
 
   bench::print_header("Ablation: generic (Alg 2) vs optimized ReLU");
@@ -57,6 +57,9 @@ int main() {
   for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
     const auto g = run_relu(core::ReluMode::kGeneric, n, f);
     const auto o = run_relu(core::ReluMode::kOptimized, n, f);
+    const std::string frac = std::to_string(static_cast<int>(f * 100));
+    bench::json_row("relu/generic/neg" + frac, g);
+    bench::json_row("relu/optimized/neg" + frac, o);
     std::printf("%-10.2f | %8.3f %9.2f %8.3f | %8.3f %9.2f %8.3f\n", f,
                 g.lan_s, g.comm_mb, g.wan_s, o.lan_s, o.comm_mb, o.wan_s);
   }

@@ -15,10 +15,13 @@
 #include <initializer_list>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "crypto/ro.h"
 #include "net/party_runner.h"
 #include "obs/obs.h"
+#include "simd/dispatch.h"
 
 namespace abnn2::bench {
 
@@ -28,6 +31,97 @@ inline bool fast_mode() {
 }
 
 inline void setup_bench_env() { set_ro_mode(RoMode::kFixedKeyAes); }
+
+/// Extracts a `--json <path>` or `--json=<path>` flag from argv, compacting
+/// the remaining arguments. Returns the path, or "" when the flag is absent.
+inline std::string parse_json_flag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    std::string path;
+    int consumed = 0;
+    if (a == "--json" && i + 1 < argc) {
+      path = argv[i + 1];
+      consumed = 2;
+    } else if (a.rfind("--json=", 0) == 0) {
+      path = std::string(a.substr(7));
+      consumed = 1;
+    }
+    if (consumed > 0) {
+      for (int j = i; j + consumed < argc; ++j) argv[j] = argv[j + consumed];
+      argc -= consumed;
+      return path;
+    }
+  }
+  return {};
+}
+
+/// Machine-readable benchmark output. Rows accumulate during the run and are
+/// written on program exit in the google-benchmark JSON shape
+/// ({"context": ..., "benchmarks": [{"name": ..., <metric>: <number>}]}),
+/// so tools/bench_compare.py handles table benches and micro_primitives
+/// output uniformly. Disabled (no file written) until set_path() is called.
+class JsonReport {
+ public:
+  ~JsonReport() { write(); }
+
+  void set_path(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  using Metrics = std::initializer_list<std::pair<const char*, double>>;
+  void add(const std::string& name, Metrics metrics) {
+    std::string row = "    {\"name\": \"" + name + "\"";
+    char buf[64];
+    for (const auto& [key, value] : metrics) {
+      std::snprintf(buf, sizeof(buf), ", \"%s\": %.9g", key, value);
+      row += buf;
+    }
+    row += "}";
+    rows_.push_back(std::move(row));
+  }
+
+  void write() {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      path_.clear();
+      return;
+    }
+    std::fprintf(f, "{\n  \"context\": {\"dispatch\": \"%s\"},\n",
+                 simd::dispatch_summary().c_str());
+    std::fprintf(f, "  \"benchmarks\": [\n");
+    for (std::size_t i = 0; i < rows_.size(); ++i)
+      std::fprintf(f, "%s%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    path_.clear();
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> rows_;
+};
+
+/// Process-wide report; written automatically at exit.
+inline JsonReport& json_report() {
+  static JsonReport report;
+  return report;
+}
+
+/// Bench-main entry point: fixed-key-AES RO, dispatch logging under
+/// ABNN2_VERBOSE=1, and `--json <path>` support. Flags it understands are
+/// removed from argv.
+inline void setup_bench_env(int& argc, char** argv) {
+  setup_bench_env();
+  simd::log_dispatch(argc > 0 ? argv[0] : "bench");
+  std::string path = parse_json_flag(argc, argv);
+  if (!path.empty()) json_report().set_path(std::move(path));
+}
+
+/// Records one protocol-run cost row into the JSON report (no-op when --json
+/// was not passed).
+inline void json_row(const std::string& name, const struct RunCost& c);
 
 inline double mb(double bytes) { return bytes / 1.0e6; }
 
@@ -131,6 +225,15 @@ RunCost summarize(const TwoPartyResult<R0, R1>& res, const NetworkModel& wan,
   c.online_s = on.seconds;
   c.online_mb = on.comm_mb;
   return c;
+}
+
+inline void json_row(const std::string& name, const RunCost& c) {
+  if (!json_report().enabled()) return;
+  json_report().add(name, {{"compute_s", c.compute_s},
+                           {"lan_s", c.lan_s},
+                           {"wan_s", c.wan_s},
+                           {"comm_mb", c.comm_mb},
+                           {"rounds", static_cast<double>(c.rounds)}});
 }
 
 inline void print_header(const char* title) {

@@ -4,6 +4,10 @@
 // knobs behind every table; regressions here show up everywhere.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
 #include "common/bitmatrix.h"
 #include "crypto/aes.h"
 #include "crypto/prg.h"
@@ -14,6 +18,7 @@
 #include "he/bfv.h"
 #include "nn/model.h"
 #include "ot/wh_code.h"
+#include "simd/dispatch.h"
 
 namespace abnn2 {
 namespace {
@@ -52,15 +57,51 @@ void BM_PrgBytes(benchmark::State& state) {
 BENCHMARK(BM_PrgBytes);
 
 void BM_RoHash(benchmark::State& state) {
-  set_ro_mode(state.range(0) ? RoMode::kFixedKeyAes : RoMode::kSha256);
+  ScopedRoMode mode(state.range(0) ? RoMode::kFixedKeyAes : RoMode::kSha256);
   u8 q[32] = {1, 2, 3};
   for (auto _ : state) {
     auto d = ro_hash(1, 2, q);
     benchmark::DoNotOptimize(d);
   }
-  set_ro_mode(RoMode::kSha256);
 }
 BENCHMARK(BM_RoHash)->Arg(0)->Arg(1);  // 0 = SHA-256, 1 = fixed-key AES
+
+// Batched OT-pad derivation at the current ro_batch_width(): 4096 rows of
+// 32 bytes, the KK13 shape. Run with ABNN2_RO_BATCH_WIDTH=1 this degenerates
+// to the seed's per-instance path, which is how BENCH_baseline.json was
+// produced; the default width-8 run is BENCH_pr5.json. items/s = pads/s.
+void BM_RoHashBatch(benchmark::State& state) {
+  ScopedRoMode mode(state.range(0) ? RoMode::kFixedKeyAes : RoMode::kSha256);
+  constexpr std::size_t kRows = 4096;
+  constexpr std::size_t kRowBytes = 32;
+  Prg prg(Block{20, 20});
+  std::vector<u8> rows(kRows * kRowBytes);
+  prg.bytes(rows.data(), rows.size());
+  std::vector<RoDigest> out(kRows);
+  for (auto _ : state) {
+    ro_hash_batch(3, 0, rows.data(), kRowBytes, kRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_RoHashBatch)->Arg(0)->Arg(1);  // 0 = SHA-256, 1 = fixed-key AES
+
+// IKNP-shaped batched pads (16-byte rows) — the send/recv_blocks hot loop.
+void BM_RoHashBatchIknp(benchmark::State& state) {
+  ScopedRoMode mode(RoMode::kFixedKeyAes);
+  constexpr std::size_t kRows = 4096;
+  constexpr std::size_t kRowBytes = 16;
+  Prg prg(Block{21, 21});
+  std::vector<u8> rows(kRows * kRowBytes);
+  prg.bytes(rows.data(), rows.size());
+  std::vector<RoDigest> out(kRows);
+  for (auto _ : state) {
+    ro_hash_batch(4, 0, rows.data(), kRowBytes, kRows, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<i64>(state.iterations()) * kRows);
+}
+BENCHMARK(BM_RoHashBatchIknp);
 
 void BM_BitMatrixTranspose(benchmark::State& state) {
   const std::size_t rows = static_cast<std::size_t>(state.range(0));
@@ -166,4 +207,24 @@ BENCHMARK(BM_WhCodeword);
 }  // namespace
 }  // namespace abnn2
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): logs the dispatched CPU features
+// (ABNN2_VERBOSE=1) and translates the repo-standard `--json <path>` flag
+// into google-benchmark's JSON reporter flags.
+int main(int argc, char** argv) {
+  abnn2::simd::log_dispatch(argc > 0 ? argv[0] : "micro_primitives");
+  const std::string json = abnn2::bench::parse_json_flag(argc, argv);
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag, fmt_flag;
+  if (!json.empty()) {
+    out_flag = "--benchmark_out=" + json;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int ac = static_cast<int>(args.size());
+  benchmark::Initialize(&ac, args.data());
+  if (benchmark::ReportUnrecognizedArguments(ac, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -84,9 +84,9 @@ Measured measure_secureml(const MatMulShape& s, std::size_t l) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
 
   bench::print_header("Table 1: OT complexity, formulas vs metered traffic");
   std::printf(
@@ -129,6 +129,11 @@ int main() {
                 shape, one_batch ? "ours 1-batch" : "ours M-batch", fmla_ot,
                 gamma, n_values, bench::mb(fmla_comm),
                 bench::mb(meas.comm_bytes), meas.comm_bytes / fmla_comm);
+    if (bench::json_report().enabled())
+      bench::json_report().add(std::string("table1/ours/") + shape,
+                               {{"comm_formula_mb", bench::mb(fmla_comm)},
+                                {"comm_measured_mb", bench::mb(meas.comm_bytes)},
+                                {"setup_mb", bench::mb(meas.setup_bytes)}});
 
     // --- SecureML --------------------------------------------------------
     const double sm_ot = core::secureml_ot_count(c.s, c.l);
@@ -137,6 +142,12 @@ int main() {
     std::printf("%-22s %-12s | %12.0f %13s | %14.4f %14.4f | %7.3f\n", shape,
                 "SecureML", sm_ot, "-", bench::mb(sm_comm),
                 bench::mb(sm_meas.comm_bytes), sm_meas.comm_bytes / sm_comm);
+    if (bench::json_report().enabled())
+      bench::json_report().add(
+          std::string("table1/secureml/") + shape,
+          {{"comm_formula_mb", bench::mb(sm_comm)},
+           {"comm_measured_mb", bench::mb(sm_meas.comm_bytes)},
+           {"setup_mb", bench::mb(sm_meas.setup_bytes)}});
   }
 
   std::printf(

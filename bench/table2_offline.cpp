@@ -62,9 +62,9 @@ RunCost run_cell(const FragScheme& scheme, std::size_t batch,
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
   const ss::Ring ring(32);
 
   struct Row {
@@ -93,7 +93,12 @@ int main() {
   for (const auto& row : rows) {
     const auto scheme = nn::FragScheme::parse(row.tuple);
     std::vector<bench::RunCost> cells;
-    for (auto b : batches) cells.push_back(run_cell(scheme, b, ring));
+    for (std::size_t bi = 0; bi < batches.size(); ++bi) {
+      cells.push_back(run_cell(scheme, batches[bi], ring));
+      bench::json_row(std::string("table2/") + row.tuple + "/b" +
+                          std::to_string(batches[bi]),
+                      cells.back());
+    }
     if (row.eta > 0)
       std::printf("%-4d %-20s |", row.eta, row.tuple);
     else

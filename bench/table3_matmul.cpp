@@ -68,9 +68,9 @@ RunCost run_secureml(std::size_t d, const ss::Ring& ring) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
   const ss::Ring ring(64);
 
   std::vector<std::size_t> dims = {100, 500, 1000};
@@ -85,9 +85,14 @@ int main() {
 
   for (std::size_t d : dims) {
     bench::RunCost ours[3];
-    for (int i = 0; i < 3; ++i)
+    for (int i = 0; i < 3; ++i) {
       ours[i] = run_ours(nn::FragScheme::parse(configs[i]), d, ring);
+      bench::json_row(std::string("table3/") + configs[i] + "/d" +
+                          std::to_string(d),
+                      ours[i]);
+    }
     const bench::RunCost sm = run_secureml(d, ring);
+    bench::json_row("table3/secureml/d" + std::to_string(d), sm);
     std::printf("%-10s %6zu | %10.2f %10.2f %10.2f | %10.2f\n", "LAN(s)", d,
                 ours[0].lan_s, ours[1].lan_s, ours[2].lan_s, sm.lan_s);
     std::printf("%-10s %6zu | %10.2f %10.2f %10.2f | %10.2f\n", "WAN(s)", d,

@@ -48,9 +48,9 @@ RunCost run_e2e(Backend backend, const std::string& spec, std::size_t l,
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
 
   std::vector<std::size_t> batches = {1, 128};
   if (bench::fast_mode()) batches = {1, 8};
@@ -87,14 +87,22 @@ int main() {
     // cost model — it multiplies full-width plaintexts).
     {
       std::vector<bench::RunCost> cells;
-      for (auto b : batches)
+      for (auto b : batches) {
         cells.push_back(run_e2e(core::Backend::kMiniONN, "(2,2)", l, b));
+        bench::json_row("table4/minionn/l" + std::to_string(l) + "/b" +
+                            std::to_string(b),
+                        cells.back());
+      }
       print_row(l == 32 ? "l=32" : "l=64", "MiniONN", cells);
     }
     for (const char* spec : {"(2,2)", "(2,1)", "ternary", "binary"}) {
       std::vector<bench::RunCost> cells;
-      for (auto b : batches)
+      for (auto b : batches) {
         cells.push_back(run_e2e(core::Backend::kAbnn2, spec, l, b));
+        bench::json_row(std::string("table4/") + spec + "/l" +
+                            std::to_string(l) + "/b" + std::to_string(b),
+                        cells.back());
+      }
       print_row(l == 32 ? "l=32" : "l=64", spec, cells);
     }
   }

@@ -48,9 +48,9 @@ bench::RunCost run_e2e(core::Backend backend, std::size_t batch) {
 }  // namespace
 }  // namespace abnn2
 
-int main() {
+int main(int argc, char** argv) {
   using namespace abnn2;
-  bench::setup_bench_env();
+  bench::setup_bench_env(argc, argv);
 
   std::vector<std::size_t> batches = {1, 128};
   if (bench::fast_mode()) batches = {1, 8};
@@ -71,7 +71,14 @@ int main() {
        {std::pair{"ABNN2 (ternary, 1-of-N OT)", core::Backend::kAbnn2},
         std::pair{"QUOTIENT-style (2x 1-of-2)", core::Backend::kQuotient}}) {
     std::vector<bench::RunCost> cells;
-    for (auto b : batches) cells.push_back(run_e2e(backend, b));
+    for (auto b : batches) {
+      cells.push_back(run_e2e(backend, b));
+      bench::json_row(std::string("table5/") +
+                          (backend == core::Backend::kAbnn2 ? "abnn2"
+                                                            : "quotient") +
+                          "/b" + std::to_string(b),
+                      cells.back());
+    }
     std::printf("%-28s | ", name);
     for (const auto& c : cells) std::printf("%11.2f ", c.lan_s);
     std::printf("| ");

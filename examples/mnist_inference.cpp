@@ -23,6 +23,7 @@
 #include "core/inference.h"
 #include "net/party_runner.h"
 #include "obs/obs.h"
+#include "simd/dispatch.h"
 
 using namespace abnn2;
 
@@ -47,6 +48,7 @@ nn::MatF make_float_layer(std::size_t out, std::size_t in, u64 seed) {
 
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
+  simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
   const std::string spec = argc > 1 ? argv[1] : "s(2,2,2,2)";
   const std::size_t batch =
       argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 4;

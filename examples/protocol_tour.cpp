@@ -13,10 +13,12 @@
 #include "core/nonlinear.h"
 #include "core/triplet_gen.h"
 #include "net/party_runner.h"
+#include "simd/dispatch.h"
 
 using namespace abnn2;
 
 int main() {
+  simd::log_dispatch("protocol_tour");  // prints under ABNN2_VERBOSE=1
   const ss::Ring ring(16);  // small ring so numbers are readable
   Prg demo_prg(Block{123, 456});
 

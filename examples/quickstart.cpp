@@ -11,10 +11,12 @@
 
 #include "core/inference.h"
 #include "net/party_runner.h"
+#include "simd/dispatch.h"
 
 using namespace abnn2;
 
 int main() {
+  simd::log_dispatch("quickstart");  // prints under ABNN2_VERBOSE=1
   // 1. Common public configuration: ring Z_2^32, the paper's optimized ReLU.
   const ss::Ring ring(32);
   core::InferenceConfig cfg(ring);

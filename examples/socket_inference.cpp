@@ -23,6 +23,7 @@
 #include "net/socket_channel.h"
 #include "nn/model_io.h"
 #include "obs/obs.h"
+#include "simd/dispatch.h"
 
 using namespace abnn2;
 
@@ -90,6 +91,7 @@ int run_client(u16 port) {
 
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
+  simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
   const std::string role = argc > 1 ? argv[1] : "demo";
   const u16 port =
       argc > 2 ? static_cast<u16>(std::atoi(argv[2])) : u16{9900};

@@ -1,59 +1,34 @@
 #include "common/bitmatrix.h"
 
 #include "runtime/thread_pool.h"
+#include "simd/kernels.h"
 
 namespace abnn2 {
-namespace {
-
-// Transpose an 8x8 bit block held in a u64 (byte i = row i, LSB-first bits).
-// Hacker's Delight 7-3.
-inline u64 transpose8x8(u64 x) {
-  u64 t;
-  t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
-  x = x ^ t ^ (t << 7);
-  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
-  x = x ^ t ^ (t << 14);
-  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
-  x = x ^ t ^ (t << 28);
-  return x;
-}
-
-}  // namespace
 
 BitMatrix BitMatrix::transpose() const {
   BitMatrix out(cols_, rows_);
-  // Process 8x8 bit tiles: input rows i..i+7, byte column jb maps to output
-  // rows 8*jb..8*jb+7, byte column i/8.
-  const std::size_t full_row_tiles = rows_ / 8;
-  const std::size_t byte_cols = stride_;
-  // Row tile `it` only writes output byte column `it`, so tiles are
-  // independent and the loop parallelizes with disjoint writes. Small
-  // matrices stay serial: the fork/join overhead would dominate.
-  const auto do_row_tile = [&](std::size_t it) {
-    const std::size_t i0 = it * 8;
-    for (std::size_t jb = 0; jb < byte_cols; ++jb) {
-      u64 tile = 0;
-      for (int k = 0; k < 8; ++k)
-        tile |= static_cast<u64>(row(i0 + k)[jb]) << (8 * k);
-      if (tile == 0) continue;
-      tile = transpose8x8(tile);
-      const std::size_t out_i0 = jb * 8;
-      const std::size_t out_jb = it;
-      const std::size_t out_rows = cols_ > out_i0 ? cols_ - out_i0 : 0;
-      const int lim = static_cast<int>(out_rows < 8 ? out_rows : 8);
-      for (int k = 0; k < lim; ++k) {
-        const u8 b = static_cast<u8>(tile >> (8 * k));
-        if (b) out.row(out_i0 + k)[out_jb] = b;
-      }
+  // The kernel handles any 8-row-aligned region: input rows [i0, i0+g) only
+  // write output byte columns [i0/8, (i0+g)/8), so 8-row-aligned slices have
+  // disjoint writes and the loop parallelizes. Small matrices stay serial:
+  // the fork/join overhead would dominate.
+  const std::size_t full_rows = rows_ & ~std::size_t{7};
+  const auto& kt = simd::active_kernels();
+  if (full_rows > 0) {
+    const std::size_t n_groups = full_rows / 8;
+    if (rows_ * cols_ >= (std::size_t{1} << 16)) {
+      runtime::parallel_slices(
+          n_groups, runtime::num_threads(),
+          [&](std::size_t, std::size_t gb, std::size_t ge) {
+            kt.transpose_bits(row(gb * 8), stride_, (ge - gb) * 8, cols_,
+                              out.data() + gb, out.row_bytes());
+          });
+    } else {
+      kt.transpose_bits(data(), stride_, full_rows, cols_, out.data(),
+                        out.row_bytes());
     }
-  };
-  if (rows_ * cols_ >= (std::size_t{1} << 16)) {
-    runtime::parallel_for(full_row_tiles, do_row_tile);
-  } else {
-    for (std::size_t it = 0; it < full_row_tiles; ++it) do_row_tile(it);
   }
   // Remaining rows (rows_ % 8) handled bitwise.
-  for (std::size_t i = full_row_tiles * 8; i < rows_; ++i)
+  for (std::size_t i = full_rows; i < rows_; ++i)
     for (std::size_t j = 0; j < cols_; ++j)
       if (get(i, j)) out.set(j, i, true);
   return out;

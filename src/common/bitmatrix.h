@@ -6,6 +6,7 @@
 
 #include "common/bitvec.h"
 #include "common/defines.h"
+#include "simd/kernels.h"
 
 namespace abnn2 {
 
@@ -34,8 +35,7 @@ class BitMatrix {
   }
 
   void xor_row(std::size_t i, const u8* src) {
-    u8* r = row(i);
-    for (std::size_t b = 0; b < stride_; ++b) r[b] ^= src[b];
+    simd::active_kernels().xor_bytes(row(i), src, stride_);
   }
 
   u8* data() { return data_.data(); }

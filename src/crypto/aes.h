@@ -1,7 +1,8 @@
-// AES-128 block cipher. Uses AES-NI when compiled with -maes (part of
-// -march=native); otherwise falls back to a portable table-free
-// implementation. Encryption-only: the library never needs AES decryption
-// (PRG, hashing and GC all use the forward direction).
+// AES-128 block cipher over the runtime-dispatched kernel layer (src/simd/):
+// AES-NI with 8-way block pipelining when the CPU supports it, a portable
+// S-box implementation otherwise — selected by CPUID at runtime, not by the
+// compile-time -march flags. Encryption-only: the library never needs AES
+// decryption (PRG, hashing and GC all use the forward direction).
 #pragma once
 
 #include <array>

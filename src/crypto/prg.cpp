@@ -57,12 +57,22 @@ void Prg::next_blocks(Block* out, std::size_t n) {
     byte_pos_ = 16;
     ++buf_pos_;
   }
-  // Large requests: encrypt counters straight into `out`.
+  // Large requests: encrypt counters straight into `out`, staging the counter
+  // blocks through a fixed stack buffer (no heap allocation on the refill
+  // path). The output is the same E(stream, counter) sequence regardless of
+  // how the request is chunked.
   if (n >= kBuf) {
-    std::vector<Block> ctr(n);
-    for (std::size_t i = 0; i < n; ++i) ctr[i] = Block{stream_id_, counter_ + i};
-    counter_ += n;
-    aes_.encrypt_blocks(ctr.data(), out, n);
+    constexpr std::size_t kChunk = 64;
+    Block ctr[kChunk];
+    while (n > 0) {
+      const std::size_t c = std::min<std::size_t>(n, kChunk);
+      for (std::size_t i = 0; i < c; ++i)
+        ctr[i] = Block{stream_id_, counter_ + i};
+      counter_ += c;
+      aes_.encrypt_blocks(ctr, out, c);
+      out += c;
+      n -= c;
+    }
     return;
   }
   for (std::size_t i = 0; i < n; ++i) out[i] = next_block();
@@ -83,10 +93,27 @@ void Prg::bytes(void* out, std::size_t n) {
   }
   const std::size_t whole = n / 16;
   if (whole > 0) {
-    std::vector<Block> tmp(whole);
-    next_blocks(tmp.data(), whole);
-    std::memcpy(p, tmp.data(), whole * 16);
-    p += whole * 16;
+    constexpr std::size_t kChunk = 64;
+    Block tmp[kChunk];
+    if (whole >= kBuf) {
+      // Mirror next_blocks' direct path chunkwise: every whole block comes
+      // straight from the counter stream, no heap staging buffer.
+      std::size_t left = whole;
+      while (left > 0) {
+        const std::size_t c = std::min<std::size_t>(left, kChunk);
+        for (std::size_t i = 0; i < c; ++i)
+          tmp[i] = Block{stream_id_, counter_ + i};
+        counter_ += c;
+        aes_.encrypt_blocks(tmp, tmp, c);
+        std::memcpy(p, tmp, c * 16);
+        p += c * 16;
+        left -= c;
+      }
+    } else {
+      next_blocks(tmp, whole);
+      std::memcpy(p, tmp, whole * 16);
+      p += whole * 16;
+    }
     n -= whole * 16;
   }
   if (n > 0) {

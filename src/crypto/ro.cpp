@@ -1,13 +1,29 @@
 #include "crypto/ro.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cstdlib>
 
 #include "crypto/aes.h"
+#include "simd/kernels.h"
 
 namespace abnn2 {
 namespace {
 
 std::atomic<RoMode> g_mode{RoMode::kSha256};
+// Latched by the first hash; set_ro_mode refuses to *change* the mode once
+// set (both parties must run the whole protocol under one instantiation).
+std::atomic<bool> g_used{false};
+// 0 = uninitialised (read ABNN2_RO_BATCH_WIDTH / default 8 on first use).
+std::atomic<std::size_t> g_batch_width{0};
+
+constexpr std::size_t kDefaultBatchWidth = 8;
+constexpr std::size_t kMaxBatchWidth = 8;
+
+inline void mark_used() {
+  if (!g_used.load(std::memory_order_relaxed))
+    g_used.store(true, std::memory_order_relaxed);
+}
 
 // Davies-Meyer over the fixed-key AES permutation pi:
 //   h_0 = tweak;  h_{k+1} = pi(m_k ^ h_k) ^ (m_k ^ h_k)
@@ -37,18 +53,154 @@ RoDigest aes_ro(u64 tag, u64 index, std::span<const u8> data) {
   return out;
 }
 
-}  // namespace
+// Up to 8 Davies-Meyer chains in lockstep. Every chain performs exactly the
+// per-instance AES calls of aes_ro (AES is pure, so interleaving the calls
+// through the 8-way pipelined kernel changes throughput, not results). The
+// chains advance together because all rows share one length.
+void aes_ro_batch_chunk(const Aes128& pi, u64 tag, u64 index0, const u8* rows,
+                        std::size_t row_bytes, std::size_t n, RoDigest* out) {
+  Block h[kMaxBatchWidth];
+  Block e[2 * kMaxBatchWidth];
+  for (std::size_t k = 0; k < n; ++k) h[k] = Block{tag, index0 + k};
+  pi.encrypt_blocks(h, e, n);
+  for (std::size_t k = 0; k < n; ++k) h[k] ^= e[k];
+  std::size_t i = 0;
+  while (i < row_bytes) {
+    const std::size_t take = std::min<std::size_t>(16, row_bytes - i);
+    for (std::size_t k = 0; k < n; ++k) {
+      u8 chunk[16] = {};
+      std::memcpy(chunk, rows + k * row_bytes + i, take);
+      if (take < 16) chunk[15] ^= static_cast<u8>(0x80 | take);
+      h[k] = Block::from_bytes(chunk) ^ h[k];
+    }
+    pi.encrypt_blocks(h, e, n);
+    for (std::size_t k = 0; k < n; ++k) h[k] ^= e[k];
+    i += take;
+  }
+  Block fin[2 * kMaxBatchWidth];
+  for (std::size_t k = 0; k < n; ++k) {
+    fin[2 * k] = h[k] ^ kOneBlock;
+    fin[2 * k + 1] = h[k] ^ Block{0, 2};
+  }
+  pi.encrypt_blocks(fin, e, 2 * n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const Block o0 = e[2 * k] ^ fin[2 * k];
+    const Block o1 = e[2 * k + 1] ^ fin[2 * k + 1];
+    o0.to_bytes(out[k].d.data());
+    o1.to_bytes(out[k].d.data() + 16);
+  }
+}
 
-RoMode ro_mode() { return g_mode.load(std::memory_order_relaxed); }
-void set_ro_mode(RoMode mode) { g_mode.store(mode, std::memory_order_relaxed); }
-
-RoDigest ro_hash(u64 tag, u64 index, std::span<const u8> data) {
-  if (ro_mode() == RoMode::kFixedKeyAes) return aes_ro(tag, index, data);
+RoDigest sha_ro(u64 tag, u64 index, std::span<const u8> data) {
   Sha256 h;
   h.update(&tag, sizeof(tag));
   h.update(&index, sizeof(index));
   h.update(data);
   return RoDigest{h.digest()};
+}
+
+// SHA-256 instances whose message (tag | index | row) fits one padded block
+// run four at a time through the multi-buffer kernel. The padded block is
+// exactly what the incremental Sha256 would compress: message bytes, 0x80,
+// zeros, 64-bit big-endian bit length.
+void sha_ro_batch(u64 tag, u64 index0, const u8* rows, std::size_t row_bytes,
+                  std::size_t n, RoDigest* out, std::size_t width) {
+  const auto& kt = simd::active_kernels();
+  const std::size_t msg_len = 16 + row_bytes;
+  std::size_t i = 0;
+  if (kt.sha256_x4 != nullptr && width >= 4 && msg_len <= 55) {
+    alignas(16) u8 blocks[4 * 64];
+    u8 dig[4 * 32];
+    const u64 bit_len = static_cast<u64>(msg_len) * 8;
+    for (; i + 4 <= n; i += 4) {
+      std::memset(blocks, 0, sizeof(blocks));
+      for (std::size_t l = 0; l < 4; ++l) {
+        u8* p = blocks + 64 * l;
+        const u64 idx = index0 + i + l;
+        std::memcpy(p, &tag, 8);
+        std::memcpy(p + 8, &idx, 8);
+        std::memcpy(p + 16, rows + (i + l) * row_bytes, row_bytes);
+        p[msg_len] = 0x80;
+        for (int b = 0; b < 8; ++b)
+          p[56 + b] = static_cast<u8>(bit_len >> (56 - 8 * b));
+      }
+      kt.sha256_x4(blocks, dig);
+      for (std::size_t l = 0; l < 4; ++l)
+        std::memcpy(out[i + l].d.data(), dig + 32 * l, 32);
+    }
+  }
+  for (; i < n; ++i)
+    out[i] = sha_ro(tag, index0 + i,
+                    std::span<const u8>(rows + i * row_bytes, row_bytes));
+}
+
+}  // namespace
+
+RoMode ro_mode() { return g_mode.load(std::memory_order_relaxed); }
+
+void set_ro_mode(RoMode mode) {
+  if (g_used.load(std::memory_order_acquire) &&
+      mode != g_mode.load(std::memory_order_relaxed))
+    throw ProtocolError(
+        "set_ro_mode: RO instantiation cannot change after first use "
+        "(both parties hashed under the current mode)");
+  g_mode.store(mode, std::memory_order_relaxed);
+}
+
+void reset_ro_mode_for_bench() {
+  g_used.store(false, std::memory_order_release);
+}
+
+std::size_t ro_batch_width() {
+  std::size_t w = g_batch_width.load(std::memory_order_relaxed);
+  if (w == 0) {
+    w = kDefaultBatchWidth;
+    if (const char* env = std::getenv("ABNN2_RO_BATCH_WIDTH")) {
+      const long v = std::atol(env);
+      if (v >= 1 && v <= static_cast<long>(kMaxBatchWidth))
+        w = static_cast<std::size_t>(v);
+    }
+    g_batch_width.store(w, std::memory_order_relaxed);
+  }
+  return w;
+}
+
+void set_ro_batch_width(std::size_t w) {
+  if (w == 0) {
+    g_batch_width.store(kDefaultBatchWidth, std::memory_order_relaxed);
+    return;
+  }
+  ABNN2_CHECK_ARG(w <= kMaxBatchWidth, "batch width out of range");
+  g_batch_width.store(w, std::memory_order_relaxed);
+}
+
+RoDigest ro_hash(u64 tag, u64 index, std::span<const u8> data) {
+  mark_used();
+  if (ro_mode() == RoMode::kFixedKeyAes) return aes_ro(tag, index, data);
+  return sha_ro(tag, index, data);
+}
+
+void ro_hash_batch(u64 tag, u64 index0, const u8* rows, std::size_t row_bytes,
+                   std::size_t n, RoDigest* out) {
+  if (n == 0) return;
+  mark_used();
+  const std::size_t w = ro_batch_width();
+  if (w == 1) {
+    // Width 1 is the per-instance reference path (one independent ro_hash
+    // per row), the baseline the lockstep chains are benchmarked against.
+    for (std::size_t i = 0; i < n; ++i)
+      out[i] = ro_hash(tag, index0 + i,
+                       std::span<const u8>(rows + i * row_bytes, row_bytes));
+    return;
+  }
+  if (ro_mode() == RoMode::kFixedKeyAes) {
+    const Aes128& pi = fixed_key_aes();
+    for (std::size_t i = 0; i < n; i += w)
+      aes_ro_batch_chunk(pi, tag, index0 + i, rows + i * row_bytes, row_bytes,
+                         std::min(w, n - i), out + i);
+    return;
+  }
+  sha_ro_batch(tag, index0, rows, row_bytes, n, out, w);
 }
 
 }  // namespace abnn2

@@ -7,6 +7,14 @@
 //     (JustGarble-style circular-correlation-robust model); ~10x faster and
 //     used by the benchmarks, matching what ABY/libOTe do in practice.
 //
+// The hot loops call ro_hash_batch(), which evaluates many instances at once
+// so the kernel layer (src/simd/) can pipeline them: 8 Davies-Meyer chains
+// interleaved through the 8-way AES unit, or 4 SHA-256 compressions in a
+// 4-lane multi-buffer. Batching is an execution strategy only — the batch
+// output is bit-identical to n single ro_hash calls for every batch width
+// and dispatch target (asserted by tests), so wire transcripts never depend
+// on how the pads were computed.
+//
 // Pads longer than 256 bits (the paper's multi-batch message packing,
 // section 4.1.2) are derived by running AES-CTR keyed with the first 128 bits
 // of the digest; this realizes the "output of the random oracle packs
@@ -23,10 +31,39 @@ namespace abnn2 {
 
 enum class RoMode { kSha256, kFixedKeyAes };
 
-/// Process-wide RO instantiation. Both parties must agree (benchmarks set it
-/// once before running the protocol threads).
+/// Process-wide RO instantiation. Both parties must agree, so the mode must
+/// be chosen before the first hash: once any ro_hash/ro_hash_batch has run,
+/// set_ro_mode throws ProtocolError on an attempt to *change* the mode
+/// (setting the already-active mode stays a no-op). Benchmarks and tests
+/// that intentionally A/B the two modes between self-contained runs use
+/// ScopedRoMode / reset_ro_mode_for_bench().
 RoMode ro_mode();
 void set_ro_mode(RoMode mode);
+
+/// Clears the first-use latch so the mode may be changed again. Strictly a
+/// bench/test escape hatch for comparing modes between independent protocol
+/// runs in one process — never call this mid-protocol.
+void reset_ro_mode_for_bench();
+
+/// RAII mode switch for benches/tests: unlocks, sets `mode`, and restores
+/// the previous mode (unlocking again) on destruction.
+class ScopedRoMode {
+ public:
+  explicit ScopedRoMode(RoMode mode) : prev_(ro_mode()) {
+    reset_ro_mode_for_bench();
+    set_ro_mode(mode);
+  }
+  ~ScopedRoMode() {
+    reset_ro_mode_for_bench();
+    set_ro_mode(prev_);
+    reset_ro_mode_for_bench();
+  }
+  ScopedRoMode(const ScopedRoMode&) = delete;
+  ScopedRoMode& operator=(const ScopedRoMode&) = delete;
+
+ private:
+  RoMode prev_;
+};
 
 /// 256-bit random-oracle output.
 struct RoDigest {
@@ -46,6 +83,20 @@ struct RoDigest {
 
 /// H(tag, index, data).
 RoDigest ro_hash(u64 tag, u64 index, std::span<const u8> data);
+
+/// Batched oracle: out[i] = H(tag, index0 + i, rows[i*row_bytes ..
+/// (i+1)*row_bytes)) for i in [0, n). `rows` holds n contiguous equal-length
+/// rows — exactly the layout of a BitMatrix row range, which is what the
+/// IKNP/KK13 pad loops feed it. Bit-identical to n ro_hash calls.
+void ro_hash_batch(u64 tag, u64 index0, const u8* rows, std::size_t row_bytes,
+                   std::size_t n, RoDigest* out);
+
+/// Internal batch width of ro_hash_batch in [1, 8]; defaults to 8 (or the
+/// ABNN2_RO_BATCH_WIDTH environment variable). Width 1 degenerates to the
+/// seed's per-instance path; the determinism tests sweep widths to prove the
+/// transcript does not depend on it.
+std::size_t ro_batch_width();
+void set_ro_batch_width(std::size_t w);  // 0 restores the default
 
 /// Expand a digest into `n` ring elements of `l` bits each (mask stream for
 /// packed OT messages). Deterministic in the digest.

@@ -1,7 +1,10 @@
 #include "ot/iknp.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "simd/kernels.h"
 
 namespace abnn2 {
 namespace {
@@ -9,6 +12,9 @@ namespace {
 std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
   return {m.row(i), m.row_bytes()};
 }
+
+// Instances materialised per stack-scratch refill in the batched pad loops.
+constexpr std::size_t kPadChunk = 64;
 
 }  // namespace
 
@@ -58,14 +64,41 @@ RoDigest IknpSender::pad(std::size_t i, bool which) const {
   return ro_hash(tag_, index_base_ + i, std::span<const u8>(tmp, sizeof(tmp)));
 }
 
+void IknpSender::pads(std::size_t begin, std::size_t end, RoDigest* d0,
+                      RoDigest* d1) const {
+  ABNN2_CHECK_ARG(begin <= end && end <= q_.rows(), "instance range invalid");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t rb = q_.row_bytes();
+  // which = 0: the q_i rows are contiguous in q_, hash them in place.
+  ro_hash_batch(tag_, index_base_ + begin, q_.row(begin), rb, n, d0);
+  // which = 1: materialise q_i ^ s chunkwise on the stack.
+  u8 sb[kKappa / 8];
+  std::memcpy(sb, s_.words(), sizeof(sb));
+  const auto& kt = simd::active_kernels();
+  u8 rows[kPadChunk * kKappa / 8];
+  for (std::size_t i = 0; i < n; i += kPadChunk) {
+    const std::size_t c = std::min(kPadChunk, n - i);
+    std::memcpy(rows, q_.row(begin + i), c * rb);
+    for (std::size_t k = 0; k < c; ++k) kt.xor_bytes(rows + k * rb, sb, rb);
+    ro_hash_batch(tag_, index_base_ + begin + i, rows, rb, c, d1 + i);
+  }
+}
+
 void IknpSender::send_blocks(Channel& ch,
                              std::span<const std::array<Block, 2>> msgs) {
   ABNN2_CHECK_ARG(msgs.size() == count(), "message count mismatch");
   std::vector<Block> wire(2 * msgs.size());
-  runtime::parallel_for(msgs.size(), [&](std::size_t i) {
-    wire[2 * i] = msgs[i][0] ^ pad(i, false).block0();
-    wire[2 * i + 1] = msgs[i][1] ^ pad(i, true).block0();
-  });
+  runtime::parallel_slices(
+      msgs.size(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d0(e - b), d1(e - b);
+        pads(b, e, d0.data(), d1.data());
+        for (std::size_t i = b; i < e; ++i) {
+          wire[2 * i] = msgs[i][0] ^ d0[i - b].block0();
+          wire[2 * i + 1] = msgs[i][1] ^ d1[i - b].block0();
+        }
+      });
   ch.send_blocks(wire.data(), wire.size());
 }
 
@@ -77,12 +110,18 @@ std::vector<u64> IknpSender::send_correlated(Channel& ch,
   const u64 mask = mask_l(l);
   std::vector<u64> share(deltas.size());
   std::vector<u64> adj(deltas.size());
-  runtime::parallel_for(deltas.size(), [&](std::size_t i) {
-    const u64 h0 = pad(i, false).low_bits(l);
-    const u64 h1 = pad(i, true).low_bits(l);
-    share[i] = h0;
-    adj[i] = (deltas[i] + h0 - h1) & mask;
-  });
+  runtime::parallel_slices(
+      deltas.size(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d0(e - b), d1(e - b);
+        pads(b, e, d0.data(), d1.data());
+        for (std::size_t i = b; i < e; ++i) {
+          const u64 h0 = d0[i - b].low_bits(l);
+          const u64 h1 = d1[i - b].low_bits(l);
+          share[i] = h0;
+          adj[i] = (deltas[i] + h0 - h1) & mask;
+        }
+      });
   ch.send_u64s(adj.data(), adj.size());
   return share;
 }
@@ -113,12 +152,12 @@ void IknpReceiver::extend(Channel& ch, const BitVec& choices) {
   // as one coalesced wire message (protocol v2).
   BitMatrix cols(kKappa, m);
   std::vector<u8> u(kKappa * row_bytes);
+  const auto& kt = simd::active_kernels();
   runtime::parallel_for(kKappa, [&](std::size_t j) {
     u8* uj = u.data() + j * row_bytes;
     seed_prg_[j][0].bytes(cols.row(j), row_bytes);   // t0 column
     seed_prg_[j][1].bytes(uj, row_bytes);            // t1 column
-    const u8* t0 = cols.row(j);
-    for (std::size_t b = 0; b < row_bytes; ++b) uj[b] ^= t0[b] ^ cbytes[b];
+    kt.xor3_bytes(uj, cols.row(j), cbytes.data(), row_bytes);
   });
   ch.send(u.data(), u.size());
   t_ = cols.transpose();
@@ -129,13 +168,26 @@ RoDigest IknpReceiver::pad(std::size_t i) const {
   return ro_hash(tag_, index_base_ + i, row_span(t_, i));
 }
 
+void IknpReceiver::pads(std::size_t begin, std::size_t end,
+                        RoDigest* out) const {
+  ABNN2_CHECK_ARG(begin <= end && end <= t_.rows(), "instance range invalid");
+  if (begin == end) return;
+  ro_hash_batch(tag_, index_base_ + begin, t_.row(begin), t_.row_bytes(),
+                end - begin, out);
+}
+
 std::vector<Block> IknpReceiver::recv_blocks(Channel& ch) {
   std::vector<Block> wire(2 * count());
   ch.recv_blocks(wire.data(), wire.size());
   std::vector<Block> out(count());
-  runtime::parallel_for(count(), [&](std::size_t i) {
-    out[i] = wire[2 * i + (choices_[i] ? 1 : 0)] ^ pad(i).block0();
-  });
+  runtime::parallel_slices(
+      count(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d(e - b);
+        pads(b, e, d.data());
+        for (std::size_t i = b; i < e; ++i)
+          out[i] = wire[2 * i + (choices_[i] ? 1 : 0)] ^ d[i - b].block0();
+      });
   return out;
 }
 
@@ -145,10 +197,16 @@ std::vector<u64> IknpReceiver::recv_correlated(Channel& ch, std::size_t l) {
   std::vector<u64> adj(count());
   ch.recv_u64s(adj.data(), adj.size());
   std::vector<u64> out(count());
-  runtime::parallel_for(count(), [&](std::size_t i) {
-    const u64 hb = pad(i).low_bits(l);
-    out[i] = choices_[i] ? ((adj[i] + hb) & mask) : hb;
-  });
+  runtime::parallel_slices(
+      count(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d(e - b);
+        pads(b, e, d.data());
+        for (std::size_t i = b; i < e; ++i) {
+          const u64 hb = d[i - b].low_bits(l);
+          out[i] = choices_[i] ? ((adj[i] + hb) & mask) : hb;
+        }
+      });
   return out;
 }
 

@@ -48,6 +48,12 @@ class IknpSender {
   /// H(i, q_i ^ which*s).
   RoDigest pad(std::size_t i, bool which) const;
 
+  /// Batched pads for instances [begin, end): d0[i-begin] = pad(i, false),
+  /// d1[i-begin] = pad(i, true). Bit-identical to the scalar pad() — the
+  /// batch runs the random oracle through the SIMD kernel layer.
+  void pads(std::size_t begin, std::size_t end, RoDigest* d0,
+            RoDigest* d1) const;
+
   /// Chosen-message OT: transfers msgs[i][0], msgs[i][1] (one Block each).
   void send_blocks(Channel& ch, std::span<const std::array<Block, 2>> msgs);
 
@@ -79,6 +85,9 @@ class IknpReceiver {
 
   /// H(i, t_i): the pad of the chosen message of instance i.
   RoDigest pad(std::size_t i) const;
+
+  /// Batched pads for instances [begin, end); bit-identical to pad().
+  void pads(std::size_t begin, std::size_t end, RoDigest* out) const;
 
   std::vector<Block> recv_blocks(Channel& ch);
 

@@ -1,7 +1,10 @@
 #include "ot/kk13.h"
 
+#include <algorithm>
+
 #include "obs/obs.h"
 #include "runtime/thread_pool.h"
+#include "simd/kernels.h"
 
 namespace abnn2 {
 namespace {
@@ -9,6 +12,9 @@ namespace {
 std::span<const u8> row_span(const BitMatrix& m, std::size_t i) {
   return {m.row(i), m.row_bytes()};
 }
+
+// Instances materialised per stack-scratch refill in the batched pad loops.
+constexpr std::size_t kPadChunk = 64;
 
 }  // namespace
 
@@ -57,14 +63,41 @@ RoDigest Kk13Sender::pad(std::size_t i, u32 j) const {
   return ro_hash(tag_, index_base_ + i, std::span<const u8>(tmp, sizeof(tmp)));
 }
 
+void Kk13Sender::pads(std::size_t begin, std::size_t end, u32 j,
+                      RoDigest* out) const {
+  ABNN2_CHECK_ARG(begin <= end && end <= q_.rows(), "instance range invalid");
+  ABNN2_CHECK_ARG(j < kKkMaxN, "candidate out of range");
+  const std::size_t n = end - begin;
+  if (n == 0) return;
+  const std::size_t rb = q_.row_bytes();
+  const CodeWord masked = cw_and(wh_table()[j], s_);
+  u8 mb[kKkCodeBits / 8];
+  masked[0].to_bytes(mb);
+  masked[1].to_bytes(mb + 16);
+  const auto& kt = simd::active_kernels();
+  u8 rows[kPadChunk * kKkCodeBits / 8];
+  for (std::size_t i = 0; i < n; i += kPadChunk) {
+    const std::size_t c = std::min(kPadChunk, n - i);
+    std::memcpy(rows, q_.row(begin + i), c * rb);
+    for (std::size_t k = 0; k < c; ++k) kt.xor_bytes(rows + k * rb, mb, rb);
+    ro_hash_batch(tag_, index_base_ + begin + i, rows, rb, c, out + i);
+  }
+}
+
 void Kk13Sender::send_blocks(Channel& ch, std::span<const Block> msgs, u32 n) {
   ABNN2_CHECK_ARG(n >= 2 && n <= kKkMaxN, "n out of range");
   ABNN2_CHECK_ARG(msgs.size() == count() * n, "message count mismatch");
   std::vector<Block> wire(msgs.size());
-  runtime::parallel_for(count(), [&](std::size_t i) {
-    for (u32 j = 0; j < n; ++j)
-      wire[i * n + j] = msgs[i * n + j] ^ pad(i, j).block0();
-  });
+  runtime::parallel_slices(
+      count(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d(e - b);
+        for (u32 j = 0; j < n; ++j) {
+          pads(b, e, j, d.data());
+          for (std::size_t i = b; i < e; ++i)
+            wire[i * n + j] = msgs[i * n + j] ^ d[i - b].block0();
+        }
+      });
   ch.send_blocks(wire.data(), wire.size());
 }
 
@@ -104,13 +137,12 @@ void Kk13Receiver::extend(Channel& ch, std::span<const u32> choices) {
   // sent as one coalesced wire message (protocol v2).
   BitMatrix cols(kKkCodeBits, m);
   std::vector<u8> u(kKkCodeBits * row_bytes);
+  const auto& kt = simd::active_kernels();
   runtime::parallel_for(kKkCodeBits, [&](std::size_t j) {
     u8* uj = u.data() + j * row_bytes;
     seed_prg_[j][0].bytes(cols.row(j), row_bytes);  // t0 column
     seed_prg_[j][1].bytes(uj, row_bytes);           // t1 column
-    const u8* d = d_cols.row(j);
-    const u8* t0 = cols.row(j);
-    for (std::size_t b = 0; b < row_bytes; ++b) uj[b] ^= t0[b] ^ d[b];
+    kt.xor3_bytes(uj, cols.row(j), d_cols.row(j), row_bytes);
   });
   ch.send(u.data(), u.size());
   t_ = cols.transpose();
@@ -121,15 +153,29 @@ RoDigest Kk13Receiver::pad(std::size_t i) const {
   return ro_hash(tag_, index_base_ + i, row_span(t_, i));
 }
 
+void Kk13Receiver::pads(std::size_t begin, std::size_t end,
+                        RoDigest* out) const {
+  ABNN2_CHECK_ARG(begin <= end && end <= t_.rows(), "instance range invalid");
+  if (begin == end) return;
+  ro_hash_batch(tag_, index_base_ + begin, t_.row(begin), t_.row_bytes(),
+                end - begin, out);
+}
+
 std::vector<Block> Kk13Receiver::recv_blocks(Channel& ch, u32 n) {
   ABNN2_CHECK_ARG(n >= 2 && n <= kKkMaxN, "n out of range");
   std::vector<Block> wire(count() * n);
   ch.recv_blocks(wire.data(), wire.size());
   std::vector<Block> out(count());
-  runtime::parallel_for(count(), [&](std::size_t i) {
-    ABNN2_CHECK(choices_[i] < n, "stored choice exceeds n");
-    out[i] = wire[i * n + choices_[i]] ^ pad(i).block0();
-  });
+  runtime::parallel_slices(
+      count(), runtime::num_threads(),
+      [&](std::size_t, std::size_t b, std::size_t e) {
+        std::vector<RoDigest> d(e - b);
+        pads(b, e, d.data());
+        for (std::size_t i = b; i < e; ++i) {
+          ABNN2_CHECK(choices_[i] < n, "stored choice exceeds n");
+          out[i] = wire[i * n + choices_[i]] ^ d[i - b].block0();
+        }
+      });
   return out;
 }
 

@@ -51,6 +51,11 @@ class Kk13Sender {
   /// Pad digest for instance i and candidate value j < kKkMaxN.
   RoDigest pad(std::size_t i, u32 j) const;
 
+  /// Batched pads of candidate j for instances [begin, end); bit-identical
+  /// to the scalar pad(). The codeword mask c(j) & s is computed once for
+  /// the whole range.
+  void pads(std::size_t begin, std::size_t end, u32 j, RoDigest* out) const;
+
   /// Chosen-message 1-out-of-n OT: transfers one of `n` 128-bit messages per
   /// instance. `msgs` is row-major count() x n. (The ABNN2 triplet protocols
   /// build their own packed messages from pad(); this is the generic API.)
@@ -78,6 +83,9 @@ class Kk13Receiver {
 
   /// Pad digest of the chosen value of instance i.
   RoDigest pad(std::size_t i) const;
+
+  /// Batched pads for instances [begin, end); bit-identical to pad().
+  void pads(std::size_t begin, std::size_t end, RoDigest* out) const;
 
   /// Receives the chosen message of each instance (see Kk13Sender).
   std::vector<Block> recv_blocks(Channel& ch, u32 n);

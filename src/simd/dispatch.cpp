@@ -1,0 +1,137 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+#include "simd/kernels_impl.h"
+
+namespace abnn2::simd {
+namespace {
+
+CpuFeatures detect() {
+  CpuFeatures f;
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+  // __builtin_cpu_supports consults CPUID (and xgetbv for AVX state) via
+  // libgcc's __cpu_model, so this is the one-time runtime probe.
+  f.sse2 = __builtin_cpu_supports("sse2");
+  f.aesni = __builtin_cpu_supports("aes");
+  f.avx2 = __builtin_cpu_supports("avx2");
+#endif
+  return f;
+}
+
+const KernelTable kPortableTable = {
+    "portable",
+    &detail::portable_aes128_key_expand,
+    &detail::portable_aes128_encrypt_blocks,
+    &detail::portable_xor_bytes,
+    &detail::portable_xor3_bytes,
+    &detail::portable_transpose_bits,
+    nullptr,
+};
+
+// Assembled field-by-field: features are orthogonal (a CPU can have SSE2
+// without AES-NI; an old binary may lack the AVX2 TU), so each slot
+// independently takes the fastest compiled-in + CPUID-confirmed variant.
+const KernelTable& build_native_table() {
+  // Backing storage for k.name. A plain char array (no destructor) so the
+  // pointer stays valid for at-exit readers like the bench JSON reporter,
+  // whatever the static destruction order.
+  static char name[32];
+  static KernelTable t = [] {
+    KernelTable k = kPortableTable;
+    const CpuFeatures f = detect();
+    std::string n = "portable";
+#if defined(ABNN2_SIMD_COMPILED_X86)
+    if (f.sse2) {
+      n = "sse2";
+      k.xor_bytes = &detail::sse2_xor_bytes;
+      k.xor3_bytes = &detail::sse2_xor3_bytes;
+      k.transpose_bits = &detail::sse2_transpose_bits;
+      k.sha256_x4 = &detail::sse2_sha256_x4;
+    }
+    if (f.aesni) {
+      n += "+aes-ni";
+      k.aes128_key_expand = &detail::aesni_aes128_key_expand;
+      k.aes128_encrypt_blocks = &detail::aesni_aes128_encrypt_blocks;
+    }
+#endif
+#if defined(ABNN2_SIMD_COMPILED_AVX2)
+    if (f.avx2) {
+      n += "+avx2";
+      k.xor_bytes = &detail::avx2_xor_bytes;
+      k.xor3_bytes = &detail::avx2_xor3_bytes;
+    }
+#endif
+    std::snprintf(name, sizeof(name), "%s", n.c_str());
+    k.name = name;
+    return k;
+  }();
+  return t;
+}
+
+bool env_force_portable() {
+  const char* v = std::getenv("ABNN2_FORCE_PORTABLE");
+  return v != nullptr && v[0] == '1';
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* initial_table() {
+  return env_force_portable() ? &kPortableTable : &build_native_table();
+}
+
+}  // namespace
+
+const CpuFeatures& cpu_features() {
+  static const CpuFeatures f = detect();
+  return f;
+}
+
+const KernelTable& portable_kernels() { return kPortableTable; }
+
+const KernelTable& native_kernels() { return build_native_table(); }
+
+const KernelTable& active_kernels() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    // First use: resolve once. Races are benign (both writers store a valid
+    // pointer computed from the same environment).
+    t = initial_table();
+    g_active.store(t, std::memory_order_release);
+  }
+  return *t;
+}
+
+bool forced_portable() { return &active_kernels() == &kPortableTable; }
+
+void set_force_portable(bool force) {
+  g_active.store(force ? &kPortableTable : &build_native_table(),
+                 std::memory_order_release);
+}
+
+std::string dispatch_summary() {
+  const KernelTable& k = active_kernels();
+  std::string s = k.name;
+  const CpuFeatures& f = cpu_features();
+  s += " (cpu:";
+  s += f.sse2 ? " sse2" : "";
+  s += f.aesni ? " aes-ni" : "";
+  s += f.avx2 ? " avx2" : "";
+  s += ")";
+#if !defined(ABNN2_SIMD_COMPILED_X86)
+  s += " [portable-only build]";
+#endif
+  return s;
+}
+
+void log_dispatch(const char* prog) {
+  const char* v = std::getenv("ABNN2_VERBOSE");
+  if (v == nullptr || v[0] != '1') return;
+  std::fprintf(stderr, "%s: simd dispatch: %s\n", prog,
+               dispatch_summary().c_str());
+}
+
+}  // namespace abnn2::simd

@@ -1,0 +1,57 @@
+// Runtime CPU-feature dispatch for the batched crypto kernels (src/simd/).
+//
+// The seed selected AES-NI at *compile time* (-maes via -march=native), so a
+// generic Release build silently fell back to the portable byte-wise AES.
+// This layer detects AES-NI / AVX2 / SSE2 once at runtime (CPUID) and routes
+// every kernel call through a per-feature function table, so one binary hits
+// the fastest compiled-in path on whatever machine it lands on.
+//
+// Dispatch never changes results: every kernel computes the same function
+// (AES, SHA-256, XOR, bit-transpose are all deterministic), so wire
+// transcripts are byte-identical across targets — asserted by
+// tests/test_simd.cpp.
+//
+// Overrides, in priority order:
+//   1. -DABNN2_FORCE_PORTABLE=ON (CMake): SIMD TUs are compiled out; the
+//      portable table is the only one linked in.
+//   2. ABNN2_FORCE_PORTABLE=1 (environment): runtime-selects the portable
+//      table even when fast kernels are compiled in (used by the
+//      cross-dispatch determinism tests).
+//   3. simd::set_force_portable(bool): programmatic equivalent of (2).
+#pragma once
+
+#include <string>
+
+namespace abnn2::simd {
+
+/// CPUID-detected features, intersected with what this binary was compiled
+/// with (a kernel can only run if its TU was built with the matching -m flag
+/// AND the CPU reports the feature).
+struct CpuFeatures {
+  bool sse2 = false;
+  bool aesni = false;
+  bool avx2 = false;
+};
+
+/// Raw detection result (independent of force-portable overrides).
+const CpuFeatures& cpu_features();
+
+/// True when the portable table is active — either compiled that way,
+/// forced by ABNN2_FORCE_PORTABLE=1 in the environment, or set_force_portable.
+bool forced_portable();
+
+/// Test hook: atomically swap the active kernel table between the portable
+/// and the best-for-this-CPU variant. Safe between protocol runs (kernels
+/// are pure; AES round keys are path-independent).
+void set_force_portable(bool force);
+
+/// One-line human-readable description of the active kernel table, e.g.
+/// "aes-ni(8-way)+sse2-transpose+sse2-sha256-x4+avx2-xor" or "portable".
+std::string dispatch_summary();
+
+/// Prints "<prog>: simd dispatch: <summary>" to stderr when ABNN2_VERBOSE=1.
+/// Examples and serving CLIs call this at startup so perf reports are
+/// attributable to the hardware path actually taken.
+void log_dispatch(const char* prog);
+
+}  // namespace abnn2::simd

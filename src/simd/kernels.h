@@ -1,0 +1,70 @@
+// Batched crypto kernel table — the functions behind every hot loop.
+//
+// All kernels are pure functions of their inputs; the table only selects
+// *how* the result is computed (scalar vs 8-way AES pipelining, scalar vs
+// 4-lane SHA-256, byte loops vs AVX2 XOR), never *what* is computed. Batch
+// variants must be bit-identical to n calls of the width-1 path.
+//
+// Callers fetch the table once per operation via active_kernels(); tests can
+// pin a specific table (portable_kernels() / native_kernels()) to cross-check
+// paths against each other in one binary.
+#pragma once
+
+#include <cstddef>
+
+#include "common/block.h"
+#include "common/defines.h"
+
+namespace abnn2::simd {
+
+struct KernelTable {
+  const char* name;
+
+  /// AES-128 key schedule: 11 round keys from `key`. The AES-NI and portable
+  /// expansions produce byte-identical round keys, so Aes128 objects survive
+  /// a dispatch flip.
+  void (*aes128_key_expand)(Block key, Block* rk11);
+
+  /// ECB over `n` independent blocks (the CTR-PRG / GC-hash / OT-pad hot
+  /// path). The AES-NI variant interleaves the 10 rounds across 8 blocks at
+  /// a time — throughput-bound instead of latency-bound. `in` may alias
+  /// `out`.
+  void (*aes128_encrypt_blocks)(const Block* rk11, const Block* in, Block* out,
+                                std::size_t n);
+
+  /// dst[i] ^= src[i] for n bytes.
+  void (*xor_bytes)(u8* dst, const u8* src, std::size_t n);
+
+  /// dst[i] ^= a[i] ^ b[i] for n bytes (the OT column-correction step).
+  void (*xor3_bytes)(u8* dst, const u8* a, const u8* b, std::size_t n);
+
+  /// Bit-transpose: bit (r, c) of the input region becomes bit (c, r) of the
+  /// output. `n_rows` must be a multiple of 8; `n_cols` is arbitrary. Rows
+  /// are LSB-first packed at `in_stride` bytes apart; the output region
+  /// holds `n_cols` rows at `out_stride` bytes apart and must be
+  /// zero-initialised (kernels may skip zero bytes). The SSE2 variant moves
+  /// 16x8 tiles per movemask; the portable one 8x8 tiles (Hacker's Delight).
+  void (*transpose_bits)(const u8* in, std::size_t in_stride,
+                         std::size_t n_rows, std::size_t n_cols, u8* out,
+                         std::size_t out_stride);
+
+  /// Four independent SHA-256 compressions of one already-padded 64-byte
+  /// block each, from the standard IV: out = 4 x 32-byte digests. Null when
+  /// no multi-buffer path is compiled in (callers fall back to scalar
+  /// SHA-256, which produces the same digests).
+  void (*sha256_x4)(const u8* blocks_4x64, u8* out_4x32);
+};
+
+/// The dispatched table (honours force-portable overrides). Cheap: one
+/// atomic load.
+const KernelTable& active_kernels();
+
+/// The scalar reference table — always available.
+const KernelTable& portable_kernels();
+
+/// The best table for this CPU and build (== portable when nothing faster is
+/// compiled in or supported). Ignores force-portable overrides; used by
+/// tests to cross-check fast paths against the portable ones.
+const KernelTable& native_kernels();
+
+}  // namespace abnn2::simd

@@ -1,0 +1,37 @@
+// AVX2 kernels: 32-byte-wide XOR for the OT column-correction and row-mask
+// loops. Compiled with -mavx2 regardless of the global -march (see
+// src/CMakeLists.txt); installed only after CPUID reports AVX2.
+#include "simd/kernels_impl.h"
+
+#if defined(ABNN2_SIMD_COMPILED_AVX2)
+
+#include <immintrin.h>
+
+namespace abnn2::simd::detail {
+
+void avx2_xor_bytes(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void avx2_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i d = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    const __m256i x = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i y = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(x, y)));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<u8>(a[i] ^ b[i]);
+}
+
+}  // namespace abnn2::simd::detail
+
+#endif  // ABNN2_SIMD_COMPILED_AVX2

@@ -1,0 +1,46 @@
+// Internal: raw kernel entry points implemented in the per-target TUs
+// (kernels_portable.cpp always; kernels_x86.cpp with -maes; kernels_avx2.cpp
+// with -mavx2). dispatch.cpp assembles the active KernelTable from these,
+// field by field, based on what was compiled in and what CPUID reports.
+// Nothing outside src/simd/ includes this header.
+#pragma once
+
+#include "simd/kernels.h"
+
+// Set by src/CMakeLists.txt when the corresponding TU is compiled with its
+// ISA flag (never under -DABNN2_FORCE_PORTABLE=ON).
+//   ABNN2_SIMD_COMPILED_X86  -> kernels_x86.cpp  (-maes, implies SSE2)
+//   ABNN2_SIMD_COMPILED_AVX2 -> kernels_avx2.cpp (-mavx2)
+
+namespace abnn2::simd::detail {
+
+// ---- portable (always available) ----------------------------------------
+void portable_aes128_key_expand(Block key, Block* rk11);
+void portable_aes128_encrypt_blocks(const Block* rk11, const Block* in,
+                                    Block* out, std::size_t n);
+void portable_xor_bytes(u8* dst, const u8* src, std::size_t n);
+void portable_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n);
+void portable_transpose_bits(const u8* in, std::size_t in_stride,
+                             std::size_t n_rows, std::size_t n_cols, u8* out,
+                             std::size_t out_stride);
+
+#if defined(ABNN2_SIMD_COMPILED_X86)
+// ---- x86 TU (-maes): AES-NI + SSE2 kernels -------------------------------
+void aesni_aes128_key_expand(Block key, Block* rk11);
+void aesni_aes128_encrypt_blocks(const Block* rk11, const Block* in,
+                                 Block* out, std::size_t n);
+void sse2_xor_bytes(u8* dst, const u8* src, std::size_t n);
+void sse2_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n);
+void sse2_transpose_bits(const u8* in, std::size_t in_stride,
+                         std::size_t n_rows, std::size_t n_cols, u8* out,
+                         std::size_t out_stride);
+void sse2_sha256_x4(const u8* blocks_4x64, u8* out_4x32);
+#endif
+
+#if defined(ABNN2_SIMD_COMPILED_AVX2)
+// ---- AVX2 TU (-mavx2) ----------------------------------------------------
+void avx2_xor_bytes(u8* dst, const u8* src, std::size_t n);
+void avx2_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n);
+#endif
+
+}  // namespace abnn2::simd::detail

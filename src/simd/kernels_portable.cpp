@@ -1,0 +1,149 @@
+// Scalar reference kernels. These define the semantics every SIMD variant
+// must reproduce bit-for-bit; they are also the only kernels in a
+// -DABNN2_FORCE_PORTABLE=ON build and the fallback on CPUs without the
+// corresponding ISA.
+#include "simd/kernels_impl.h"
+
+namespace abnn2::simd::detail {
+namespace {
+
+// Portable AES-128 (S-box table based). NOTE: table lookups are not
+// constant-time; the fallback exists for portability of this research
+// artifact, production deployments should run on AES-NI hardware.
+constexpr u8 kSbox[256] = {
+    0x63,0x7c,0x77,0x7b,0xf2,0x6b,0x6f,0xc5,0x30,0x01,0x67,0x2b,0xfe,0xd7,0xab,0x76,
+    0xca,0x82,0xc9,0x7d,0xfa,0x59,0x47,0xf0,0xad,0xd4,0xa2,0xaf,0x9c,0xa4,0x72,0xc0,
+    0xb7,0xfd,0x93,0x26,0x36,0x3f,0xf7,0xcc,0x34,0xa5,0xe5,0xf1,0x71,0xd8,0x31,0x15,
+    0x04,0xc7,0x23,0xc3,0x18,0x96,0x05,0x9a,0x07,0x12,0x80,0xe2,0xeb,0x27,0xb2,0x75,
+    0x09,0x83,0x2c,0x1a,0x1b,0x6e,0x5a,0xa0,0x52,0x3b,0xd6,0xb3,0x29,0xe3,0x2f,0x84,
+    0x53,0xd1,0x00,0xed,0x20,0xfc,0xb1,0x5b,0x6a,0xcb,0xbe,0x39,0x4a,0x4c,0x58,0xcf,
+    0xd0,0xef,0xaa,0xfb,0x43,0x4d,0x33,0x85,0x45,0xf9,0x02,0x7f,0x50,0x3c,0x9f,0xa8,
+    0x51,0xa3,0x40,0x8f,0x92,0x9d,0x38,0xf5,0xbc,0xb6,0xda,0x21,0x10,0xff,0xf3,0xd2,
+    0xcd,0x0c,0x13,0xec,0x5f,0x97,0x44,0x17,0xc4,0xa7,0x7e,0x3d,0x64,0x5d,0x19,0x73,
+    0x60,0x81,0x4f,0xdc,0x22,0x2a,0x90,0x88,0x46,0xee,0xb8,0x14,0xde,0x5e,0x0b,0xdb,
+    0xe0,0x32,0x3a,0x0a,0x49,0x06,0x24,0x5c,0xc2,0xd3,0xac,0x62,0x91,0x95,0xe4,0x79,
+    0xe7,0xc8,0x37,0x6d,0x8d,0xd5,0x4e,0xa9,0x6c,0x56,0xf4,0xea,0x65,0x7a,0xae,0x08,
+    0xba,0x78,0x25,0x2e,0x1c,0xa6,0xb4,0xc6,0xe8,0xdd,0x74,0x1f,0x4b,0xbd,0x8b,0x8a,
+    0x70,0x3e,0xb5,0x66,0x48,0x03,0xf6,0x0e,0x61,0x35,0x57,0xb9,0x86,0xc1,0x1d,0x9e,
+    0xe1,0xf8,0x98,0x11,0x69,0xd9,0x8e,0x94,0x9b,0x1e,0x87,0xe9,0xce,0x55,0x28,0xdf,
+    0x8c,0xa1,0x89,0x0d,0xbf,0xe6,0x42,0x68,0x41,0x99,0x2d,0x0f,0xb0,0x54,0xbb,0x16};
+
+inline u8 xtime(u8 x) { return static_cast<u8>((x << 1) ^ ((x >> 7) * 0x1b)); }
+
+// Transpose an 8x8 bit block held in a u64 (byte i = row i, LSB-first bits).
+// Hacker's Delight 7-3.
+inline u64 transpose8x8(u64 x) {
+  u64 t;
+  t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AAull;
+  x = x ^ t ^ (t << 7);
+  t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCCull;
+  x = x ^ t ^ (t << 14);
+  t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0ull;
+  x = x ^ t ^ (t << 28);
+  return x;
+}
+
+}  // namespace
+
+void portable_aes128_key_expand(Block key, Block* rk11) {
+  u8 w[176];
+  key.to_bytes(w);
+  u8 rcon = 1;
+  for (int i = 16; i < 176; i += 4) {
+    u8 t[4] = {w[i - 4], w[i - 3], w[i - 2], w[i - 1]};
+    if (i % 16 == 0) {
+      const u8 tmp = t[0];
+      t[0] = static_cast<u8>(kSbox[t[1]] ^ rcon);
+      t[1] = kSbox[t[2]];
+      t[2] = kSbox[t[3]];
+      t[3] = kSbox[tmp];
+      rcon = xtime(rcon);
+    }
+    for (int k = 0; k < 4; ++k) w[i + k] = static_cast<u8>(w[i + k - 16] ^ t[k]);
+  }
+  for (int r = 0; r < 11; ++r) rk11[r] = Block::from_bytes(w + 16 * r);
+}
+
+void portable_aes128_encrypt_blocks(const Block* rk11, const Block* in,
+                                    Block* out, std::size_t n) {
+  for (std::size_t b = 0; b < n; ++b) {
+    u8 s[16];
+    in[b].to_bytes(s);
+    u8 k[16];
+    rk11[0].to_bytes(k);
+    for (int i = 0; i < 16; ++i) s[i] ^= k[i];
+    for (int round = 1; round <= 10; ++round) {
+      for (int i = 0; i < 16; ++i) s[i] = kSbox[s[i]];
+      // ShiftRows
+      u8 t;
+      t = s[1]; s[1] = s[5]; s[5] = s[9]; s[9] = s[13]; s[13] = t;
+      t = s[2]; s[2] = s[10]; s[10] = t; t = s[6]; s[6] = s[14]; s[14] = t;
+      t = s[15]; s[15] = s[11]; s[11] = s[7]; s[7] = s[3]; s[3] = t;
+      if (round < 10) {
+        for (int c = 0; c < 4; ++c) {
+          u8* p = s + 4 * c;
+          const u8 a0 = p[0], a1 = p[1], a2 = p[2], a3 = p[3];
+          const u8 x = static_cast<u8>(a0 ^ a1 ^ a2 ^ a3);
+          p[0] = static_cast<u8>(a0 ^ x ^ xtime(static_cast<u8>(a0 ^ a1)));
+          p[1] = static_cast<u8>(a1 ^ x ^ xtime(static_cast<u8>(a1 ^ a2)));
+          p[2] = static_cast<u8>(a2 ^ x ^ xtime(static_cast<u8>(a2 ^ a3)));
+          p[3] = static_cast<u8>(a3 ^ x ^ xtime(static_cast<u8>(a3 ^ a0)));
+        }
+      }
+      rk11[round].to_bytes(k);
+      for (int i = 0; i < 16; ++i) s[i] ^= k[i];
+    }
+    out[b] = Block::from_bytes(s);
+  }
+}
+
+void portable_xor_bytes(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  // Word-at-a-time keeps the scalar fallback respectable on wide rows.
+  for (; i + 8 <= n; i += 8) {
+    u64 d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= s;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void portable_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    u64 d, x, y;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&x, a + i, 8);
+    std::memcpy(&y, b + i, 8);
+    d ^= x ^ y;
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<u8>(a[i] ^ b[i]);
+}
+
+void portable_transpose_bits(const u8* in, std::size_t in_stride,
+                             std::size_t n_rows, std::size_t n_cols, u8* out,
+                             std::size_t out_stride) {
+  const std::size_t byte_cols = bytes_for_bits(n_cols);
+  for (std::size_t i0 = 0; i0 + 8 <= n_rows; i0 += 8) {
+    const std::size_t out_jb = i0 / 8;
+    for (std::size_t jb = 0; jb < byte_cols; ++jb) {
+      u64 tile = 0;
+      for (int k = 0; k < 8; ++k)
+        tile |= static_cast<u64>(in[(i0 + k) * in_stride + jb]) << (8 * k);
+      if (tile == 0) continue;
+      tile = transpose8x8(tile);
+      const std::size_t out_i0 = jb * 8;
+      const std::size_t out_rows = n_cols > out_i0 ? n_cols - out_i0 : 0;
+      const int lim = static_cast<int>(out_rows < 8 ? out_rows : 8);
+      for (int k = 0; k < lim; ++k) {
+        const u8 b = static_cast<u8>(tile >> (8 * k));
+        if (b) out[(out_i0 + static_cast<std::size_t>(k)) * out_stride + out_jb] = b;
+      }
+    }
+  }
+}
+
+}  // namespace abnn2::simd::detail

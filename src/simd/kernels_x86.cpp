@@ -1,0 +1,265 @@
+// x86 SIMD kernels: AES-NI 8-way pipelined AES-128, SSE2 movemask
+// bit-transpose, SSE2 block XOR and a 4-lane multi-buffer SHA-256.
+//
+// This TU is compiled with -maes (see src/CMakeLists.txt) even when the rest
+// of the build targets generic x86-64, so a stock Release binary still
+// carries the fast paths; dispatch.cpp only installs them after CPUID
+// confirms the features. Everything here must be bit-identical to the
+// portable kernels — the SIMD is an execution strategy, not a different
+// function.
+#include "simd/kernels_impl.h"
+
+#if defined(ABNN2_SIMD_COMPILED_X86)
+
+#include <emmintrin.h>
+#include <wmmintrin.h>
+
+namespace abnn2::simd::detail {
+namespace {
+
+template <int RC>
+inline __m128i expand_step(__m128i key) {
+  __m128i t = _mm_aeskeygenassist_si128(key, RC);
+  t = _mm_shuffle_epi32(t, _MM_SHUFFLE(3, 3, 3, 3));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  key = _mm_xor_si128(key, _mm_slli_si128(key, 4));
+  return _mm_xor_si128(key, t);
+}
+
+}  // namespace
+
+void aesni_aes128_key_expand(Block key, Block* rk11) {
+  __m128i k = key.m();
+  rk11[0] = Block::from_m(k);
+  k = expand_step<0x01>(k); rk11[1] = Block::from_m(k);
+  k = expand_step<0x02>(k); rk11[2] = Block::from_m(k);
+  k = expand_step<0x04>(k); rk11[3] = Block::from_m(k);
+  k = expand_step<0x08>(k); rk11[4] = Block::from_m(k);
+  k = expand_step<0x10>(k); rk11[5] = Block::from_m(k);
+  k = expand_step<0x20>(k); rk11[6] = Block::from_m(k);
+  k = expand_step<0x40>(k); rk11[7] = Block::from_m(k);
+  k = expand_step<0x80>(k); rk11[8] = Block::from_m(k);
+  k = expand_step<0x1B>(k); rk11[9] = Block::from_m(k);
+  k = expand_step<0x36>(k); rk11[10] = Block::from_m(k);
+}
+
+void aesni_aes128_encrypt_blocks(const Block* rk11, const Block* in,
+                                 Block* out, std::size_t n) {
+  // 8-way round interleaving: AESENC has ~4-cycle latency but 1-2/cycle
+  // throughput, so eight independent streams keep the unit saturated where
+  // the seed's 4-way loop left it half idle.
+  const __m128i k0 = rk11[0].m();
+  const __m128i kl = rk11[10].m();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m128i s0 = _mm_xor_si128(in[i + 0].m(), k0);
+    __m128i s1 = _mm_xor_si128(in[i + 1].m(), k0);
+    __m128i s2 = _mm_xor_si128(in[i + 2].m(), k0);
+    __m128i s3 = _mm_xor_si128(in[i + 3].m(), k0);
+    __m128i s4 = _mm_xor_si128(in[i + 4].m(), k0);
+    __m128i s5 = _mm_xor_si128(in[i + 5].m(), k0);
+    __m128i s6 = _mm_xor_si128(in[i + 6].m(), k0);
+    __m128i s7 = _mm_xor_si128(in[i + 7].m(), k0);
+    for (int r = 1; r < 10; ++r) {
+      const __m128i k = rk11[r].m();
+      s0 = _mm_aesenc_si128(s0, k);
+      s1 = _mm_aesenc_si128(s1, k);
+      s2 = _mm_aesenc_si128(s2, k);
+      s3 = _mm_aesenc_si128(s3, k);
+      s4 = _mm_aesenc_si128(s4, k);
+      s5 = _mm_aesenc_si128(s5, k);
+      s6 = _mm_aesenc_si128(s6, k);
+      s7 = _mm_aesenc_si128(s7, k);
+    }
+    out[i + 0] = Block::from_m(_mm_aesenclast_si128(s0, kl));
+    out[i + 1] = Block::from_m(_mm_aesenclast_si128(s1, kl));
+    out[i + 2] = Block::from_m(_mm_aesenclast_si128(s2, kl));
+    out[i + 3] = Block::from_m(_mm_aesenclast_si128(s3, kl));
+    out[i + 4] = Block::from_m(_mm_aesenclast_si128(s4, kl));
+    out[i + 5] = Block::from_m(_mm_aesenclast_si128(s5, kl));
+    out[i + 6] = Block::from_m(_mm_aesenclast_si128(s6, kl));
+    out[i + 7] = Block::from_m(_mm_aesenclast_si128(s7, kl));
+  }
+  if (i + 4 <= n) {
+    __m128i s0 = _mm_xor_si128(in[i + 0].m(), k0);
+    __m128i s1 = _mm_xor_si128(in[i + 1].m(), k0);
+    __m128i s2 = _mm_xor_si128(in[i + 2].m(), k0);
+    __m128i s3 = _mm_xor_si128(in[i + 3].m(), k0);
+    for (int r = 1; r < 10; ++r) {
+      const __m128i k = rk11[r].m();
+      s0 = _mm_aesenc_si128(s0, k);
+      s1 = _mm_aesenc_si128(s1, k);
+      s2 = _mm_aesenc_si128(s2, k);
+      s3 = _mm_aesenc_si128(s3, k);
+    }
+    out[i + 0] = Block::from_m(_mm_aesenclast_si128(s0, kl));
+    out[i + 1] = Block::from_m(_mm_aesenclast_si128(s1, kl));
+    out[i + 2] = Block::from_m(_mm_aesenclast_si128(s2, kl));
+    out[i + 3] = Block::from_m(_mm_aesenclast_si128(s3, kl));
+    i += 4;
+  }
+  for (; i < n; ++i) {
+    __m128i s = _mm_xor_si128(in[i].m(), k0);
+    for (int r = 1; r < 10; ++r) s = _mm_aesenc_si128(s, rk11[r].m());
+    out[i] = Block::from_m(_mm_aesenclast_si128(s, kl));
+  }
+}
+
+void sse2_xor_bytes(u8* dst, const u8* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i), _mm_xor_si128(d, s));
+  }
+  for (; i < n; ++i) dst[i] ^= src[i];
+}
+
+void sse2_xor3_bytes(u8* dst, const u8* a, const u8* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    const __m128i x = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(x, y)));
+  }
+  for (; i < n; ++i) dst[i] ^= static_cast<u8>(a[i] ^ b[i]);
+}
+
+void sse2_transpose_bits(const u8* in, std::size_t in_stride,
+                         std::size_t n_rows, std::size_t n_cols, u8* out,
+                         std::size_t out_stride) {
+  const std::size_t byte_cols = bytes_for_bits(n_cols);
+  std::size_t i0 = 0;
+  // 16 input rows x 8 input columns per tile: gather one byte from each of
+  // 16 rows, then peel bit planes with movemask (MSB of each byte), shifting
+  // left one bit per plane. Writes 8 output rows x 16 output columns (one
+  // u16 each). Bits within a byte are LSB-first, so plane b (starting at the
+  // MSB, b = 7) is input column jb*8+b.
+  for (; i0 + 16 <= n_rows; i0 += 16) {
+    const std::size_t out_byte = i0 / 8;
+    for (std::size_t jb = 0; jb < byte_cols; ++jb) {
+      alignas(16) u8 g[16];
+      for (int k = 0; k < 16; ++k) g[k] = in[(i0 + k) * in_stride + jb];
+      __m128i v = _mm_load_si128(reinterpret_cast<const __m128i*>(g));
+      const std::size_t col_base = jb * 8;
+      for (int b = 7; b >= 0; --b) {
+        const u16 m = static_cast<u16>(_mm_movemask_epi8(v));
+        v = _mm_slli_epi64(v, 1);
+        const std::size_t oc = col_base + static_cast<std::size_t>(b);
+        if (oc < n_cols && m != 0)
+          std::memcpy(out + oc * out_stride + out_byte, &m, 2);
+      }
+    }
+  }
+  // Leftover multiple-of-8 rows (n_rows % 16 == 8): portable 8x8 tiles.
+  if (i0 < n_rows)
+    portable_transpose_bits(in + i0 * in_stride, in_stride, n_rows - i0,
+                            n_cols, out + i0 / 8, out_stride);
+}
+
+// ---- 4-lane multi-buffer SHA-256 -----------------------------------------
+//
+// Four independent single-block compressions run in the four 32-bit lanes of
+// an __m128i (classic multi-buffer layout, cf. libOTe / ISA-L). Only SSE2
+// ops are used, so this path is available on every x86-64 CPU.
+namespace {
+
+constexpr u32 kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline __m128i rotr32(__m128i x, int n) {
+  return _mm_or_si128(_mm_srli_epi32(x, n), _mm_slli_epi32(x, 32 - n));
+}
+
+}  // namespace
+
+void sse2_sha256_x4(const u8* blocks_4x64, u8* out_4x32) {
+  // Load the message schedule transposed: w[i] lane L = big-endian word i of
+  // block L.
+  __m128i w[64];
+  for (int i = 0; i < 16; ++i) {
+    alignas(16) u32 lanes[4];
+    for (int l = 0; l < 4; ++l) {
+      const u8* p = blocks_4x64 + 64 * l + 4 * i;
+      lanes[l] = (u32(p[0]) << 24) | (u32(p[1]) << 16) | (u32(p[2]) << 8) |
+                 u32(p[3]);
+    }
+    w[i] = _mm_load_si128(reinterpret_cast<const __m128i*>(lanes));
+  }
+  for (int i = 16; i < 64; ++i) {
+    const __m128i w15 = w[i - 15], w2 = w[i - 2];
+    const __m128i s0 = _mm_xor_si128(_mm_xor_si128(rotr32(w15, 7), rotr32(w15, 18)),
+                                     _mm_srli_epi32(w15, 3));
+    const __m128i s1 = _mm_xor_si128(_mm_xor_si128(rotr32(w2, 17), rotr32(w2, 19)),
+                                     _mm_srli_epi32(w2, 10));
+    w[i] = _mm_add_epi32(_mm_add_epi32(w[i - 16], s0),
+                         _mm_add_epi32(w[i - 7], s1));
+  }
+  __m128i a = _mm_set1_epi32(static_cast<int>(0x6a09e667));
+  __m128i b = _mm_set1_epi32(static_cast<int>(0xbb67ae85));
+  __m128i c = _mm_set1_epi32(static_cast<int>(0x3c6ef372));
+  __m128i d = _mm_set1_epi32(static_cast<int>(0xa54ff53a));
+  __m128i e = _mm_set1_epi32(static_cast<int>(0x510e527f));
+  __m128i f = _mm_set1_epi32(static_cast<int>(0x9b05688c));
+  __m128i g = _mm_set1_epi32(static_cast<int>(0x1f83d9ab));
+  __m128i h = _mm_set1_epi32(static_cast<int>(0x5be0cd19));
+  for (int i = 0; i < 64; ++i) {
+    const __m128i s1 =
+        _mm_xor_si128(_mm_xor_si128(rotr32(e, 6), rotr32(e, 11)), rotr32(e, 25));
+    const __m128i ch =
+        _mm_xor_si128(_mm_and_si128(e, f), _mm_andnot_si128(e, g));
+    const __m128i t1 = _mm_add_epi32(
+        _mm_add_epi32(_mm_add_epi32(h, s1), _mm_add_epi32(ch, w[i])),
+        _mm_set1_epi32(static_cast<int>(kK[i])));
+    const __m128i s0 =
+        _mm_xor_si128(_mm_xor_si128(rotr32(a, 2), rotr32(a, 13)), rotr32(a, 22));
+    const __m128i maj = _mm_xor_si128(
+        _mm_xor_si128(_mm_and_si128(a, b), _mm_and_si128(a, c)),
+        _mm_and_si128(b, c));
+    const __m128i t2 = _mm_add_epi32(s0, maj);
+    h = g; g = f; f = e; e = _mm_add_epi32(d, t1);
+    d = c; c = b; b = a; a = _mm_add_epi32(t1, t2);
+  }
+  const __m128i iv[8] = {
+      _mm_set1_epi32(static_cast<int>(0x6a09e667)),
+      _mm_set1_epi32(static_cast<int>(0xbb67ae85)),
+      _mm_set1_epi32(static_cast<int>(0x3c6ef372)),
+      _mm_set1_epi32(static_cast<int>(0xa54ff53a)),
+      _mm_set1_epi32(static_cast<int>(0x510e527f)),
+      _mm_set1_epi32(static_cast<int>(0x9b05688c)),
+      _mm_set1_epi32(static_cast<int>(0x1f83d9ab)),
+      _mm_set1_epi32(static_cast<int>(0x5be0cd19))};
+  const __m128i st[8] = {
+      _mm_add_epi32(a, iv[0]), _mm_add_epi32(b, iv[1]),
+      _mm_add_epi32(c, iv[2]), _mm_add_epi32(d, iv[3]),
+      _mm_add_epi32(e, iv[4]), _mm_add_epi32(f, iv[5]),
+      _mm_add_epi32(g, iv[6]), _mm_add_epi32(h, iv[7])};
+  for (int i = 0; i < 8; ++i) {
+    alignas(16) u32 lanes[4];
+    _mm_store_si128(reinterpret_cast<__m128i*>(lanes), st[i]);
+    for (int l = 0; l < 4; ++l) {
+      u8* o = out_4x32 + 32 * l + 4 * i;
+      o[0] = static_cast<u8>(lanes[l] >> 24);
+      o[1] = static_cast<u8>(lanes[l] >> 16);
+      o[2] = static_cast<u8>(lanes[l] >> 8);
+      o[3] = static_cast<u8>(lanes[l]);
+    }
+  }
+}
+
+}  // namespace abnn2::simd::detail
+
+#endif  // ABNN2_SIMD_COMPILED_X86

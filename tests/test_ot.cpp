@@ -397,9 +397,83 @@ TEST(Kk13, MultipleExtendsProduceFreshPads) {
   EXPECT_EQ(res.party0[1].d, res.party1[1].d);
 }
 
+// Full chosen-message round trips under BOTH random-oracle instantiations:
+// the mode changes pad values (and thus the wire bytes) but never protocol
+// correctness, and both modes route through the batched kernel paths.
+class RoModeOtTest : public ::testing::TestWithParam<RoMode> {};
+
+TEST_P(RoModeOtTest, IknpRoundTrip) {
+  ScopedRoMode mode(GetParam());
+  const std::size_t m = 300;
+  BitVec choices(m);
+  Prg cprg(Block{21, 1});
+  for (std::size_t i = 0; i < m; ++i) choices.set(i, cprg.next_bit());
+  std::vector<std::array<Block, 2>> msgs(m);
+  for (auto& p : msgs) p = {cprg.next_block(), cprg.next_block()};
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{22, 1});
+        IknpSender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        s.send_blocks(ch, msgs);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{22, 2});
+        IknpReceiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return r.recv_blocks(ch);
+      });
+  ASSERT_EQ(res.party1.size(), m);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(res.party1[i], msgs[i][choices[i] ? 1 : 0]) << i;
+}
+
+TEST_P(RoModeOtTest, Kk13RoundTrip) {
+  ScopedRoMode mode(GetParam());
+  const u32 n_values = 16;
+  const std::size_t m = 100;
+  std::vector<u32> choices(m);
+  Prg cprg(Block{23, 1});
+  for (auto& w : choices) w = static_cast<u32>(cprg.next_below(n_values));
+  std::vector<Block> msgs(m * n_values);
+  for (auto& b : msgs) b = cprg.next_block();
+
+  auto res = run_two_parties(
+      [&](Channel& ch) {
+        Prg prg(Block{24, 1});
+        Kk13Sender s;
+        s.setup(ch, prg);
+        s.extend(ch, m);
+        s.send_blocks(ch, msgs, n_values);
+        return 0;
+      },
+      [&](Channel& ch) {
+        Prg prg(Block{24, 2});
+        Kk13Receiver r;
+        r.setup(ch, prg);
+        r.extend(ch, choices);
+        return r.recv_blocks(ch, n_values);
+      });
+  ASSERT_EQ(res.party1.size(), m);
+  for (std::size_t i = 0; i < m; ++i)
+    EXPECT_EQ(res.party1[i], msgs[i * n_values + choices[i]]) << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, RoModeOtTest,
+                         ::testing::Values(RoMode::kSha256,
+                                           RoMode::kFixedKeyAes),
+                         [](const auto& info) {
+                           return info.param == RoMode::kSha256 ? "Sha256"
+                                                                : "FixedKeyAes";
+                         });
+
 // The random-oracle mode must not affect protocol correctness.
 TEST(Kk13, WorksWithFixedKeyAesRo) {
-  set_ro_mode(RoMode::kFixedKeyAes);
+  ScopedRoMode mode(RoMode::kFixedKeyAes);
   std::vector<u32> choices{0, 7, 15, 2};
   auto res = run_two_parties(
       [&](Channel& ch) {
@@ -421,7 +495,6 @@ TEST(Kk13, WorksWithFixedKeyAesRo) {
         for (std::size_t i = 0; i < choices.size(); ++i) pads.push_back(r.pad(i));
         return pads;
       });
-  set_ro_mode(RoMode::kSha256);
   for (std::size_t i = 0; i < choices.size(); ++i)
     EXPECT_EQ(res.party0[i].d, res.party1[i].d);
 }

@@ -1,0 +1,358 @@
+// Cross-checks of the batched SIMD kernel layer (src/simd/) against the
+// portable reference path: NIST AES vectors through both tables, randomized
+// batch-vs-single equivalence, bit-transpose and XOR property tests, the
+// 4-lane SHA-256 multi-buffer, batched random-oracle equivalence in both
+// instantiations, and an end-to-end MNIST-scale inference that must be
+// byte-identical across dispatch target, RO batch width and thread count.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/bitmatrix.h"
+#include "core/inference.h"
+#include "crypto/aes.h"
+#include "crypto/prg.h"
+#include "crypto/ro.h"
+#include "crypto/sha256.h"
+#include "net/party_runner.h"
+#include "nn/model.h"
+#include "runtime/thread_pool.h"
+#include "simd/dispatch.h"
+#include "simd/kernels.h"
+
+namespace abnn2 {
+namespace {
+
+using core::InferenceClient;
+using core::InferenceConfig;
+using core::InferenceServer;
+
+Block block_from_hex(const std::string& hex) {
+  u8 raw[16];
+  for (int i = 0; i < 16; ++i)
+    raw[i] = static_cast<u8>(
+        std::stoul(hex.substr(2 * static_cast<std::size_t>(i), 2), nullptr, 16));
+  return Block::from_bytes(raw);
+}
+
+std::string bytes_hex(const Block& b) {
+  u8 raw[16];
+  b.to_bytes(raw);
+  static const char* d = "0123456789abcdef";
+  std::string s;
+  for (u8 byte : raw) {
+    s.push_back(d[byte >> 4]);
+    s.push_back(d[byte & 15]);
+  }
+  return s;
+}
+
+struct DispatchGuard {
+  ~DispatchGuard() { simd::set_force_portable(false); }
+};
+struct WidthGuard {
+  ~WidthGuard() { set_ro_batch_width(0); }
+};
+struct ThreadGuard {
+  ~ThreadGuard() { runtime::set_threads(0); }
+};
+
+// ---------------------------------------------------------------------------
+// AES kernels.
+
+TEST(SimdKernels, RoundKeysMatchAcrossTables) {
+  const auto& p = simd::portable_kernels();
+  const auto& n = simd::native_kernels();
+  Prg prg(Block{0x51, 1});
+  for (int t = 0; t < 16; ++t) {
+    const Block key = prg.next_block();
+    Block rk_p[11], rk_n[11];
+    p.aes128_key_expand(key, rk_p);
+    n.aes128_key_expand(key, rk_n);
+    for (int r = 0; r < 11; ++r) EXPECT_EQ(rk_p[r], rk_n[r]) << t << "/" << r;
+  }
+}
+
+// FIPS-197 Appendix B and the NIST AESAVS zero-key KAT, through BOTH tables.
+TEST(SimdKernels, KnownAnswersBothTables) {
+  for (const auto* kt : {&simd::portable_kernels(), &simd::native_kernels()}) {
+    Block rk[11];
+    kt->aes128_key_expand(block_from_hex("2b7e151628aed2a6abf7158809cf4f3c"),
+                          rk);
+    Block ct;
+    const Block pt = block_from_hex("3243f6a8885a308d313198a2e0370734");
+    kt->aes128_encrypt_blocks(rk, &pt, &ct, 1);
+    EXPECT_EQ(bytes_hex(ct), "3925841d02dc09fbdc118597196a0b32") << kt->name;
+
+    kt->aes128_key_expand(kZeroBlock, rk);
+    const Block zero = kZeroBlock;
+    kt->aes128_encrypt_blocks(rk, &zero, &ct, 1);
+    EXPECT_EQ(bytes_hex(ct), "66e94bd4ef8a2c3b884cfa59ca342b2e") << kt->name;
+  }
+}
+
+// Random inputs at every batch size 1..9 (exercises the 8-way main loop, the
+// 4-way and 1-way tails, and their combinations) must match the portable
+// single-block path, in-place and out-of-place.
+TEST(SimdKernels, EncryptBlocksPortableVsNativeBatch1To9) {
+  const auto& p = simd::portable_kernels();
+  const auto& n = simd::native_kernels();
+  Prg prg(Block{0x52, 1});
+  const Block key = prg.next_block();
+  Block rk_p[11], rk_n[11];
+  p.aes128_key_expand(key, rk_p);
+  n.aes128_key_expand(key, rk_n);
+  for (std::size_t batch = 1; batch <= 9; ++batch) {
+    std::vector<Block> in(batch), want(batch), got(batch);
+    for (auto& b : in) b = prg.next_block();
+    for (std::size_t i = 0; i < batch; ++i)
+      p.aes128_encrypt_blocks(rk_p, &in[i], &want[i], 1);
+    n.aes128_encrypt_blocks(rk_n, in.data(), got.data(), batch);
+    EXPECT_EQ(got, want) << "batch " << batch;
+    // In-place (`in` may alias `out`).
+    n.aes128_encrypt_blocks(rk_n, in.data(), in.data(), batch);
+    EXPECT_EQ(in, want) << "in-place batch " << batch;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// XOR kernels.
+
+TEST(SimdKernels, XorKernelsMatchNaive) {
+  Prg prg(Block{0x53, 1});
+  for (const auto* kt : {&simd::portable_kernels(), &simd::native_kernels()}) {
+    for (std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{16},
+                          std::size_t{31}, std::size_t{32}, std::size_t{33},
+                          std::size_t{64}, std::size_t{100}}) {
+      std::vector<u8> dst(n), a(n), b(n);
+      prg.bytes(dst.data(), n);
+      prg.bytes(a.data(), n);
+      prg.bytes(b.data(), n);
+      std::vector<u8> want2 = dst, want3 = dst;
+      for (std::size_t i = 0; i < n; ++i) want2[i] ^= a[i];
+      for (std::size_t i = 0; i < n; ++i) want3[i] ^= a[i] ^ b[i];
+      std::vector<u8> got = dst;
+      kt->xor_bytes(got.data(), a.data(), n);
+      EXPECT_EQ(got, want2) << kt->name << " n=" << n;
+      got = dst;
+      kt->xor3_bytes(got.data(), a.data(), b.data(), n);
+      EXPECT_EQ(got, want3) << kt->name << " n=" << n;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bit transpose.
+
+void naive_transpose(const u8* in, std::size_t in_stride, std::size_t n_rows,
+                     std::size_t n_cols, u8* out, std::size_t out_stride) {
+  for (std::size_t r = 0; r < n_rows; ++r)
+    for (std::size_t c = 0; c < n_cols; ++c)
+      if ((in[r * in_stride + c / 8] >> (c % 8)) & 1)
+        out[c * out_stride + r / 8] |= static_cast<u8>(1u << (r % 8));
+}
+
+TEST(SimdKernels, TransposeBitsMatchesNaive) {
+  Prg prg(Block{0x54, 1});
+  struct Case {
+    std::size_t rows, cols, extra_stride;
+  };
+  for (const Case& tc :
+       {Case{8, 3, 0}, Case{8, 8, 0}, Case{16, 5, 2}, Case{16, 16, 0},
+        Case{24, 64, 0}, Case{40, 13, 1}, Case{128, 128, 0}, Case{64, 200, 3},
+        Case{256, 33, 0}}) {
+    const std::size_t in_stride = bytes_for_bits(tc.cols) + tc.extra_stride;
+    const std::size_t out_stride = bytes_for_bits(tc.rows) + tc.extra_stride;
+    std::vector<u8> in(tc.rows * in_stride);
+    prg.bytes(in.data(), in.size());
+    // Bits past n_cols in the last byte of each row may be garbage; the
+    // kernels must ignore them.
+    std::vector<u8> want(tc.cols * out_stride, 0);
+    naive_transpose(in.data(), in_stride, tc.rows, tc.cols, want.data(),
+                    out_stride);
+    for (const auto* kt :
+         {&simd::portable_kernels(), &simd::native_kernels()}) {
+      std::vector<u8> got(tc.cols * out_stride, 0);
+      kt->transpose_bits(in.data(), in_stride, tc.rows, tc.cols, got.data(),
+                         out_stride);
+      EXPECT_EQ(got, want) << kt->name << " " << tc.rows << "x" << tc.cols;
+    }
+  }
+}
+
+// BitMatrix::transpose (remainder rows, parallel path) against get/set.
+TEST(SimdKernels, BitMatrixTransposeProperty) {
+  Prg prg(Block{0x55, 1});
+  for (auto [rows, cols] :
+       {std::pair<std::size_t, std::size_t>{13, 20},
+        std::pair<std::size_t, std::size_t>{128, 1000},
+        std::pair<std::size_t, std::size_t>{1000, 128},
+        std::pair<std::size_t, std::size_t>{77, 257}}) {
+    BitMatrix m(rows, cols);
+    // Randomize via set() so the padding bits past `cols` stay zero (they
+    // are not part of the matrix and transpose drops them).
+    for (std::size_t i = 0; i < rows; ++i)
+      for (std::size_t j = 0; j < cols; ++j) m.set(i, j, prg.next_bit());
+    const BitMatrix t = m.transpose();
+    ASSERT_EQ(t.rows(), cols);
+    ASSERT_EQ(t.cols(), rows);
+    bool ok = true;
+    for (std::size_t i = 0; i < rows && ok; ++i)
+      for (std::size_t j = 0; j < cols; ++j)
+        if (m.get(i, j) != t.get(j, i)) {
+          ok = false;
+          ADD_FAILURE() << rows << "x" << cols << " mismatch at " << i << ","
+                        << j;
+          break;
+        }
+    EXPECT_EQ(m.transpose().transpose(), m);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-buffer SHA-256.
+
+TEST(SimdKernels, Sha256X4MatchesScalar) {
+  const auto& n = simd::native_kernels();
+  if (n.sha256_x4 == nullptr)
+    GTEST_SKIP() << "no multi-buffer SHA-256 compiled in";
+  Prg prg(Block{0x56, 1});
+  for (std::size_t msg_len : {std::size_t{0}, std::size_t{1}, std::size_t{16},
+                              std::size_t{48}, std::size_t{55}}) {
+    u8 blocks[4 * 64];
+    std::memset(blocks, 0, sizeof(blocks));
+    std::array<std::array<u8, 32>, 4> want;
+    for (int l = 0; l < 4; ++l) {
+      u8 msg[55];
+      prg.bytes(msg, msg_len);
+      u8* p = blocks + 64 * l;
+      std::memcpy(p, msg, msg_len);
+      p[msg_len] = 0x80;
+      const u64 bit_len = static_cast<u64>(msg_len) * 8;
+      for (int b = 0; b < 8; ++b)
+        p[56 + b] = static_cast<u8>(bit_len >> (56 - 8 * b));
+      Sha256 h;
+      h.update(msg, msg_len);
+      want[static_cast<std::size_t>(l)] = h.digest();
+    }
+    u8 got[4 * 32];
+    n.sha256_x4(blocks, got);
+    for (int l = 0; l < 4; ++l)
+      EXPECT_EQ(std::memcmp(got + 32 * l,
+                            want[static_cast<std::size_t>(l)].data(), 32),
+                0)
+          << "msg_len " << msg_len << " lane " << l;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched random oracle.
+
+// ro_hash_batch must equal n independent ro_hash calls for every mode, batch
+// width, row size (16 = IKNP, 32 = KK13, 39 = the single-SHA-block edge,
+// 40 = one past it, 0 = empty rows) and batch size 1..9, under both dispatch
+// targets.
+TEST(SimdRo, BatchMatchesSingleAllWidthsBothModes) {
+  WidthGuard wguard;
+  DispatchGuard dguard;
+  Prg prg(Block{0x57, 1});
+  for (RoMode m : {RoMode::kSha256, RoMode::kFixedKeyAes}) {
+    ScopedRoMode mode(m);
+    for (bool portable : {false, true}) {
+      simd::set_force_portable(portable);
+      for (std::size_t row_bytes : {std::size_t{0}, std::size_t{16},
+                                    std::size_t{32}, std::size_t{39},
+                                    std::size_t{40}}) {
+        for (std::size_t n = 1; n <= 9; ++n) {
+          std::vector<u8> rows(std::max<std::size_t>(1, n * row_bytes));
+          prg.bytes(rows.data(), rows.size());
+          const u64 tag = 0xAB00 + n;
+          const u64 index0 = prg.next_u64();
+          std::vector<RoDigest> want(n);
+          for (std::size_t i = 0; i < n; ++i)
+            want[i] = ro_hash(tag, index0 + i,
+                              std::span<const u8>(rows.data() + i * row_bytes,
+                                                  row_bytes));
+          for (std::size_t w = 1; w <= 8; ++w) {
+            set_ro_batch_width(w);
+            std::vector<RoDigest> got(n);
+            ro_hash_batch(tag, index0, rows.data(), row_bytes, n, got.data());
+            for (std::size_t i = 0; i < n; ++i)
+              EXPECT_EQ(got[i].d, want[i].d)
+                  << (m == RoMode::kSha256 ? "sha" : "aes") << " portable="
+                  << portable << " rb=" << row_bytes << " n=" << n
+                  << " w=" << w << " i=" << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: the transcript is an execution-strategy invariant.
+
+// A full MNIST-scale inference must produce byte-identical logits AND a
+// byte-identical transcript shape regardless of (a) forced-portable vs
+// native kernel dispatch, (b) RO batch width 1 (the seed's per-instance
+// path) vs 8, (c) 1 vs 4 pool threads.
+TEST(SimdDeterminism, MnistInferenceIdenticalAcrossDispatchWidthAndThreads) {
+  ThreadGuard tguard;
+  WidthGuard wguard;
+  DispatchGuard dguard;
+  const ss::Ring ring(32);
+  const auto model =
+      nn::fig4_model(ring, nn::FragScheme::binary(), Block{950, 1});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(784, batch, 16, ring, Block{950, 2});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+
+  struct RunResult {
+    nn::MatU64 logits;
+    ChannelStats stats0, stats1;
+  };
+  auto run_with = [&](bool portable, std::size_t width, std::size_t threads) {
+    simd::set_force_portable(portable);
+    set_ro_batch_width(width);
+    InferenceConfig cfg(ring);
+    cfg.threads = threads;
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    auto res = run_two_parties(
+        [&](Channel& ch) {
+          server.run_offline(ch);
+          server.run_online(ch);
+          return 0;
+        },
+        [&](Channel& ch) {
+          client.run_offline(ch, batch);
+          return client.run_online(ch, x);
+        });
+    simd::set_force_portable(false);
+    set_ro_batch_width(0);
+    return RunResult{res.party1, res.stats0, res.stats1};
+  };
+
+  const RunResult base = run_with(false, 8, 4);
+  EXPECT_EQ(base.logits, want);
+
+  const auto expect_same = [&](const RunResult& r, const char* what) {
+    EXPECT_EQ(r.logits, base.logits) << what;
+    EXPECT_EQ(r.stats0.bytes_sent, base.stats0.bytes_sent) << what;
+    EXPECT_EQ(r.stats0.bytes_received, base.stats0.bytes_received) << what;
+    EXPECT_EQ(r.stats0.messages_sent, base.stats0.messages_sent) << what;
+    EXPECT_EQ(r.stats0.rounds, base.stats0.rounds) << what;
+    EXPECT_EQ(r.stats1.bytes_sent, base.stats1.bytes_sent) << what;
+    EXPECT_EQ(r.stats1.bytes_received, base.stats1.bytes_received) << what;
+    EXPECT_EQ(r.stats1.messages_sent, base.stats1.messages_sent) << what;
+    EXPECT_EQ(r.stats1.rounds, base.stats1.rounds) << what;
+  };
+  expect_same(run_with(true, 8, 4), "forced-portable dispatch");
+  expect_same(run_with(false, 1, 4), "RO batch width 1");
+  expect_same(run_with(false, 8, 1), "single-threaded pool");
+}
+
+}  // namespace
+}  // namespace abnn2

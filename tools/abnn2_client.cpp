@@ -16,12 +16,14 @@
 #include "net/framed_channel.h"
 #include "net/socket_channel.h"
 #include "obs/obs.h"
+#include "simd/dispatch.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
+  simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
   if (argc < 4 || argc > 6) {
     std::fprintf(stderr,
                  "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",

@@ -10,11 +10,13 @@
 #include <sstream>
 
 #include "nn/model_io.h"
+#include "simd/dispatch.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
+  simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
   if (argc < 2 || argc > 5) {
     std::fprintf(stderr,
                  "usage: %s <out.mdl> [scheme] [ring_bits] [arch|cnn|cnn-pool]\n",

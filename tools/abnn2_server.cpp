@@ -17,12 +17,14 @@
 #include "net/socket_channel.h"
 #include "nn/model_io.h"
 #include "obs/obs.h"
+#include "simd/dispatch.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
+  simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
   if (argc < 3 || argc > 4) {
     std::fprintf(stderr, "usage: %s <model.mdl> <port> [batches]\n", argv[0]);
     return 2;

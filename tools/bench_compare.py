@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Compare two benchmark JSON files and flag regressions.
+
+Both the table benches (--json via bench::JsonReport) and micro_primitives
+(google-benchmark's JSON reporter) emit the same top-level shape:
+
+    {"context": {...}, "benchmarks": [{"name": ..., <metric>: <number>, ...}]}
+
+Usage:
+    tools/bench_compare.py BASELINE.json CURRENT.json [--threshold PCT]
+                           [--metrics m1,m2,...]
+
+Rows are matched by "name"; every numeric metric present in both rows (or
+only those named by --metrics) is compared. Metrics where HIGHER is better
+(throughput: *_per_second) regress when current < baseline; everything else
+(times, bytes, rounds) regresses when current > baseline. A change beyond
+--threshold percent (default 10) is a regression; the exit code is the
+number of regressed metrics.
+
+Book-keeping keys (iterations, repetition indices, ...) are skipped.
+"""
+
+import argparse
+import json
+import sys
+
+SKIP_KEYS = {
+    "name", "run_name", "run_type", "family_index",
+    "per_family_instance_index", "repetitions", "repetition_index",
+    "threads", "iterations", "time_unit",
+}
+
+HIGHER_IS_BETTER_SUFFIXES = ("_per_second",)
+
+
+def load_rows(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("benchmarks", []):
+        name = row.get("name")
+        if name is None:
+            continue
+        rows[name] = {
+            k: v for k, v in row.items()
+            if k not in SKIP_KEYS and isinstance(v, (int, float))
+        }
+    return rows
+
+
+def higher_is_better(metric):
+    return metric.endswith(HIGHER_IS_BETTER_SUFFIXES)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--metrics", default="",
+                    help="comma-separated metric allowlist (default: all "
+                         "numeric metrics shared by both rows)")
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+    allow = {m for m in args.metrics.split(",") if m} or None
+
+    shared = sorted(set(base) & set(cur))
+    only_base = sorted(set(base) - set(cur))
+    only_cur = sorted(set(cur) - set(base))
+    if not shared:
+        print("bench_compare: no benchmark names in common", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    print(f"{'benchmark/metric':58s} {'baseline':>14s} {'current':>14s} "
+          f"{'delta':>9s}")
+    for name in shared:
+        metrics = sorted(set(base[name]) & set(cur[name]))
+        if allow is not None:
+            metrics = [m for m in metrics if m in allow]
+        for m in metrics:
+            b, c = base[name][m], cur[name][m]
+            if b == 0:
+                pct = 0.0 if c == 0 else float("inf")
+            else:
+                pct = (c - b) / abs(b) * 100.0
+            better = pct >= 0 if higher_is_better(m) else pct <= 0
+            regressed = not better and abs(pct) > args.threshold
+            if regressed:
+                regressions += 1
+            flag = " REGRESSED" if regressed else ""
+            print(f"{name + '/' + m:58s} {b:14.6g} {c:14.6g} "
+                  f"{pct:+8.1f}%{flag}")
+
+    for name in only_base:
+        print(f"{name:58s} (missing from current)")
+    for name in only_cur:
+        print(f"{name:58s} (new, no baseline)")
+
+    if regressions:
+        print(f"\n{regressions} metric(s) regressed beyond "
+              f"{args.threshold:g}%", file=sys.stderr)
+    else:
+        print(f"\nno regressions beyond {args.threshold:g}%")
+    return min(regressions, 125)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
