@@ -92,15 +92,50 @@ u64 truncate_share(const ss::Ring& ring, u64 share, std::size_t f, int party) {
   return ring.neg(ring.from_signed(v >> f));
 }
 
+ClientHello read_client_hello(Channel& ch) {
+  ClientHello hello;
+  const u32 magic = recv_u32v(ch);
+  if (magic != kHandshakeMagicClient)
+    throw ProtocolError(
+        "handshake: bad client magic " + hex_u32(magic) +
+        " (peer is not an abnn2 client, or the stream is desynchronized)");
+  hello.version = recv_u32v(ch);
+  if (hello.version != kProtocolVersion)
+    throw ProtocolError("handshake: client speaks protocol version " +
+                        hex_u32(hello.version) + ", this server speaks " +
+                        hex_u32(kProtocolVersion));
+  hello.ring_bits = ch.recv_u64();
+  hello.batch = ch.recv_u64();
+  hello.flags = ch.recv_u64();
+  hello.session_token = ch.recv_u64();
+  ch.recv(hello.model_digest.data(), hello.model_digest.size());
+  return hello;
+}
+
+void send_busy(Channel& ch, u64 retry_after_ms) {
+  send_u32v(ch, kHandshakeMagicBusy);
+  ch.send_u64(retry_after_ms);
+}
+
 InferenceServer::InferenceServer(nn::Model model, InferenceConfig cfg)
+    : InferenceServer(std::make_shared<const nn::Model>(std::move(model)),
+                      cfg) {}
+
+InferenceServer::InferenceServer(std::shared_ptr<const nn::Model> model,
+                                 InferenceConfig cfg,
+                                 const std::array<u8, 32>* known_digest)
     : model_(std::move(model)), cfg_(cfg) {
   cfg_.validate();
-  model_.validate();
-  ABNN2_CHECK_ARG(model_.ring == cfg_.ring, "model/config ring mismatch");
+  ABNN2_CHECK_ARG(model_ != nullptr, "null model");
+  ABNN2_CHECK_ARG(model_->ring == cfg_.ring, "model/config ring mismatch");
   if (cfg_.threads != 0) runtime::set_threads(cfg_.threads);
   init_observability(cfg_);
-  const auto bytes = nn::serialize_model(model_);
-  digest_ = Sha256::hash(bytes.data(), bytes.size());
+  if (known_digest) {
+    digest_ = *known_digest;  // model already validated + hashed by the owner
+  } else {
+    model_->validate();
+    digest_ = nn::model_digest(*model_);
+  }
 }
 
 InferenceServer::Session& InferenceServer::session() {
@@ -113,33 +148,62 @@ void InferenceServer::reset_session() { sess_.reset(); }
 void InferenceServer::run_offline(Channel& ch) {
   obs::ScopedParty party(0);
   obs::Scope phase("offline", &ch);
+  // Hello read inside the phase span so depth-0 spans keep partitioning the
+  // endpoint's traffic exactly (the obs golden-trace invariant).
+  run_offline_impl(ch, read_client_hello(ch));
+}
+
+void InferenceServer::run_offline(Channel& ch, const ClientHello& hello) {
+  obs::ScopedParty party(0);
+  obs::Scope phase("offline", &ch);
+  run_offline_impl(ch, hello);
+}
+
+void InferenceServer::run_offline_impl(Channel& ch, const ClientHello& hello) {
+  last_resume_granted_ = false;
 
   // ---- session handshake ----------------------------------------------
   bool resume;
   {
     obs::Scope span("handshake", &ch);
-    const u32 magic = recv_u32v(ch);
-    if (magic != kHandshakeMagicClient)
-      throw ProtocolError(
-          "handshake: bad client magic " + hex_u32(magic) +
-          " (peer is not an abnn2 client, or the stream is desynchronized)");
-    const u32 version = recv_u32v(ch);
-    if (version != kProtocolVersion)
-      throw ProtocolError("handshake: client speaks protocol version " +
-                          hex_u32(version) + ", this server speaks " +
-                          hex_u32(kProtocolVersion));
-    const u64 cli_ring = ch.recv_u64();
-    if (cli_ring != cfg_.ring.bits())
+    if (hello.ring_bits != cfg_.ring.bits())
       throw ProtocolError("handshake: client ring width " +
-                          std::to_string(cli_ring) + " != server ring width " +
+                          std::to_string(hello.ring_bits) +
+                          " != server ring width " +
                           std::to_string(cfg_.ring.bits()));
-    const u64 batch = ch.recv_u64();
-    ABNN2_CHECK(batch >= 1 && batch <= (u64{1} << 20), "bad batch size");
-    const u64 flags = ch.recv_u64();
+    ABNN2_CHECK(hello.batch >= 1 && hello.batch <= (u64{1} << 20),
+                "bad batch size");
     // Resume: the client retained offline material for an interrupted batch
     // and we retained the matching triplets — skip the offline cost entirely.
-    resume = (flags & 1) && !u_.empty() && o_ == batch;
-    o_ = batch;
+    // "Matching" means completed material for the same batch size against
+    // the same model; anything stale is discarded here so it can never be
+    // combined with a mismatched client half.
+    resume = false;
+    if (hello.wants_resume()) {
+      const char* deny = nullptr;
+      if (!offline_complete_ || u_.empty())
+        deny = "no completed offline material retained";
+      else if (o_ != hello.batch)
+        deny = "batch size mismatch";
+      else if (hello.has_digest() && hello.model_digest != digest_)
+        deny = "model digest mismatch";
+      if (deny == nullptr) {
+        resume = true;
+      } else if (!u_.empty()) {
+        std::fprintf(stderr,
+                     "[core] server: resume denied (%s): client batch=%llu "
+                     "digest=%s vs retained batch=%zu digest=%s — discarding "
+                     "stale offline material, falling back to a full offline "
+                     "run\n",
+                     deny, static_cast<unsigned long long>(hello.batch),
+                     Sha256::hex(hello.model_digest).c_str(), o_,
+                     Sha256::hex(digest_).c_str());
+        u_.clear();
+        offline_complete_ = false;
+      }
+    }
+    o_ = hello.batch;
+    last_resume_granted_ = resume;
 
     send_u32v(ch, kHandshakeMagicServer);
     send_u32v(ch, kProtocolVersion);
@@ -149,16 +213,18 @@ void InferenceServer::run_offline(Channel& ch) {
     ch.send_u64(static_cast<u64>(cfg_.reveal));
     ch.send(digest_.data(), digest_.size());
     ch.send_u64(resume ? 1 : 0);
+    ch.send_u64(session_token_);
   }
   if (resume) return;
 
   u_.clear();
+  offline_complete_ = false;
   // ---- model architecture ---------------------------------------------
   {
     obs::Scope span("model-arch", &ch);
-    ch.send_u64(model_.layers.size());
-    ch.send_u64(model_.input_dim());
-    for (const auto& layer : model_.layers) {
+    ch.send_u64(model_->layers.size());
+    ch.send_u64(model_->input_dim());
+    for (const auto& layer : model_->layers) {
       ch.send_u64(layer.out_dim());
       send_string(ch, layer.scheme.name());
       ch.send_u64(layer.conv.has_value());
@@ -208,8 +274,8 @@ void InferenceServer::run_offline(Channel& ch) {
   TripletConfig tcfg(cfg_.ring);
   tcfg.mode = cfg_.batch_mode;
   tcfg.chunk_instances = cfg_.chunk_instances;
-  for (std::size_t li = 0; li < model_.layers.size(); ++li) {
-    const auto& layer = model_.layers[li];
+  for (std::size_t li = 0; li < model_->layers.size(); ++li) {
+    const auto& layer = model_->layers[li];
     obs::Scope span("triplets", &ch, static_cast<i64>(li));
     // For conv layers, one triplet column per (output position, batch item).
     const std::size_t o_eff =
@@ -244,6 +310,10 @@ void InferenceServer::run_offline(Channel& ch) {
       }
     }
   }
+  // Only fully generated material is resumable: an interruption inside the
+  // loop above leaves u_ partially filled, which must never be paired with a
+  // client's complete half.
+  offline_complete_ = true;
 }
 
 void InferenceServer::run_online(Channel& ch) {
@@ -258,20 +328,20 @@ void InferenceServer::run_online(Channel& ch) {
   MatU64 z0;
   {
     obs::Scope span("recv-input", &ch);
-    z0 = recv_mat(ch, model_.input_dim(), o_, l);
+    z0 = recv_mat(ch, model_->input_dim(), o_, l);
   }
 
-  for (std::size_t li = 0; li < model_.layers.size(); ++li) {
+  for (std::size_t li = 0; li < model_->layers.size(); ++li) {
     MatU64 y0;
     {
       obs::Scope span("linear", nullptr, static_cast<i64>(li));
-      y0 = server_linear(ring, model_.layers[li], z0, u_[li]);
+      y0 = server_linear(ring, model_->layers[li], z0, u_[li]);
       if (cfg_.trunc_bits > 0)
         for (auto& v : y0.data())
           v = truncate_share(ring, v, cfg_.trunc_bits, 0);
     }
 
-    if (li + 1 == model_.layers.size()) {
+    if (li + 1 == model_->layers.size()) {
       if (cfg_.reveal == Reveal::kArgmax) {
         obs::Scope span("argmax", &ch);
         argmax_server_batch(ch, s.argmax_gc, ring, y0, prg_);
@@ -280,11 +350,12 @@ void InferenceServer::run_online(Channel& ch) {
         send_mat(ch, y0, l);  // reveal the server's logit share
       }
       u_.clear();  // triplets are one-use; consumed only on success
+      offline_complete_ = false;
       return;
     }
-    if (model_.layers[li].pool) {
+    if (model_->layers[li].pool) {
       obs::Scope span("maxpool", &ch, static_cast<i64>(li));
-      z0 = s.maxpool.run(ch, *model_.layers[li].pool, y0, prg_);
+      z0 = s.maxpool.run(ch, *model_->layers[li].pool, y0, prg_);
     } else {
       obs::Scope span("relu", &ch, static_cast<i64>(li));
       const auto z0_flat = s.relu.run(ch, y0.data(), prg_);
@@ -313,8 +384,9 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
   obs::Scope phase("offline", &ch);
   resumed_ = false;
   // Offer a resume when a previous batch of the same size was interrupted
-  // after its offline phase completed.
-  const bool want_resume = !r_.empty() && o_ == batch;
+  // after its offline phase fully completed; partial material is never
+  // resumable.
+  const bool want_resume = offline_complete_ && !r_.empty() && o_ == batch;
   o_ = batch;
 
   // ---- session handshake ----------------------------------------------
@@ -327,8 +399,22 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
     ch.send_u64(cfg_.ring.bits());
     ch.send_u64(o_);
     ch.send_u64(want_resume ? 1 : 0);
+    ch.send_u64(token_);
+    // Model digest: when resuming we bind to the model the retained material
+    // was generated against; otherwise a pinned digest routes the request in
+    // multi-model servers, and all-zeros means "any/default model".
+    std::array<u8, 32> sent_digest{};
+    if (want_resume)
+      sent_digest = info_.model_digest;
+    else if (cfg_.expected_model_digest)
+      sent_digest = *cfg_.expected_model_digest;
+    ch.send(sent_digest.data(), sent_digest.size());
 
     const u32 magic = recv_u32v(ch);
+    if (magic == kHandshakeMagicBusy) {
+      const u64 retry_after_ms = ch.recv_u64();
+      throw ServerBusy(retry_after_ms);
+    }
     if (magic != kHandshakeMagicServer)
       throw ProtocolError(
           "handshake: bad server magic " + hex_u32(magic) +
@@ -356,15 +442,22 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
                           Sha256::hex(digest) + " does not match pinned " +
                           Sha256::hex(*cfg_.expected_model_digest));
     const u64 resume_granted = ch.recv_u64();
+    const u64 srv_token = ch.recv_u64();
+    if (srv_token != 0) token_ = srv_token;
     if (resume_granted) {
       ABNN2_CHECK(want_resume, "server granted a resume we did not request");
-      info_.model_digest = digest;
+      if (digest != info_.model_digest)
+        throw ProtocolError(
+            "handshake: server granted a resume but serves model digest " +
+            Sha256::hex(digest) + ", retained material was generated for " +
+            Sha256::hex(info_.model_digest));
       resumed_ = true;
     }
   }
   if (resumed_) return;  // r_/v_/info_ retained from the interrupted batch
   r_.clear();
   v_.clear();
+  offline_complete_ = false;
 
   // ---- model architecture ---------------------------------------------
   std::optional<obs::Scope> arch_span;
@@ -489,6 +582,8 @@ void InferenceClient::run_offline(Channel& ch, std::size_t batch) {
     if (conv) v = nn::flatten_conv_output(*conv, v, o_);
     v_.push_back(std::move(v));
   }
+  offline_complete_ = true;  // see the server-side note: partial r_/v_ is
+                             // never offered for resume
 }
 
 nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
@@ -544,6 +639,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
     for (std::size_t k = 0; k < o_; ++k) cls.at(0, k) = idxs[k];
     r_.clear();
     v_.clear();
+    offline_complete_ = false;
     return cls;
   }
   obs::Scope span("reveal", &ch);
@@ -556,6 +652,7 @@ nn::MatU64 InferenceClient::run_online(Channel& ch, const MatU64& x) {
   }
   r_.clear();
   v_.clear();
+  offline_complete_ = false;
   return logits;
 }
 

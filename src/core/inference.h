@@ -19,6 +19,7 @@
 #pragma once
 
 #include <array>
+#include <memory>
 #include <optional>
 
 #include "baselines/minionn.h"
@@ -37,20 +38,81 @@ namespace abnn2::core {
 /// cryptographic setup). Wire format, little-endian:
 ///
 ///   client hello:  u32 magic "AB2C", u32 version, u64 ring_bits,
-///                  u64 batch, u64 flags (bit 0: request batch resume)
+///                  u64 batch, u64 flags (bit 0: request batch resume),
+///                  u64 session_token (0 = new session),
+///                  32-byte model digest (all-zero = any/default model)
 ///   server hello:  u32 magic "AB2S", u32 version, u64 ring_bits,
 ///                  u64 relu, u64 backend, u64 reveal,
-///                  32-byte SHA-256 model digest, u64 resume_granted
+///                  32-byte SHA-256 model digest, u64 resume_granted,
+///                  u64 session_token (assigned by the serving side)
+///   busy reply:    u32 magic "AB2B", u64 retry_after_ms_hint
+///                  (sent instead of the server hello when admission control
+///                  rejects the connection; the client throws ServerBusy and
+///                  backs off with jittered retry)
 ///
 /// Mismatched magic/version/ring/config throws ProtocolError on the side
 /// that detects it — mismatched binaries or models fail fast with a
 /// diagnostic instead of producing wrong predictions. The digest pins the
-/// exact served model when the client sets `expected_model_digest`.
+/// exact served model when the client sets `expected_model_digest`. The
+/// session token identifies a client relationship across reconnects, so a
+/// multi-session server (serve::Supervisor) can route a reconnecting client
+/// back to its retained offline material; the client digest doubles as the
+/// model key for multi-model registries and as the resume-validity check
+/// (retained material is only reusable against the exact same model).
 inline constexpr u32 kHandshakeMagicClient = 0x43324241;  // "AB2C"
 inline constexpr u32 kHandshakeMagicServer = 0x53324241;  // "AB2S"
+inline constexpr u32 kHandshakeMagicBusy = 0x42324241;    // "AB2B"
 /// v2: IKNP/KK13 extend() sends all correction rows as one coalesced wire
 /// message instead of one message per code column (see ot/iknp.h, ot/kk13.h).
-inline constexpr u32 kProtocolVersion = 2;
+/// v3: client hello carries a session token and a model digest; server hello
+/// carries resume_granted plus the assigned token; BUSY admission rejection.
+inline constexpr u32 kProtocolVersion = 3;
+
+/// Thrown by InferenceClient::run_offline when the server answers the hello
+/// with a BUSY admission rejection. A ChannelError (transient): the caller
+/// should back off for roughly retry_after_ms (plus jitter) and reconnect.
+class ServerBusy : public ChannelError {
+ public:
+  explicit ServerBusy(u64 retry_after_ms)
+      : ChannelError("server busy (admission cap reached), retry after ~" +
+                     std::to_string(retry_after_ms) + " ms"),
+        retry_after_ms_(retry_after_ms) {}
+  u64 retry_after_ms() const { return retry_after_ms_; }
+
+ private:
+  u64 retry_after_ms_;
+};
+
+/// Parsed client hello. A multi-session server reads this first (to route
+/// the connection to a session and a model) and then hands it to
+/// InferenceServer::run_offline(ch, hello); the single-session
+/// run_offline(ch) overload reads it internally.
+struct ClientHello {
+  u32 version = kProtocolVersion;
+  u64 ring_bits = 0;
+  u64 batch = 0;
+  u64 flags = 0;                      // bit 0: request batch resume
+  u64 session_token = 0;              // 0 = new session
+  std::array<u8, 32> model_digest{};  // all-zero = any/default model
+
+  bool wants_resume() const { return (flags & 1) != 0; }
+  bool has_digest() const {
+    for (u8 b : model_digest)
+      if (b) return true;
+    return false;
+  }
+};
+
+/// Server-side parse of the fixed-size client hello. Validates magic and
+/// protocol version (ProtocolError on mismatch); semantic checks (ring
+/// width, batch bounds, resume validity) happen in run_offline.
+ClientHello read_client_hello(Channel& ch);
+
+/// Admission rejection: answers a freshly accepted connection with one BUSY
+/// reply (instead of a server hello) so the client fails fast with
+/// ServerBusy rather than hanging. The serving side closes the connection
+/// afterwards; nothing else may be sent on it.
+void send_busy(Channel& ch, u64 retry_after_ms);
 
 /// Which offline triplet generator drives the linear layers. The online
 /// phase (share algebra + GC ReLU) is identical for all backends, exactly
@@ -117,11 +179,21 @@ struct ModelInfo {
 class InferenceServer {
  public:
   InferenceServer(nn::Model model, InferenceConfig cfg);
+  /// Shared-model constructor for multi-session servers: many concurrent
+  /// InferenceServer instances (one per client relationship) reference one
+  /// immutable model instead of each holding a copy. When `known_digest` is
+  /// non-null the (already validated) model is not re-serialized/re-hashed —
+  /// serve::ModelRegistry computes the digest once per model.
+  InferenceServer(std::shared_ptr<const nn::Model> model, InferenceConfig cfg,
+                  const std::array<u8, 32>* known_digest = nullptr);
 
   /// Handshake + triplet generation for one upcoming batch. When the client
   /// requests a resume and this server still holds matching offline
   /// material, triplet generation is skipped.
   void run_offline(Channel& ch);
+  /// Same, with the client hello already read off the wire (multi-session
+  /// servers parse it first to route the connection).
+  void run_offline(Channel& ch, const ClientHello& hello);
   /// Executes one prediction batch; the client ends with the logits.
   /// Offline material is consumed only on success, so an interrupted batch
   /// can be re-run after reconnecting.
@@ -131,11 +203,20 @@ class InferenceServer {
   /// keeping completed offline triplet material. Call after a transport
   /// failure, before serving the next connection.
   void reset_session();
-  /// True while completed offline material is retained for a pending batch.
-  bool has_offline_material() const { return !u_.empty(); }
+  /// True while *completed* offline material is retained for a pending
+  /// batch. Partial material from an offline phase that died midway is never
+  /// resumable (the peer's half is equally partial) and is discarded.
+  bool has_offline_material() const { return offline_complete_ && !u_.empty(); }
   std::size_t offline_batch() const { return o_; }
   /// SHA-256 over the serialized model, as sent in the handshake.
   const std::array<u8, 32>& model_digest() const { return digest_; }
+  /// True when the last run_offline granted the client's resume request.
+  bool last_resume_granted() const { return last_resume_granted_; }
+  /// Token echoed in the server hello (serve::Supervisor assigns one per
+  /// session so reconnecting clients are routed back to this instance;
+  /// standalone servers leave it 0).
+  void set_session_token(u64 token) { session_token_ = token; }
+  u64 session_token() const { return session_token_; }
 
  private:
   /// Per-connection cryptographic state; never outlives a transport session.
@@ -153,13 +234,17 @@ class InferenceServer {
         : relu(cfg.ring, cfg.relu), maxpool(cfg.ring) {}
   };
   Session& session();
+  void run_offline_impl(Channel& ch, const ClientHello& hello);
 
-  nn::Model model_;
+  std::shared_ptr<const nn::Model> model_;
   InferenceConfig cfg_;
   Prg prg_;
   std::array<u8, 32> digest_{};
   std::unique_ptr<Session> sess_;
   std::size_t o_ = 0;
+  u64 session_token_ = 0;
+  bool offline_complete_ = false;
+  bool last_resume_granted_ = false;
   std::vector<nn::MatU64> u_;  // one triplet share per layer
 };
 
@@ -182,7 +267,14 @@ class InferenceClient {
   void reset_session();
   /// True when the last run_offline resumed on retained material.
   bool resumed() const { return resumed_; }
-  bool has_offline_material() const { return !r_.empty(); }
+  /// True while *completed* offline material is retained (see the server
+  /// counterpart: partial material is never offered for resume).
+  bool has_offline_material() const { return offline_complete_ && !r_.empty(); }
+  /// Session token assigned by the server (0 before the first handshake or
+  /// against a standalone single-session server). Sent on every subsequent
+  /// hello so a multi-session server routes reconnects back to the retained
+  /// state of this client relationship.
+  u64 session_token() const { return token_; }
 
   const ModelInfo& info() const { return info_; }
 
@@ -206,7 +298,9 @@ class InferenceClient {
   Prg prg_;
   std::unique_ptr<Session> sess_;
   std::size_t o_ = 0;
+  u64 token_ = 0;
   bool resumed_ = false;
+  bool offline_complete_ = false;
   ModelInfo info_;
   std::vector<nn::MatU64> r_;  // client input-share per layer
   std::vector<nn::MatU64> v_;  // triplet shares per layer

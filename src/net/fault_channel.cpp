@@ -38,6 +38,14 @@ FaultPlan FaultPlan::from_seed(u64 seed, u64 send_hint, u64 recv_hint) {
   return p;
 }
 
+FaultPlan FaultPlan::for_session(u64 base_seed, u64 session_id, u64 send_hint,
+                                 u64 recv_hint) {
+  // Decorrelate sessions with one splitmix round; from_seed then applies its
+  // own mixing, so nearby (seed, id) pairs share no structure.
+  u64 s = base_seed ^ (session_id * 0x9E3779B97F4A7C15ULL);
+  return from_seed(splitmix(s), send_hint, recv_hint);
+}
+
 std::string FaultPlan::describe() const {
   const char* k = "none";
   switch (kind) {

@@ -59,6 +59,12 @@ struct FaultPlan {
   /// never fire.
   static FaultPlan from_seed(u64 seed, u64 send_hint, u64 recv_hint);
 
+  /// Per-session plan for concurrent chaos: mixes `session_id` into the seed
+  /// so each session of a multi-client run draws an independent fault from
+  /// one base seed, and the whole run still replays from that one seed.
+  static FaultPlan for_session(u64 base_seed, u64 session_id, u64 send_hint,
+                               u64 recv_hint);
+
   std::string describe() const;
 };
 
@@ -71,6 +77,15 @@ class FaultInjectingChannel final : public Channel {
   /// True once the planned fault has been injected.
   bool fired() const { return fired_; }
   const FaultPlan& plan() const { return plan_; }
+
+  /// Re-arms the decorator with a fresh plan and zeroed stream offsets.
+  /// A session that reconnects after a fault reuses its decorator (the
+  /// supervisor tests schedule several faults against one logical session).
+  void rearm(FaultPlan plan) {
+    plan_ = plan;
+    sent_ = received_ = 0;
+    fired_ = dead_ = false;
+  }
 
  protected:
   void do_send(const void* data, std::size_t n) override;

@@ -134,17 +134,53 @@ SocketListener::~SocketListener() {
 
 std::unique_ptr<SocketChannel> SocketListener::accept(
     const SocketOptions& opts) {
-  if (opts.accept_timeout_ms >= 0 &&
-      !poll_fd(lfd_, POLLIN, opts.accept_timeout_ms))
-    throw ChannelTimeout("accept timed out after " +
-                         std::to_string(opts.accept_timeout_ms) + " ms");
+  const bool bounded = opts.accept_timeout_ms >= 0;
+  const auto deadline =
+      Clock::now() +
+      std::chrono::milliseconds(bounded ? opts.accept_timeout_ms : 0);
+  const auto left_ms = [&]() -> int {
+    if (!bounded) return -1;
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          deadline - Clock::now())
+                          .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+  };
   for (;;) {
-    const int fd = ::accept(lfd_, nullptr, nullptr);
+    // A zero wait still polls once: a connection already queued at the
+    // deadline is accepted rather than dropped.
+    if (!poll_fd(lfd_, POLLIN, left_ms()))
+      throw ChannelTimeout("accept timed out after " +
+                           std::to_string(opts.accept_timeout_ms) + " ms");
+    int fd = -1;
+    if (!injected_errors_.empty()) {
+      errno = injected_errors_.front();
+      injected_errors_.erase(injected_errors_.begin());
+    } else {
+      fd = ::accept(lfd_, nullptr, nullptr);
+    }
     if (fd >= 0) {
       set_nodelay(fd);
       return std::unique_ptr<SocketChannel>(new SocketChannel(fd, opts));
     }
-    if (errno != EINTR && errno != ECONNABORTED) throw_errno("accept");
+    switch (errno) {
+      case EINTR:        // signal — retry immediately
+      case ECONNABORTED: // the queued peer hung up before we got to it
+        break;
+      case EMFILE:       // out of fds (this process / system-wide): a busy
+      case ENFILE:       // server sheds load by waiting for one to free up
+                         // instead of crashing the accept loop
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            bounded ? std::min(10, left_ms()) : 10));
+        break;
+      default:
+        throw_errno("accept");
+    }
+    // Transient failures retry only inside the deadline; without this check
+    // sustained fd pressure with a connection still queued would busy-spin
+    // here forever (poll keeps reporting ready, the sleep clamps to 0).
+    if (bounded && left_ms() == 0)
+      throw ChannelTimeout("accept timed out after " +
+                           std::to_string(opts.accept_timeout_ms) + " ms");
   }
 }
 
@@ -204,6 +240,10 @@ std::unique_ptr<SocketChannel> SocketChannel::connect(const std::string& host,
 
 SocketChannel::~SocketChannel() {
   if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketChannel::shutdown_now() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 void SocketChannel::do_send(const void* data, std::size_t n) {

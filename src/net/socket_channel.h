@@ -11,6 +11,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/channel.h"
 
@@ -46,15 +47,26 @@ class SocketListener {
   SocketListener(const SocketListener&) = delete;
   SocketListener& operator=(const SocketListener&) = delete;
 
-  /// Accept one connection. Throws ChannelTimeout when
-  /// opts.accept_timeout_ms expires, ChannelError on socket failure.
+  /// Accept one connection. Transient failures (EINTR, ECONNABORTED — peer
+  /// gave up while queued; EMFILE/ENFILE — fd pressure, waits briefly for
+  /// one to free up) are retried against opts.accept_timeout_ms instead of
+  /// throwing out of the accept loop. Throws ChannelTimeout when the
+  /// deadline expires, ChannelError on hard socket failure.
   std::unique_ptr<SocketChannel> accept(const SocketOptions& opts = {});
 
   u16 port() const { return port_; }
 
+  /// Test hook: the next accept() calls fail with these errnos (consumed
+  /// front to back) before touching the real socket. Lets unit tests
+  /// exercise the EINTR/ECONNABORTED/EMFILE retry paths deterministically.
+  void inject_accept_errors(std::vector<int> errnos) {
+    injected_errors_ = std::move(errnos);
+  }
+
  private:
   int lfd_;
   u16 port_;
+  std::vector<int> injected_errors_;
 };
 
 class SocketChannel final : public Channel {
@@ -72,6 +84,18 @@ class SocketChannel final : public Channel {
   ~SocketChannel() override;
   SocketChannel(const SocketChannel&) = delete;
   SocketChannel& operator=(const SocketChannel&) = delete;
+
+  /// Shuts down both directions of the socket without closing the fd, so a
+  /// thread blocked in send/recv on this channel fails promptly with
+  /// ChannelError. Safe to call from another thread (the watchdog): fd_ is
+  /// immutable after construction and the fd itself stays valid until the
+  /// owner destroys the channel.
+  void shutdown_now() noexcept;
+
+  /// Tightens/loosens the per-recv deadline after accept. Used by the serve
+  /// supervisor: a connection it is about to reject as BUSY gets a short
+  /// deadline so a silent peer cannot stall the listener thread.
+  void set_recv_timeout_ms(int ms) { opts_.recv_timeout_ms = ms; }
 
  protected:
   void do_send(const void* data, std::size_t n) override;

@@ -4,6 +4,7 @@
 
 #include "common/packing.h"
 #include "common/serial.h"
+#include "crypto/sha256.h"
 
 namespace abnn2::nn {
 namespace {
@@ -157,6 +158,13 @@ Model deserialize_model(std::span<const u8> bytes) {
   } catch (const std::exception& e) {
     throw ProtocolError(std::string("malformed model file: ") + e.what());
   }
+}
+
+std::array<u8, 32> model_digest(const Model& m) {
+  const auto bytes = serialize_model(m);
+  Sha256 h;
+  h.update(bytes.data(), bytes.size());
+  return h.digest();
 }
 
 void save_model(const Model& m, const std::string& path) {

@@ -11,6 +11,7 @@
 //     u64 bias_len + bias values packed to ring_bits
 #pragma once
 
+#include <array>
 #include <span>
 #include <string>
 
@@ -21,6 +22,10 @@ namespace abnn2::nn {
 /// Serializes to a byte buffer / file. Throws on I/O failure.
 std::vector<u8> serialize_model(const Model& m);
 void save_model(const Model& m, const std::string& path);
+
+/// SHA-256 over the canonical serialized form — the model identity used by
+/// the handshake (digest pinning, session routing, resume validation).
+std::array<u8, 32> model_digest(const Model& m);
 
 /// Deserializes; validates shapes and code ranges. Throws ProtocolError on
 /// malformed input.

@@ -1,0 +1,68 @@
+// Liveness decorator for supervised sessions.
+//
+// Sits between the raw SocketChannel and the FramedChannel of a served
+// session. Every successful send/recv stamps a shared atomic with the
+// current steady-clock time; the supervisor's watchdog thread reads the
+// stamp to detect sessions that have made no frame progress within the
+// deadline. A shared `cancelled` flag lets the supervisor (watchdog reap or
+// drain force-stop) fail the session's next channel operation even when the
+// worker is between blocking calls — the companion to
+// SocketChannel::shutdown_now(), which unblocks a call already in flight.
+//
+// Granularity note: the stamp advances once per completed frame-sized
+// operation, not per byte, so a single transfer larger than
+// watchdog_ms * link_bandwidth can be reaped mid-flight. Frames in this
+// codebase are at most a few MB; on any realistic link that is far below
+// the default 30 s deadline.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "net/channel.h"
+
+namespace abnn2::serve {
+
+/// Milliseconds on the steady clock; the supervisor's common time base.
+inline u64 steady_ms() {
+  return static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+class ProgressChannel final : public Channel {
+ public:
+  /// Does not own `inner`; `last_activity_ms` and `cancelled` are owned by
+  /// the supervisor's per-worker slot and outlive this channel.
+  ProgressChannel(Channel& inner, std::atomic<u64>& last_activity_ms,
+                  std::atomic<bool>& cancelled)
+      : inner_(inner), last_(last_activity_ms), cancelled_(cancelled) {
+    last_.store(steady_ms(), std::memory_order_relaxed);
+  }
+
+ protected:
+  void do_send(const void* data, std::size_t n) override {
+    check_cancelled();
+    inner_.send(data, n);
+    last_.store(steady_ms(), std::memory_order_relaxed);
+  }
+  void do_recv(void* data, std::size_t n) override {
+    check_cancelled();
+    inner_.recv(data, n);
+    last_.store(steady_ms(), std::memory_order_relaxed);
+  }
+
+ private:
+  void check_cancelled() const {
+    if (cancelled_.load(std::memory_order_acquire))
+      throw ChannelError(
+          "session cancelled by supervisor (watchdog reap or drain)");
+  }
+
+  Channel& inner_;
+  std::atomic<u64>& last_;
+  std::atomic<bool>& cancelled_;
+};
+
+}  // namespace abnn2::serve

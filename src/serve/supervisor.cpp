@@ -1,0 +1,418 @@
+#include "serve/supervisor.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "net/framed_channel.h"
+#include "nn/model_io.h"
+#include "obs/obs.h"
+#include "runtime/thread_pool.h"
+#include "serve/progress_channel.h"
+
+namespace abnn2::serve {
+
+// ---- ModelRegistry --------------------------------------------------------
+
+std::array<u8, 32> ModelRegistry::add(nn::Model m) {
+  auto sp = std::make_shared<const nn::Model>(std::move(m));
+  sp->validate();
+  const auto digest = nn::model_digest(*sp);
+  if (models_.empty()) default_digest_ = digest;
+  models_[digest] = std::move(sp);
+  return digest;
+}
+
+ModelRegistry::Resolved ModelRegistry::resolve(
+    const std::array<u8, 32>& digest) const {
+  ABNN2_CHECK(!models_.empty(), "model registry is empty");
+  const auto it = models_.find(digest);
+  if (it != models_.end()) return {it->second, it->first};
+  // All-zeros ("any model") and unknown digests both resolve to the default;
+  // a client that pinned a digest we do not serve rejects the handshake on
+  // its side with the digest it actually got.
+  return {models_.at(default_digest_), default_digest_};
+}
+
+// ---- per-worker / per-session state --------------------------------------
+
+/// Watchdog state for one worker. `in_use`/`sock` are guarded by `mu` so the
+/// watchdog's timeout check cannot interleave with a session starting or
+/// ending on the slot; the activity stamp and cancel flag are atomics shared
+/// with the worker's ProgressChannel.
+struct Supervisor::Slot {
+  std::mutex mu;
+  bool in_use = false;            // guarded by mu
+  SocketChannel* sock = nullptr;  // guarded by mu
+  std::atomic<bool> cancelled{false};
+  std::atomic<u64> last_activity_ms{0};
+};
+
+/// Retained per-session state, keyed by token in sessions_. The
+/// InferenceServer inside holds any completed offline material between
+/// connections; `in_use` (guarded by sessions_mu_) keeps two connections
+/// presenting the same token from sharing it.
+struct Supervisor::Entry {
+  std::array<u8, 32> digest;
+  core::InferenceServer server;
+  bool in_use = false;    // guarded by sessions_mu_
+  u64 last_used_ms = 0;   // guarded by sessions_mu_; LRU eviction key
+
+  Entry(std::shared_ptr<const nn::Model> model,
+        const core::InferenceConfig& cfg, const std::array<u8, 32>& d)
+      : digest(d), server(std::move(model), cfg, &digest) {}
+};
+
+// ---- Supervisor -----------------------------------------------------------
+
+Supervisor::Supervisor(ModelRegistry registry, core::InferenceConfig cfg,
+                       ServeOptions opts)
+    : registry_(std::move(registry)),
+      cfg_(cfg),
+      opts_(opts),
+      listener_(opts.port) {
+  ABNN2_CHECK_ARG(registry_.size() > 0, "supervisor needs at least one model");
+  ABNN2_CHECK_ARG(opts_.max_sessions >= 1, "max_sessions must be >= 1");
+  if (cfg_.threads != 0) {
+    // Size the process-wide pool once; set_threads is not safe while
+    // sessions are running, so per-session servers get threads == 0.
+    runtime::set_threads(cfg_.threads);
+    cfg_.threads = 0;
+  }
+  slots_.reserve(opts_.max_sessions);
+  for (std::size_t i = 0; i < opts_.max_sessions; ++i)
+    slots_.push_back(std::make_unique<Slot>());
+  workers_.reserve(opts_.max_sessions);
+  for (std::size_t i = 0; i < opts_.max_sessions; ++i)
+    workers_.emplace_back([this, i] { worker_main(i); });
+  watchdog_thread_ = std::thread([this] { watchdog_main(); });
+  listener_thread_ = std::thread([this] { listener_main(); });
+}
+
+Supervisor::~Supervisor() { stop(); }
+
+void Supervisor::listener_main() {
+  SocketOptions aopts;
+  aopts.accept_timeout_ms = 100;  // re-check the draining flag between waits
+  aopts.recv_timeout_ms = opts_.recv_timeout_ms;
+  while (!draining_.load(std::memory_order_acquire)) {
+    std::unique_ptr<SocketChannel> sock;
+    try {
+      sock = listener_.accept(aopts);
+    } catch (const ChannelTimeout&) {
+      continue;
+    } catch (const ChannelError& e) {
+      if (draining_.load(std::memory_order_acquire)) break;
+      std::fprintf(stderr, "[serve] accept failed: %s\n", e.what());
+      continue;
+    }
+    ++accepted_;
+    // Admission control: beyond the cap the client gets a fast, explicit
+    // BUSY instead of a connection that hangs until some session finishes.
+    if (active_.load(std::memory_order_acquire) >= opts_.max_sessions) {
+      reject_busy(std::move(sock));
+      continue;
+    }
+    const u64 n = ++active_;
+    obs::set_gauge("serve.active_sessions", static_cast<double>(n));
+    {
+      std::lock_guard<std::mutex> lk(queue_mu_);
+      if (queue_shutdown_) {  // drain won the race; drop the connection
+        --active_;
+        continue;
+      }
+      queue_.push_back(std::move(sock));
+    }
+    queue_cv_.notify_one();
+  }
+}
+
+void Supervisor::reject_busy(std::unique_ptr<SocketChannel> sock) {
+  ++rejected_busy_;
+  obs::add_count("serve.sessions.rejected_busy", 1);
+  try {
+    // Read the hello before replying: it is already in flight, and closing
+    // with unread data pending can RST the BUSY reply out from under the
+    // client. The short deadline keeps a silent peer from stalling the
+    // listener thread.
+    sock->set_recv_timeout_ms(2'000);
+    FramedChannel ch(*sock);
+    (void)core::read_client_hello(ch);
+    core::send_busy(ch, opts_.busy_retry_ms);
+  } catch (const std::exception& e) {
+    if (opts_.verbose)
+      std::fprintf(stderr, "[serve] busy reject not delivered: %s\n", e.what());
+  }
+}
+
+void Supervisor::worker_main(std::size_t idx) {
+  Slot& slot = *slots_[idx];
+  for (;;) {
+    std::unique_ptr<SocketChannel> sock;
+    {
+      std::unique_lock<std::mutex> lk(queue_mu_);
+      queue_cv_.wait(lk, [this] { return queue_shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown, queue fully drained
+      sock = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    serve_connection(slot, std::move(sock));
+    const u64 n = --active_;
+    obs::set_gauge("serve.active_sessions", static_cast<double>(n));
+  }
+}
+
+void Supervisor::serve_connection(Slot& slot,
+                                  std::unique_ptr<SocketChannel> sock) {
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    slot.last_activity_ms.store(steady_ms(), std::memory_order_relaxed);
+    slot.cancelled.store(false, std::memory_order_release);
+    slot.sock = sock.get();
+    slot.in_use = true;
+  }
+
+  Entry* entry = nullptr;
+  u64 token = 0;
+  try {
+    ProgressChannel prog(*sock, slot.last_activity_ms, slot.cancelled);
+    FramedChannel ch(prog);
+    obs::ScopedParty party(0);
+    // One connection serves batches until the client hangs up (ChannelError
+    // on the next hello read), a fault kills it, or a drain begins. The
+    // hello is re-read every batch — the client sends a fresh one each time
+    // — but the connection is routed to its session entry exactly once.
+    for (;;) {
+      const core::ClientHello hello = core::read_client_hello(ch);
+      if (entry == nullptr) entry = route(hello, token);
+      if (entry == nullptr) {
+        // The session is still bound to its previous connection (teardown
+        // lag after a reconnect, or a half-dead peer the watchdog has not
+        // reaped yet). That is load, not a protocol violation: explicit
+        // BUSY, the client backs off and retries with its token intact.
+        ++rejected_busy_;
+        obs::add_count("serve.sessions.rejected_busy", 1);
+        if (opts_.verbose)
+          std::fprintf(stderr,
+                       "[serve] session token %" PRIu64
+                       " still bound to its previous connection — BUSY\n",
+                       hello.session_token);
+        core::send_busy(ch, opts_.busy_retry_ms);
+        break;
+      }
+      obs::Scope span("session", &ch, static_cast<i64>(token));
+      entry->server.run_offline(ch, hello);
+      if (entry->server.last_resume_granted()) {
+        ++resumed_;
+        obs::add_count("serve.sessions.resumed", 1);
+        if (opts_.verbose)
+          std::fprintf(stderr,
+                       "[serve] session %" PRIu64
+                       " resumed at the online phase\n",
+                       token);
+      }
+      entry->server.run_online(ch);
+      ++batches_served_;
+      obs::add_count("serve.batches_served", 1);
+      if (draining_.load(std::memory_order_acquire)) break;
+    }
+  } catch (const ProtocolError& e) {
+    ++protocol_errors_;
+    if (opts_.verbose)
+      std::fprintf(stderr, "[serve] session %" PRIu64 " protocol error: %s\n",
+                   token, e.what());
+  } catch (const ChannelError& e) {
+    ++channel_errors_;
+    if (opts_.verbose)
+      std::fprintf(stderr, "[serve] session %" PRIu64 " connection lost: %s\n",
+                   token, e.what());
+  }
+
+  {
+    std::lock_guard<std::mutex> lk(slot.mu);
+    slot.in_use = false;
+    slot.sock = nullptr;
+  }
+  if (entry) release_entry(entry, token);
+}
+
+Supervisor::Entry* Supervisor::route(const core::ClientHello& hello,
+                                     u64& token_out) {
+  if (hello.session_token != 0) {
+    // A reconnect routinely races the teardown of the session's previous
+    // connection: the client has already closed its old socket, but the
+    // worker bound to it has not observed the EOF yet. Wait briefly for the
+    // binding to release; if it stays bound (a half-dead connection only
+    // the watchdog will clear), report BUSY via nullptr rather than failing
+    // the handshake — the client's token and retained material stay valid.
+    for (int waited_ms = 0;; waited_ms += 5) {
+      {
+        std::lock_guard<std::mutex> lk(sessions_mu_);
+        const auto it = sessions_.find(hello.session_token);
+        if (it == sessions_.end()) break;  // evicted or server restarted:
+                                           // fall through to a fresh session;
+                                           // run_offline denies the resume
+                                           // cleanly and the client learns
+                                           // its new token from the hello.
+        Entry* e = it->second.get();
+        if (!e->in_use) {
+          e->in_use = true;
+          token_out = hello.session_token;
+          return e;
+        }
+      }
+      if (waited_ms >= 250) return nullptr;  // still bound: caller sends BUSY
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  auto resolved = registry_.resolve(hello.model_digest);
+  const u64 token = next_token_++;
+  auto entry = std::make_unique<Entry>(std::move(resolved.model), cfg_,
+                                       resolved.digest);
+  entry->server.set_session_token(token);
+  Entry* raw = entry.get();
+  raw->in_use = true;
+  sessions_[token] = std::move(entry);
+  token_out = token;
+  return raw;
+}
+
+void Supervisor::release_entry(Entry* entry, u64 token) {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  entry->server.reset_session();  // per-connection crypto state dies here
+  entry->in_use = false;
+  entry->last_used_ms = steady_ms();
+  (void)token;
+  // Bound memory: LRU-evict idle entries beyond the cap. Evicting an entry
+  // that still holds offline material costs its client a full offline rerun
+  // (counted, so capacity pressure is visible).
+  for (;;) {
+    std::size_t idle = 0;
+    auto lru = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second->in_use) continue;
+      ++idle;
+      if (lru == sessions_.end() ||
+          it->second->last_used_ms < lru->second->last_used_ms)
+        lru = it;
+    }
+    if (idle <= opts_.retained_cap || lru == sessions_.end()) break;
+    if (lru->second->server.has_offline_material()) {
+      ++retained_evicted_;
+      std::fprintf(stderr,
+                   "[serve] evicting idle session %" PRIu64
+                   " with retained offline material (retained_cap %zu)\n",
+                   lru->first, opts_.retained_cap);
+    }
+    sessions_.erase(lru);
+  }
+}
+
+void Supervisor::watchdog_main() {
+  while (!watchdog_stop_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    if (opts_.watchdog_ms <= 0) continue;
+    const u64 now = steady_ms();
+    for (auto& sp : slots_) {
+      Slot& s = *sp;
+      std::lock_guard<std::mutex> lk(s.mu);
+      if (!s.in_use) continue;
+      const u64 last = s.last_activity_ms.load(std::memory_order_relaxed);
+      if (now <= last + static_cast<u64>(opts_.watchdog_ms)) continue;
+      if (s.cancelled.exchange(true, std::memory_order_acq_rel)) continue;
+      if (s.sock) s.sock->shutdown_now();
+      ++reaped_;
+      obs::add_count("serve.sessions.reaped", 1);
+      std::fprintf(stderr,
+                   "[serve] watchdog: no frame progress in %d ms — reaping "
+                   "session (completed offline material retained for resume)\n",
+                   opts_.watchdog_ms);
+    }
+  }
+}
+
+void Supervisor::drain() { drain_with_deadline(opts_.drain_deadline_ms); }
+
+void Supervisor::stop() { drain_with_deadline(0); }
+
+void Supervisor::drain_with_deadline(int deadline_ms) {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) {
+    // Someone else is (or was) draining; wait for teardown to finish.
+    while (!stopped_.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return;
+  }
+  if (listener_thread_.joinable()) listener_thread_.join();
+
+  // Admitted-but-unstarted connections are dropped, not served: "in flight"
+  // means a worker is in the middle of a batch. Their clients see a closed
+  // connection and retry elsewhere/later.
+  {
+    std::lock_guard<std::mutex> lk(queue_mu_);
+    queue_shutdown_ = true;
+    active_ -= queue_.size();
+    queue_.clear();
+  }
+  queue_cv_.notify_all();
+
+  const u64 deadline =
+      steady_ms() + static_cast<u64>(deadline_ms < 0 ? 0 : deadline_ms);
+  while (active_.load(std::memory_order_acquire) > 0 && steady_ms() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  // Force-reap sessions still running at the deadline; their clients keep
+  // resumable material on both sides.
+  for (auto& sp : slots_) {
+    Slot& s = *sp;
+    std::lock_guard<std::mutex> lk(s.mu);
+    if (!s.in_use) continue;
+    if (s.cancelled.exchange(true, std::memory_order_acq_rel)) continue;
+    if (s.sock) s.sock->shutdown_now();
+    ++reaped_;
+    obs::add_count("serve.sessions.reaped", 1);
+    std::fprintf(stderr,
+                 "[serve] drain: session still in flight at the %d ms "
+                 "deadline — reaping\n",
+                 deadline_ms);
+  }
+  for (auto& w : workers_)
+    if (w.joinable()) w.join();
+  watchdog_stop_.store(true, std::memory_order_release);
+  if (watchdog_thread_.joinable()) watchdog_thread_.join();
+
+  // Checkpoint: what a restarted server would want to know about this one.
+  const SupervisorStats st = stats();
+  std::fprintf(
+      stderr,
+      "[serve] drained: %" PRIu64 " batches served, %" PRIu64
+      " resumed, %" PRIu64 " reaped, %" PRIu64 " busy-rejected, %" PRIu64
+      " evicted; retained offline material for %" PRIu64 " session(s)\n",
+      st.batches_served, st.resumed, st.reaped, st.rejected_busy,
+      st.retained_evicted, st.retained_with_material);
+  stopped_.store(true, std::memory_order_release);
+}
+
+SupervisorStats Supervisor::stats() const {
+  SupervisorStats st;
+  st.accepted = accepted_.load(std::memory_order_relaxed);
+  st.rejected_busy = rejected_busy_.load(std::memory_order_relaxed);
+  st.reaped = reaped_.load(std::memory_order_relaxed);
+  st.resumed = resumed_.load(std::memory_order_relaxed);
+  st.batches_served = batches_served_.load(std::memory_order_relaxed);
+  st.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+  st.channel_errors = channel_errors_.load(std::memory_order_relaxed);
+  st.retained_evicted = retained_evicted_.load(std::memory_order_relaxed);
+  st.active_sessions = active_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (const auto& [tok, e] : sessions_)
+      // Entries bound to a live connection are the worker's to touch;
+      // idle ones are frozen under sessions_mu_ and safe to inspect.
+      if (!e->in_use && e->server.has_offline_material())
+        ++st.retained_with_material;
+  }
+  return st;
+}
+
+}  // namespace abnn2::serve

@@ -1,0 +1,177 @@
+// Supervised concurrent inference service.
+//
+// A Supervisor owns one listening socket and a bounded pool of worker
+// threads, each serving one framed TCP session at a time. Every session is
+// its own fault domain:
+//
+//   admission   — at most `max_sessions` sessions are admitted; excess
+//                 connections get an explicit BUSY handshake reply (with a
+//                 retry-after hint) instead of queueing unboundedly or
+//                 hanging the client.
+//   watchdog    — a session that makes no frame progress within
+//                 `watchdog_ms` is reaped: its socket is shut down, its
+//                 per-connection crypto state dropped, but any *completed*
+//                 offline triplet material is retained so the client can
+//                 reconnect and resume at the online phase.
+//   drain       — drain() (wired to SIGTERM/SIGINT by tools/abnn2_server)
+//                 stops accepting, lets in-flight batches finish under
+//                 `drain_deadline_ms`, force-reaps laggards, and logs a
+//                 checkpoint of retained offline material.
+//
+// Sessions are keyed by a server-assigned token carried in the protocol v3
+// handshake: a reconnecting client presents its token and is routed back to
+// the InferenceServer instance holding its retained material, regardless of
+// which worker picks the connection up. The model itself is resolved from a
+// ModelRegistry by the SHA-256 digest in the client hello, so one process
+// can serve several models; per-session InferenceServers share each model
+// via shared_ptr (weights are read-only during serving).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/inference.h"
+#include "net/socket_channel.h"
+#include "nn/model.h"
+
+namespace abnn2::serve {
+
+/// Read-only model catalogue, fully populated before the Supervisor starts
+/// (immutable during serving — lock-free lookups). The first model added is
+/// the default, served to clients whose hello carries an all-zeros digest.
+class ModelRegistry {
+ public:
+  /// Validates, hashes and stores the model; returns its digest.
+  std::array<u8, 32> add(nn::Model m);
+
+  struct Resolved {
+    std::shared_ptr<const nn::Model> model;
+    std::array<u8, 32> digest;  // the served model's digest, already computed
+  };
+
+  /// Resolves a hello digest. All-zeros or unknown digests resolve to the
+  /// default model — an unknown digest is NOT a server-side error, the
+  /// client's own digest pin rejects the mismatch (the established
+  /// trust-but-verify split from the v2 handshake). Throws on empty registry.
+  Resolved resolve(const std::array<u8, 32>& digest) const;
+  std::shared_ptr<const nn::Model> find(const std::array<u8, 32>& digest) const {
+    return resolve(digest).model;
+  }
+
+  const std::array<u8, 32>& default_digest() const { return default_digest_; }
+  std::size_t size() const { return models_.size(); }
+
+ private:
+  std::map<std::array<u8, 32>, std::shared_ptr<const nn::Model>> models_;
+  std::array<u8, 32> default_digest_{};
+};
+
+struct ServeOptions {
+  u16 port = 0;                   // 0 = ephemeral; read back with port()
+  std::size_t max_sessions = 8;   // admission hard cap == worker pool size
+  int watchdog_ms = 30'000;       // no frame progress within T => reaped
+  int drain_deadline_ms = 10'000; // in-flight budget once drain() starts
+  int recv_timeout_ms = 60'000;   // per-recv deadline inside a session
+  u64 busy_retry_ms = 200;        // retry-after hint in the BUSY reply
+  std::size_t retained_cap = 64;  // idle session entries kept for resume
+  bool verbose = false;           // per-event log lines on stderr
+};
+
+/// Monotonic counters; snapshot via Supervisor::stats().
+struct SupervisorStats {
+  u64 accepted = 0;
+  u64 rejected_busy = 0;
+  u64 reaped = 0;
+  u64 resumed = 0;
+  u64 batches_served = 0;
+  u64 protocol_errors = 0;
+  u64 channel_errors = 0;
+  u64 retained_evicted = 0;
+  u64 active_sessions = 0;        // gauge: admitted and not yet torn down
+  u64 retained_with_material = 0; // gauge: idle entries holding triplets
+};
+
+class Supervisor {
+ public:
+  /// Binds the port and starts the listener, worker pool and watchdog.
+  /// `registry` must hold at least one model. cfg.threads is applied to the
+  /// process-wide pool once here and zeroed for per-session servers
+  /// (runtime::set_threads is not safe mid-flight).
+  Supervisor(ModelRegistry registry, core::InferenceConfig cfg,
+             ServeOptions opts);
+  ~Supervisor();
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  u16 port() const { return listener_.port(); }
+
+  /// Graceful shutdown: stop accepting, finish in-flight batches within the
+  /// drain deadline, force-reap laggards, stop all threads, log a summary
+  /// with retained-material counts. Idempotent; called by the destructor.
+  void drain();
+  /// drain() with a zero deadline: in-flight sessions are reaped now.
+  void stop();
+
+  SupervisorStats stats() const;
+
+ private:
+  struct Slot;   // per-worker watchdog state
+  struct Entry;  // per-session retained state (token -> InferenceServer)
+
+  void listener_main();
+  void worker_main(std::size_t idx);
+  void watchdog_main();
+  void reject_busy(std::unique_ptr<SocketChannel> sock);
+  void serve_connection(Slot& slot, std::unique_ptr<SocketChannel> sock);
+  /// Binds the connection to its session entry. Returns nullptr when the
+  /// token is still bound to its previous connection after a bounded wait
+  /// (reconnect/teardown race) — the caller replies BUSY, not an error.
+  Entry* route(const core::ClientHello& hello, u64& token_out);
+  void release_entry(Entry* entry, u64 token);
+  void drain_with_deadline(int deadline_ms);
+
+  ModelRegistry registry_;
+  core::InferenceConfig cfg_;
+  ServeOptions opts_;
+  SocketListener listener_;
+
+  // ---- session registry (token -> retained state) ----------------------
+  mutable std::mutex sessions_mu_;
+  std::map<u64, std::unique_ptr<Entry>> sessions_;
+  u64 next_token_ = 1;
+
+  // ---- accepted-connection queue ---------------------------------------
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<std::unique_ptr<SocketChannel>> queue_;
+  bool queue_shutdown_ = false;
+
+  // ---- threads & flags --------------------------------------------------
+  std::vector<std::unique_ptr<Slot>> slots_;
+  std::vector<std::thread> workers_;
+  std::thread listener_thread_;
+  std::thread watchdog_thread_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<bool> stopped_{false};
+
+  // ---- counters ----------------------------------------------------------
+  std::atomic<u64> active_{0};
+  std::atomic<u64> accepted_{0};
+  std::atomic<u64> rejected_busy_{0};
+  std::atomic<u64> reaped_{0};
+  std::atomic<u64> resumed_{0};
+  std::atomic<u64> batches_served_{0};
+  std::atomic<u64> protocol_errors_{0};
+  std::atomic<u64> channel_errors_{0};
+  std::atomic<u64> retained_evicted_{0};
+};
+
+}  // namespace abnn2::serve

@@ -6,7 +6,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cerrno>
 #include <future>
+#include <set>
 #include <thread>
 #include <tuple>
 
@@ -393,6 +395,29 @@ TEST(FaultPlan, DeterministicAndDiverse) {
   for (bool seen : kinds_seen) EXPECT_TRUE(seen) << "64 seeds missed a kind";
 }
 
+TEST(FaultPlan, PerSessionPlansReplayAndDecorrelate) {
+  // One base seed must replay exactly per session...
+  for (u64 sid = 0; sid < 16; ++sid) {
+    const FaultPlan p = FaultPlan::for_session(42, sid, 10'000, 10'000);
+    const FaultPlan q = FaultPlan::for_session(42, sid, 10'000, 10'000);
+    EXPECT_EQ(p.kind, q.kind);
+    EXPECT_EQ(p.trigger_offset, q.trigger_offset);
+  }
+  // ...while different sessions draw independent faults (a concurrent chaos
+  // run hits many kinds/offsets from a single replayable number).
+  bool kinds_seen[6] = {};
+  std::set<u64> offsets;
+  for (u64 sid = 0; sid < 64; ++sid) {
+    const FaultPlan p = FaultPlan::for_session(42, sid, 10'000, 10'000);
+    kinds_seen[static_cast<u32>(p.kind)] = true;
+    offsets.insert(p.trigger_offset);
+  }
+  int distinct_kinds = 0;
+  for (bool seen : kinds_seen) distinct_kinds += seen ? 1 : 0;
+  EXPECT_GE(distinct_kinds, 4) << "64 sessions drew too few fault kinds";
+  EXPECT_GT(offsets.size(), 32u) << "per-session offsets are correlated";
+}
+
 TEST(FaultInjectingChannel, CutSendFailsThisEndpointAndUnblocksPeer) {
   FaultPlan plan;
   plan.kind = FaultPlan::Kind::kCutSend;
@@ -596,6 +621,129 @@ TEST(Reconnect, ClientResumesInterruptedBatchOverSockets) {
   EXPECT_EQ(logits, want);
   srv.join();
   EXPECT_FALSE(server.has_offline_material());  // consumed by the success
+}
+
+// Regression: an interruption *inside* the offline phase leaves partial
+// triplet material on both sides. Pairing a partial server half with a
+// partial client half would produce silently wrong logits, so neither side
+// may offer or grant a resume — the retried batch runs a full offline phase.
+TEST(Reconnect, PartialOfflineMaterialIsNeverResumed) {
+  using core::InferenceClient;
+  using core::InferenceConfig;
+  using core::InferenceServer;
+  const ss::Ring ring(32);
+  const auto model = nn::random_model(ring, nn::FragScheme::parse("s(2,2)"),
+                                      {20, 12, 4}, Block{520, 3});
+  const std::size_t batch = 2;
+  const auto x = nn::synthetic_images(20, batch, 12, ring, Block{521, 4});
+  const nn::MatU64 want = nn::infer_plain(model, x);
+  InferenceConfig cfg(ring);
+
+  u64 offline_send_bytes = 0;
+  {
+    InferenceServer server(model, cfg);
+    InferenceClient client(cfg);
+    run_two_parties(
+        [&](Channel& ch) {
+          FramedChannel f(ch);
+          server.run_offline(f);
+          server.run_online(f);
+          return 0;
+        },
+        [&](Channel& ch) {
+          FaultInjectingChannel fc(ch, FaultPlan{});
+          FramedChannel f(fc);
+          client.run_offline(f, batch);
+          offline_send_bytes = fc.stats().bytes_sent;
+          (void)client.run_online(f, x);
+          return 0;
+        });
+    ASSERT_GT(offline_send_bytes, 0u);
+  }
+
+  SocketOptions opts;
+  opts.accept_timeout_ms = 10'000;
+  opts.recv_timeout_ms = 10'000;
+  opts.connect_timeout_ms = 10'000;
+
+  SocketListener listener(0);
+  InferenceServer server(model, cfg);
+  std::thread srv([&] {
+    {
+      auto s1 = listener.accept(opts);
+      FramedChannel ch(*s1);
+      try {
+        server.run_offline(ch);
+        ADD_FAILURE() << "offline phase survived a mid-phase cut";
+      } catch (const ChannelError&) {
+      } catch (const ProtocolError&) {
+      }
+    }
+    server.reset_session();
+    // Partial triplets are not resumable material.
+    EXPECT_FALSE(server.has_offline_material());
+    auto s2 = listener.accept(opts);
+    FramedChannel ch(*s2);
+    server.run_offline(ch);
+    EXPECT_FALSE(server.last_resume_granted());
+    server.run_online(ch);
+  });
+
+  InferenceClient client(cfg);
+  {
+    // Connection 1: the link dies three quarters into the offline phase.
+    FaultPlan cut;
+    cut.kind = FaultPlan::Kind::kCutSend;
+    cut.trigger_offset = offline_send_bytes * 3 / 4;
+    auto sock = SocketChannel::connect("127.0.0.1", listener.port(), opts);
+    FaultInjectingChannel fc(*sock, cut);
+    FramedChannel ch(fc);
+    EXPECT_THROW(client.run_offline(ch, batch), ChannelError);
+    EXPECT_FALSE(client.has_offline_material());
+  }
+  // Connection 2: no resume offered or granted; full offline, right answer.
+  client.reset_session();
+  auto sock = SocketChannel::connect("127.0.0.1", listener.port(), opts);
+  FramedChannel ch(*sock);
+  client.run_offline(ch, batch);
+  EXPECT_FALSE(client.resumed());
+  EXPECT_EQ(client.run_online(ch, x), want);
+  srv.join();
+}
+
+// accept() retries transient errnos (EINTR, ECONNABORTED, fd pressure)
+// instead of tearing down the listener; injected errors are consumed before
+// the real accept so the sequence is deterministic.
+TEST(SocketListener, AcceptRetriesTransientErrors) {
+  SocketOptions opts;
+  opts.accept_timeout_ms = 10'000;
+  opts.connect_timeout_ms = 10'000;
+  opts.recv_timeout_ms = 10'000;
+
+  SocketListener listener(0);
+  listener.inject_accept_errors({EINTR, ECONNABORTED, EINTR, EMFILE});
+  std::thread cli([&, port = listener.port()] {
+    auto c = SocketChannel::connect("127.0.0.1", port, opts);
+    c->send_u64(7);
+  });
+  auto s = listener.accept(opts);  // must survive all four injected errors
+  EXPECT_EQ(s->recv_u64(), 7u);
+  cli.join();
+}
+
+// Sustained fd pressure (EMFILE storm) must surface as ChannelTimeout at the
+// accept deadline, not as an unhandled error or a busy spin past it.
+TEST(SocketListener, AcceptFdPressureRespectsDeadline) {
+  SocketListener listener(0);
+  listener.inject_accept_errors(std::vector<int>(200, EMFILE));
+  // A queued connection makes poll() report readiness immediately, so the
+  // deadline is consumed by the EMFILE backoff alone.
+  SocketOptions copts;
+  copts.connect_timeout_ms = 5'000;
+  auto pending = SocketChannel::connect("127.0.0.1", listener.port(), copts);
+  SocketOptions aopts;
+  aopts.accept_timeout_ms = 200;
+  EXPECT_THROW((void)listener.accept(aopts), ChannelTimeout);
 }
 
 // Model digest pinning: the handshake aborts when the server serves a

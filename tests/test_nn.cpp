@@ -28,8 +28,12 @@ TEST_P(RingTest, ArithmeticWraps) {
 
 TEST_P(RingTest, SignedRoundTrip) {
   Ring r(GetParam());
-  const i64 half = i64{1} << (GetParam() - 1);
-  for (i64 v : {i64{0}, i64{1}, i64{-1}, half - 1, -half}) {
+  // Compute the signed bounds via unsigned math: at width 64 the naive
+  // `(i64{1} << 63) - 1` overflows (UB), while 2^63 - 1 is fine in u64.
+  const u64 uhalf = u64{1} << (GetParam() - 1);
+  const i64 hi = static_cast<i64>(uhalf - 1);  // 2^(w-1) - 1
+  const i64 lo = -hi - 1;                      // -2^(w-1)
+  for (i64 v : {i64{0}, i64{1}, i64{-1}, hi, lo}) {
     EXPECT_EQ(r.to_signed(r.from_signed(v)), v) << v;
   }
   EXPECT_TRUE(r.msb(r.from_signed(-1)));

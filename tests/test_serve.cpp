@@ -1,0 +1,580 @@
+// Tests for the serve::Supervisor: concurrent sessions over real sockets,
+// admission control (BUSY), watchdog reaping, graceful drain, session-token
+// routing with resume across reconnects, and the resume-mismatch fallback
+// in core::InferenceServer. The chaos test here runs under TSan in CI.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "core/inference.h"
+#include "net/fault_channel.h"
+#include "net/framed_channel.h"
+#include "net/mem_channel.h"
+#include "net/socket_channel.h"
+#include "nn/model_io.h"
+#include "serve/supervisor.h"
+
+// Sanitizers slow compute by up to an order of magnitude; watchdog deadlines
+// and the hang sleeps that must overshoot them are scaled so "hung" stays
+// distinguishable from "instrumented and slow".
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define ABNN2_TEST_SANITIZED 1
+#endif
+#elif defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define ABNN2_TEST_SANITIZED 1
+#endif
+
+namespace abnn2 {
+namespace {
+
+#ifdef ABNN2_TEST_SANITIZED
+constexpr int kTimeScale = 8;
+#else
+constexpr int kTimeScale = 1;
+#endif
+
+using core::InferenceClient;
+using core::InferenceConfig;
+using core::InferenceServer;
+
+nn::Model test_model(const ss::Ring& ring) {
+  return nn::random_model(ring, nn::FragScheme::parse("s(2,2)"), {20, 12, 4},
+                          Block{910, 1});
+}
+
+SocketOptions client_opts() {
+  SocketOptions o;
+  o.connect_timeout_ms = 10'000;
+  o.recv_timeout_ms = 10'000;
+  return o;
+}
+
+// ---- concurrent clean serving -------------------------------------------
+
+TEST(Serve, ConcurrentCleanSessionsAllCorrect) {
+  const ss::Ring ring(32);
+  const auto model = test_model(ring);
+  const auto digest = nn::model_digest(model);
+  const std::size_t batch = 2;
+
+  serve::ModelRegistry reg;
+  reg.add(model);
+  serve::ServeOptions sopts;
+  sopts.max_sessions = 8;
+  sopts.recv_timeout_ms = 10'000;
+  serve::Supervisor sup(std::move(reg), InferenceConfig(ring), sopts);
+
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = digest;
+
+  constexpr int kClients = 8;
+  std::array<int, kClients> ok{};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      const auto x = nn::synthetic_images(20, batch, 16, ring,
+                                          Block{911, static_cast<u64>(c)});
+      const auto want = nn::infer_plain(model, x);
+      InferenceClient client(ccfg);
+      for (int attempt = 0; attempt < 50; ++attempt) {
+        try {
+          auto sock =
+              SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+          FramedChannel ch(*sock);
+          client.run_offline(ch, batch);
+          const auto logits = client.run_online(ch, x);
+          EXPECT_EQ(logits, want) << "client " << c;
+          ok[c] = logits == want ? 1 : -1;
+          return;
+        } catch (const core::ServerBusy& e) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(e.retry_after_ms()));
+        } catch (const ChannelError&) {
+          client.reset_session();
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      ADD_FAILURE() << "client " << c << " never completed";
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(ok[c], 1) << "client " << c;
+  sup.drain();  // joins workers: counters are final after this
+  const auto st = sup.stats();
+  EXPECT_GE(st.batches_served, static_cast<u64>(kClients));
+  EXPECT_EQ(st.protocol_errors, 0u);
+}
+
+// ---- admission control ---------------------------------------------------
+
+TEST(Serve, AdmissionCapRejectsBusyAndClientRetriesAfterward) {
+  const ss::Ring ring(32);
+  const auto model = test_model(ring);
+  const auto digest = nn::model_digest(model);
+  const std::size_t batch = 1;
+
+  serve::ModelRegistry reg;
+  reg.add(model);
+  serve::ServeOptions sopts;
+  sopts.max_sessions = 1;  // every second connection is over the cap
+  sopts.recv_timeout_ms = 10'000;
+  sopts.busy_retry_ms = 25;
+  serve::Supervisor sup(std::move(reg), InferenceConfig(ring), sopts);
+
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = digest;
+  const auto x = nn::synthetic_images(20, batch, 16, ring, Block{912, 0});
+  const auto want = nn::infer_plain(model, x);
+
+  // Client A completes a batch and keeps its connection open, pinning the
+  // only session slot.
+  InferenceClient a(ccfg);
+  auto sock_a = SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+  {
+    FramedChannel ch(*sock_a);
+    a.run_offline(ch, batch);
+    EXPECT_EQ(a.run_online(ch, x), want);
+  }
+
+  // Client B is over the cap: explicit BUSY with a retry hint, not a hang.
+  InferenceClient b(ccfg);
+  bool saw_busy = false;
+  try {
+    auto sock = SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+    FramedChannel ch(*sock);
+    b.run_offline(ch, batch);
+  } catch (const core::ServerBusy& e) {
+    saw_busy = true;
+    EXPECT_GT(e.retry_after_ms(), 0u);
+  }
+  EXPECT_TRUE(saw_busy);
+  EXPECT_GE(sup.stats().rejected_busy, 1u);
+
+  // A hangs up; B's jittered retries must eventually be admitted.
+  sock_a.reset();
+  bool b_done = false;
+  for (int attempt = 0; attempt < 200 && !b_done; ++attempt) {
+    try {
+      auto sock =
+          SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+      FramedChannel ch(*sock);
+      b.run_offline(ch, batch);
+      EXPECT_EQ(b.run_online(ch, x), want);
+      b_done = true;
+    } catch (const core::ServerBusy& e) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(e.retry_after_ms()));
+    } catch (const ChannelError&) {
+      b.reset_session();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(b_done);
+  sup.drain();
+}
+
+// ---- watchdog ------------------------------------------------------------
+
+TEST(Serve, WatchdogReapsHungSessionThenClientResumes) {
+  const ss::Ring ring(32);
+  const auto model = test_model(ring);
+  const auto digest = nn::model_digest(model);
+  const std::size_t batch = 2;
+
+  serve::ModelRegistry reg;
+  reg.add(model);
+  serve::ServeOptions sopts;
+  sopts.max_sessions = 2;
+  sopts.watchdog_ms = 400 * kTimeScale;
+  sopts.recv_timeout_ms = 10'000 * kTimeScale;
+  serve::Supervisor sup(std::move(reg), InferenceConfig(ring), sopts);
+
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = digest;
+  const auto x = nn::synthetic_images(20, batch, 16, ring, Block{913, 0});
+  const auto want = nn::infer_plain(model, x);
+
+  InferenceClient client(ccfg);
+  {
+    auto sock =
+        SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+    FramedChannel ch(*sock);
+    client.run_offline(ch, batch);
+    EXPECT_FALSE(client.resumed());
+    // Hang past the watchdog: the server must reap the session (socket shut
+    // down) while retaining the completed offline material.
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(1'500 * kTimeScale));
+    EXPECT_THROW((void)client.run_online(ch, x), ChannelError);
+  }
+  EXPECT_TRUE(client.has_offline_material());
+  EXPECT_GE(sup.stats().reaped, 1u);
+
+  // Reconnect: the session token routes back to the retained material and
+  // the batch resumes at the online phase.
+  client.reset_session();
+  bool done = false;
+  for (int attempt = 0; attempt < 50 && !done; ++attempt) {
+    try {
+      auto sock =
+          SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+      FramedChannel ch(*sock);
+      client.run_offline(ch, batch);
+      EXPECT_TRUE(client.resumed());
+      EXPECT_EQ(client.run_online(ch, x), want);
+      done = true;
+    } catch (const core::ServerBusy& e) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(e.retry_after_ms()));
+    } catch (const ChannelError&) {
+      client.reset_session();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  EXPECT_TRUE(done);
+  EXPECT_GE(sup.stats().resumed, 1u);
+  sup.drain();
+}
+
+// ---- concurrent chaos ----------------------------------------------------
+
+// >= 8 concurrent clients; a deterministic subset is killed mid-online,
+// hung past the watchdog, or fed corrupted frames. Every client must end
+// with byte-identical logits vs the plaintext reference, and the
+// killed/hung clients must get there via resume, not a full offline rerun.
+TEST(Serve, ConcurrentChaosAllClientsCorrect) {
+  const ss::Ring ring(32);
+  const auto model = test_model(ring);
+  const auto digest = nn::model_digest(model);
+  const std::size_t batch = 2;
+
+  serve::ModelRegistry reg;
+  reg.add(model);
+  serve::ServeOptions sopts;
+  sopts.max_sessions = 8;
+  // Generous deadline: with every session sharing few cores, honest compute
+  // between frames can stall for hundreds of ms; only the deliberate hangs
+  // below should overshoot this.
+  sopts.watchdog_ms = 1'000 * kTimeScale;
+  sopts.recv_timeout_ms = 20'000 * kTimeScale;
+  sopts.busy_retry_ms = 25;
+  serve::Supervisor sup(std::move(reg), InferenceConfig(ring), sopts);
+
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = digest;
+
+  // Calibration: a clean batch measures the client's framed send volume for
+  // the offline phase, so kill faults can target the online window.
+  u64 offline_sent = 0;
+  {
+    InferenceClient probe(ccfg);
+    auto sock =
+        SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+    FaultInjectingChannel fc(*sock, FaultPlan{});
+    FramedChannel ch(fc);
+    probe.run_offline(ch, batch);
+    offline_sent = fc.stats().bytes_sent;
+    const auto x = nn::synthetic_images(20, batch, 16, ring, Block{914, 0});
+    EXPECT_EQ(probe.run_online(ch, x), nn::infer_plain(model, x));
+  }
+  ASSERT_GT(offline_sent, 0u);
+
+  constexpr int kClients = 8;
+  constexpr int kBatches = 2;
+  std::array<std::atomic<int>, kClients> completed{};
+  std::array<std::atomic<int>, kClients> resumes{};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      InferenceClient client(ccfg);  // one logical session per thread
+      for (int b = 0; b < kBatches; ++b) {
+        const auto x = nn::synthetic_images(
+            20, batch, 16, ring, Block{915, static_cast<u64>(c * 100 + b)});
+        const auto want = nn::infer_plain(model, x);
+        // Deterministic fault assignment on each client's first batch:
+        //   c % 4 == 1: connection cut mid-online (after offline completes)
+        //   c % 4 == 2: client hangs past the watchdog, server reaps it
+        //   c % 4 == 3: one bit flipped in flight (CRC-detected upstream)
+        FaultPlan plan;
+        bool hang = false;
+        if (b == 0) {
+          switch (c % 4) {
+            case 1:
+              plan.kind = FaultPlan::Kind::kCutSend;
+              plan.trigger_offset =
+                  offline_sent + 64 + static_cast<u64>(c) * 37;
+              break;
+            case 2:
+              hang = true;
+              break;
+            case 3:
+              plan.kind = FaultPlan::Kind::kCorruptSend;
+              plan.trigger_offset = 1'000 + static_cast<u64>(c) * 997;
+              plan.bit_in_byte = static_cast<u32>(c % 8);
+              break;
+            default:
+              break;
+          }
+        }
+        int attempts = 0;
+        bool done = false;
+        while (!done && attempts < 20) {
+          std::unique_ptr<SocketChannel> sock;
+          std::optional<FaultInjectingChannel> fc;
+          try {
+            sock = SocketChannel::connect("127.0.0.1", sup.port(),
+                                          client_opts());
+            fc.emplace(*sock, plan);
+            FramedChannel ch(*fc);
+            client.run_offline(ch, batch);
+            if (client.resumed()) ++resumes[c];
+            if (hang) {
+              hang = false;
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(2'500 * kTimeScale));
+            }
+            const auto logits = client.run_online(ch, x);
+            EXPECT_EQ(logits, want) << "client " << c << " batch " << b;
+            if (logits == want) ++completed[c];
+            done = true;
+          } catch (const core::ServerBusy& e) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(e.retry_after_ms() + c * 7));
+          } catch (const ProtocolError&) {
+            client.reset_session();
+            // A fault that never fired (e.g. the watchdog reaped a slow but
+            // honest session first) stays armed for the next attempt, so the
+            // per-client resume assertions below remain deterministic.
+            if (fc && fc->fired()) plan = FaultPlan{};
+            ++attempts;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20 + c * 5));
+          } catch (const ChannelError&) {
+            client.reset_session();
+            if (fc && fc->fired()) plan = FaultPlan{};
+            ++attempts;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20 + c * 5));
+          }
+        }
+        EXPECT_TRUE(done) << "client " << c << " batch " << b
+                          << " never completed";
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  for (int c = 0; c < kClients; ++c)
+    EXPECT_EQ(completed[c].load(), kBatches) << "client " << c;
+  // Kill and hang clients had completed the offline phase when their fault
+  // hit — every one of them must have recovered via resume.
+  for (int c = 0; c < kClients; ++c) {
+    if (c % 4 == 1 || c % 4 == 2) {
+      EXPECT_GE(resumes[c].load(), 1) << "client " << c;
+    }
+  }
+  sup.drain();  // joins workers: counters are final after this
+  const auto st = sup.stats();
+  EXPECT_GE(st.resumed, 4u);
+  EXPECT_GE(st.reaped, 1u);  // at least the hung sessions
+  EXPECT_EQ(st.active_sessions, 0u);
+}
+
+// ---- graceful drain ------------------------------------------------------
+
+TEST(Serve, DrainFinishesInFlightBatchThenStopsAccepting) {
+  const ss::Ring ring(32);
+  const auto model = test_model(ring);
+  const auto digest = nn::model_digest(model);
+  const std::size_t batch = 2;
+
+  serve::ModelRegistry reg;
+  reg.add(model);
+  serve::ServeOptions sopts;
+  sopts.max_sessions = 2;
+  sopts.watchdog_ms = 10'000;
+  sopts.drain_deadline_ms = 10'000;
+  sopts.recv_timeout_ms = 10'000;
+  serve::Supervisor sup(std::move(reg), InferenceConfig(ring), sopts);
+
+  InferenceConfig ccfg(ring);
+  ccfg.expected_model_digest = digest;
+  const auto x = nn::synthetic_images(20, batch, 16, ring, Block{916, 0});
+  const auto want = nn::infer_plain(model, x);
+
+  std::atomic<bool> offline_done{false};
+  std::atomic<bool> batch_ok{false};
+  std::thread cli([&] {
+    InferenceClient client(ccfg);
+    auto sock =
+        SocketChannel::connect("127.0.0.1", sup.port(), client_opts());
+    FramedChannel ch(*sock);
+    client.run_offline(ch, batch);
+    offline_done = true;
+    // Delay so the drain below starts while this batch is in flight.
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    const auto logits = client.run_online(ch, x);
+    EXPECT_EQ(logits, want);
+    batch_ok = logits == want;
+  });
+
+  while (!offline_done)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  sup.drain();  // must wait for the in-flight online phase
+  cli.join();
+  EXPECT_TRUE(batch_ok);
+  EXPECT_GE(sup.stats().batches_served, 1u);
+  EXPECT_EQ(sup.stats().active_sessions, 0u);
+
+  // Drained: nothing accepts anymore; a new handshake times out or fails.
+  SocketOptions short_opts;
+  short_opts.connect_timeout_ms = 1'000;
+  short_opts.recv_timeout_ms = 300;
+  EXPECT_THROW(
+      {
+        InferenceClient late(ccfg);
+        auto sock =
+            SocketChannel::connect("127.0.0.1", sup.port(), short_opts);
+        FramedChannel ch(*sock);
+        late.run_offline(ch, batch);
+      },
+      ChannelError);
+}
+
+// ---- resume-mismatch fallback (core::InferenceServer) --------------------
+
+// Crafts a protocol-v3 hello requesting a resume that cannot be honored and
+// checks the server discards its stale offline material (instead of pairing
+// it with a mismatched client half) and then serves a full offline run.
+class ResumeMismatchTest : public ::testing::Test {
+ protected:
+  ResumeMismatchTest()
+      : ring_(32), model_(test_model(ring_)), cfg_(ring_),
+        server_(model_, cfg_) {}
+
+  // Leaves the server holding completed offline material for batch = 2.
+  void fill_server_material() {
+    auto [sch, cch] = MemChannel::make_pair();
+    InferenceClient client(cfg_);
+    std::thread srv([&, sc = sch.get()] {
+      FramedChannel f(*sc);
+      server_.run_offline(f);
+    });
+    {
+      FramedChannel f(*cch);
+      client.run_offline(f, 2);
+    }
+    srv.join();
+    server_.reset_session();
+    ASSERT_TRUE(server_.has_offline_material());
+  }
+
+  // Sends a crafted resume hello, reads the server hello, returns the
+  // resume_granted flag; the server side ends with ChannelError when the
+  // fake client hangs up mid-offline.
+  u64 crafted_resume_hello(u64 batch, const std::array<u8, 32>& digest) {
+    auto [sch, cch] = MemChannel::make_pair();
+    std::thread srv([&, sc = sch.get()] {
+      FramedChannel f(*sc);
+      try {
+        server_.run_offline(f);
+        ADD_FAILURE() << "offline succeeded against a half-duplex fake";
+      } catch (const ChannelError&) {
+        // expected: the fake client closes after the handshake
+      }
+    });
+    u64 granted = 0;
+    {
+      FramedChannel f(*cch);
+      const u32 magic = core::kHandshakeMagicClient;
+      const u32 version = core::kProtocolVersion;
+      f.send(&magic, 4);
+      f.send(&version, 4);
+      f.send_u64(ring_.bits());
+      f.send_u64(batch);
+      f.send_u64(1);  // flags: resume requested
+      f.send_u64(server_.session_token());
+      f.send(digest.data(), digest.size());
+
+      u32 smagic = 0, sversion = 0;
+      f.recv(&smagic, 4);
+      EXPECT_EQ(smagic, core::kHandshakeMagicServer);
+      f.recv(&sversion, 4);
+      (void)f.recv_u64();  // ring
+      (void)f.recv_u64();  // relu
+      (void)f.recv_u64();  // backend
+      (void)f.recv_u64();  // reveal
+      std::array<u8, 32> sdigest{};
+      f.recv(sdigest.data(), sdigest.size());
+      granted = f.recv_u64();
+      (void)f.recv_u64();  // session token
+      cch->close();
+    }
+    srv.join();
+    server_.reset_session();
+    return granted;
+  }
+
+  ss::Ring ring_;
+  nn::Model model_;
+  InferenceConfig cfg_;
+  InferenceServer server_;
+};
+
+TEST_F(ResumeMismatchTest, BatchSizeMismatchDiscardsStaleMaterial) {
+  fill_server_material();
+  const u64 granted = crafted_resume_hello(3, server_.model_digest());
+  EXPECT_EQ(granted, 0u);
+  EXPECT_FALSE(server_.last_resume_granted());
+  // The stale batch-2 material must be gone: it can never be paired with a
+  // batch-3 client half.
+  EXPECT_FALSE(server_.has_offline_material());
+
+  // Fallback: a real client now gets a correct full offline run.
+  auto [sch, cch] = MemChannel::make_pair();
+  InferenceClient client(cfg_);
+  std::thread srv([&, sc = sch.get()] {
+    FramedChannel f(*sc);
+    server_.run_offline(f);
+    server_.run_online(f);
+  });
+  const auto x = nn::synthetic_images(20, 3, 16, ring_, Block{917, 0});
+  FramedChannel f(*cch);
+  client.run_offline(f, 3);
+  EXPECT_FALSE(client.resumed());
+  EXPECT_EQ(client.run_online(f, x), nn::infer_plain(model_, x));
+  srv.join();
+}
+
+TEST_F(ResumeMismatchTest, ModelDigestMismatchDiscardsStaleMaterial) {
+  fill_server_material();
+  std::array<u8, 32> wrong{};
+  wrong.fill(0xFF);
+  const u64 granted = crafted_resume_hello(2, wrong);
+  EXPECT_EQ(granted, 0u);
+  EXPECT_FALSE(server_.last_resume_granted());
+  EXPECT_FALSE(server_.has_offline_material());
+
+  auto [sch, cch] = MemChannel::make_pair();
+  InferenceClient client(cfg_);
+  std::thread srv([&, sc = sch.get()] {
+    FramedChannel f(*sc);
+    server_.run_offline(f);
+    server_.run_online(f);
+  });
+  const auto x = nn::synthetic_images(20, 2, 16, ring_, Block{918, 0});
+  FramedChannel f(*cch);
+  client.run_offline(f, 2);
+  EXPECT_FALSE(client.resumed());
+  EXPECT_EQ(client.run_online(f, x), nn::infer_plain(model_, x));
+  srv.join();
+}
+
+}  // namespace
+}  // namespace abnn2

@@ -3,14 +3,21 @@
 // protocol is identical).
 //
 //   abnn2_client <host> <port> <ring_bits> [batch=1] [batches=1]
+//       [--recv-timeout-ms N]  per-recv deadline (default 60000;
+//                              env ABNN2_RECV_TIMEOUT_MS, flag wins)
 //
 // Transient transport failures are retried: the client drops its session
 // state, reconnects with backoff, and the handshake resumes the interrupted
-// batch on the offline material both sides retained. Protocol errors
-// (version/ring/model mismatch, corrupted frames that cannot be trusted)
-// are fatal.
+// batch on the offline material both sides retained. A BUSY rejection from
+// a loaded server is retried with the server's retry-after hint plus jitter
+// (on a separate, more generous budget than transport failures — a busy
+// server is healthy, just full). Protocol errors (version/ring/model
+// mismatch, corrupted frames that cannot be trusted) are fatal.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <random>
+#include <thread>
 
 #include "core/inference.h"
 #include "net/framed_channel.h"
@@ -24,23 +31,32 @@ using namespace abnn2;
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
   simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
-  if (argc < 4 || argc > 6) {
+  cli::ArgParser args(argc, argv, {"--recv-timeout-ms"});
+  if (args.n_positional() < 3 || args.n_positional() > 5) {
     std::fprintf(stderr,
-                 "usage: %s <host> <port> <ring_bits> [batch] [batches]\n",
+                 "usage: %s <host> <port> <ring_bits> [batch] [batches] "
+                 "[--recv-timeout-ms N]\n",
                  argv[0]);
     return 2;
   }
-  const std::string host = argv[1];
-  const u16 port = cli::parse_port_or_die(argv[2]);
-  const std::size_t ring_bits = static_cast<std::size_t>(
-      cli::parse_u64_or_die(argv[3], "ring_bits", 1, 64));
+  const std::string host = args.positional(0);
+  const u16 port = cli::parse_port_or_die(args.positional(1).c_str());
+  const std::size_t ring_bits = static_cast<std::size_t>(cli::parse_u64_or_die(
+      args.positional(2).c_str(), "ring_bits", 1, 64));
   const std::size_t batch =
-      argc > 4 ? static_cast<std::size_t>(
-                     cli::parse_u64_or_die(argv[4], "batch", 1, 1 << 20))
-               : 1;
-  const int batches = argc > 5 ? static_cast<int>(cli::parse_u64_or_die(
-                                     argv[5], "batches", 1, 1'000'000))
-                               : 1;
+      args.n_positional() > 3
+          ? static_cast<std::size_t>(cli::parse_u64_or_die(
+                args.positional(3).c_str(), "batch", 1, 1 << 20))
+          : 1;
+  const int batches =
+      args.n_positional() > 4
+          ? static_cast<int>(cli::parse_u64_or_die(args.positional(4).c_str(),
+                                                   "batches", 1, 1'000'000))
+          : 1;
+  u64 recv_timeout =
+      cli::env_u64("ABNN2_RECV_TIMEOUT_MS", 60'000, 100, 3'600'000);
+  recv_timeout = args.get_u64("--recv-timeout-ms", recv_timeout, 100,
+                              3'600'000);  // flag > env > default
 
   const ss::Ring ring(ring_bits);
   core::InferenceConfig cfg(ring);
@@ -48,12 +64,15 @@ int main(int argc, char** argv) {
 
   SocketOptions opts;
   opts.connect_timeout_ms = 30'000;
-  opts.recv_timeout_ms = 60'000;
-  constexpr int kMaxAttempts = 5;
+  opts.recv_timeout_ms = static_cast<int>(recv_timeout);
+  constexpr int kMaxAttempts = 5;       // transport failures
+  constexpr int kMaxBusyRetries = 100;  // BUSY is expected under load
 
+  std::mt19937_64 jitter(0x6A17'7E12);  // deterministic backoff jitter
   const Block input_seed = Prg::random_block();
   int done = 0;
   int attempts = 0;
+  int busy_retries = 0;
   double mb_received = 0;
   while (done < batches) {
     try {
@@ -74,8 +93,20 @@ int main(int argc, char** argv) {
         std::printf("\n");
         ++done;
         attempts = 0;
+        busy_retries = 0;
         mb_received = static_cast<double>(ch.stats().bytes_received) / 1e6;
       }
+    } catch (const core::ServerBusy& e) {
+      if (++busy_retries >= kMaxBusyRetries) {
+        std::fprintf(stderr, "[client] server still busy after %d retries\n",
+                     busy_retries);
+        return 1;
+      }
+      const u64 sleep_ms = e.retry_after_ms() + jitter() % 50;
+      std::fprintf(stderr,
+                   "[client] server busy, retrying in %llu ms (attempt %d)\n",
+                   static_cast<unsigned long long>(sleep_ms), busy_retries);
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
     } catch (const ProtocolError& e) {
       std::fprintf(stderr, "[client] protocol error (fatal): %s\n", e.what());
       return 1;

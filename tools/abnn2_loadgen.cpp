@@ -1,0 +1,358 @@
+// Concurrent chaos load generator for abnn2_server.
+//
+//   abnn2_loadgen <model.mdl> <host> <port>
+//       [--clients N=8]      concurrent client threads
+//       [--batches N=2]      prediction batches per client
+//       [--batch N=1]        images per batch
+//       [--faults kill=0.1,hang=0.05,corrupt=0.05]
+//                            per-batch fault probabilities: kill cuts the
+//                            connection mid-online-phase, hang stalls the
+//                            send stream past the server watchdog, corrupt
+//                            flips one bit in flight (CRC-detected)
+//       [--hang-ms N=1500]   stall length for hang faults (set the server
+//                            watchdog below this so hangs are reaped)
+//       [--seed N=1]         base seed; the whole run replays from it
+//       [--max-attempts N=8] reconnects per batch before giving up
+//       [--recv-timeout-ms N] per-recv deadline (env ABNN2_RECV_TIMEOUT_MS)
+//       [--json path]        write the report as JSON
+//
+// Every client pins the model digest and checks every batch's logits
+// against the local plaintext reference — the exit code is 0 only if every
+// batch completed with byte-identical logits. Faulted batches must recover
+// via reconnect-and-resume; the report counts resumes, BUSY rejections and
+// per-kind faults, and gives p50/p99/mean/max end-to-end batch latency
+// (including retries).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/inference.h"
+#include "net/fault_channel.h"
+#include "net/framed_channel.h"
+#include "net/socket_channel.h"
+#include "nn/model_io.h"
+#include "obs/obs.h"
+#include "simd/dispatch.h"
+#include "cli_parse.h"
+
+using namespace abnn2;
+
+namespace {
+
+u64 splitmix(u64& s) {
+  u64 z = (s += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+struct FaultMix {
+  double kill = 0, hang = 0, corrupt = 0;
+};
+
+/// Parses "kill=0.1,hang=0.05,corrupt=0.05" (any subset, any order).
+FaultMix parse_faults(const std::string& spec) {
+  FaultMix mix;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string part = spec.substr(pos, comma - pos);
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr, "error: bad --faults entry '%s'\n", part.c_str());
+      std::exit(2);
+    }
+    const std::string name = part.substr(0, eq);
+    char* end = nullptr;
+    const double p = std::strtod(part.c_str() + eq + 1, &end);
+    if (end != part.c_str() + part.size() || p < 0 || p > 1) {
+      std::fprintf(stderr, "error: bad --faults probability in '%s'\n",
+                   part.c_str());
+      std::exit(2);
+    }
+    if (name == "kill") mix.kill = p;
+    else if (name == "hang") mix.hang = p;
+    else if (name == "corrupt") mix.corrupt = p;
+    else {
+      std::fprintf(stderr, "error: unknown fault kind '%s'\n", name.c_str());
+      std::exit(2);
+    }
+    pos = comma + 1;
+  }
+  if (mix.kill + mix.hang + mix.corrupt > 1.0) {
+    std::fprintf(stderr, "error: fault probabilities sum past 1.0\n");
+    std::exit(2);
+  }
+  return mix;
+}
+
+struct ClientReport {
+  u64 completed = 0, failed = 0, wrong = 0, resumes = 0, busy = 0;
+  u64 faults_kill = 0, faults_hang = 0, faults_corrupt = 0;
+  std::vector<double> latencies_ms;
+};
+
+double percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::init_trace_from_env();
+  simd::log_dispatch(argv[0]);
+  cli::ArgParser args(argc, argv,
+                      {"--clients", "--batches", "--batch", "--faults",
+                       "--hang-ms", "--seed", "--max-attempts",
+                       "--recv-timeout-ms", "--json"});
+  if (args.n_positional() != 3) {
+    std::fprintf(
+        stderr,
+        "usage: %s <model.mdl> <host> <port> [--clients N] [--batches N] "
+        "[--batch N] [--faults kill=P,hang=P,corrupt=P] [--hang-ms N] "
+        "[--seed N] [--max-attempts N] [--recv-timeout-ms N] [--json path]\n",
+        argv[0]);
+    return 2;
+  }
+  const std::string host = args.positional(1);
+  const u16 port = cli::parse_port_or_die(args.positional(2).c_str());
+  const std::size_t n_clients =
+      static_cast<std::size_t>(args.get_u64("--clients", 8, 1, 256));
+  const std::size_t n_batches =
+      static_cast<std::size_t>(args.get_u64("--batches", 2, 1, 10'000));
+  const std::size_t batch =
+      static_cast<std::size_t>(args.get_u64("--batch", 1, 1, 1 << 12));
+  const FaultMix mix = parse_faults(args.get_str("--faults", ""));
+  const u32 hang_ms =
+      static_cast<u32>(args.get_u64("--hang-ms", 1'500, 1, 600'000));
+  const u64 base_seed = args.get_u64("--seed", 1, 0, ~u64{0} >> 1);
+  const int max_attempts =
+      static_cast<int>(args.get_u64("--max-attempts", 8, 1, 1'000));
+  u64 recv_timeout =
+      cli::env_u64("ABNN2_RECV_TIMEOUT_MS", 60'000, 100, 3'600'000);
+  recv_timeout =
+      args.get_u64("--recv-timeout-ms", recv_timeout, 100, 3'600'000);
+  const std::string json_path = args.get_str("--json", "");
+
+  nn::Model model{ss::Ring(1)};
+  try {
+    model = nn::load_model(args.positional(0));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+  const ss::Ring ring = model.ring;
+  const auto digest = nn::model_digest(model);
+
+  core::InferenceConfig cfg(ring);
+  cfg.expected_model_digest = digest;  // wrong server model = hard failure
+
+  SocketOptions opts;
+  opts.connect_timeout_ms = 30'000;
+  opts.recv_timeout_ms = static_cast<int>(recv_timeout);
+
+  // ---- calibration -------------------------------------------------------
+  // One clean batch measures the client's send volume through the fault
+  // layer for the offline and online phases; fault trigger offsets are
+  // placed relative to these (message sizes depend only on shapes, so every
+  // client sees the same stream layout).
+  u64 offline_sent = 0, total_sent = 0;
+  try {
+    core::InferenceClient probe(cfg);
+    auto sock = SocketChannel::connect(host, port, opts);
+    FaultInjectingChannel fc(*sock, FaultPlan{});
+    FramedChannel ch(fc);
+    probe.run_offline(ch, batch);
+    offline_sent = fc.stats().bytes_sent;
+    const auto x =
+        nn::synthetic_images(probe.info().dims[0], batch, ring.bits() / 2,
+                             ring, Block{base_seed, 0xCA1B});
+    (void)probe.run_online(ch, x);
+    total_sent = fc.stats().bytes_sent;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: calibration batch failed: %s\n", e.what());
+    return 2;
+  }
+  const u64 online_sent = total_sent > offline_sent ? total_sent - offline_sent
+                                                    : 1;
+  std::printf("[loadgen] calibrated: offline %llu B, online %llu B sent; "
+              "%zu clients x %zu batches (faults kill=%.2f hang=%.2f "
+              "corrupt=%.2f, seed %llu)\n",
+              static_cast<unsigned long long>(offline_sent),
+              static_cast<unsigned long long>(online_sent), n_clients,
+              n_batches, mix.kill, mix.hang, mix.corrupt,
+              static_cast<unsigned long long>(base_seed));
+  std::fflush(stdout);
+
+  // ---- concurrent clients ------------------------------------------------
+  std::vector<ClientReport> reports(n_clients);
+  std::vector<std::thread> threads;
+  threads.reserve(n_clients);
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientReport& rep = reports[c];
+      core::InferenceClient client(cfg);  // one session across reconnects
+      const std::size_t in_dim = model.input_dim();
+      for (std::size_t b = 0; b < n_batches; ++b) {
+        const auto x = nn::synthetic_images(
+            in_dim, batch, ring.bits() / 2, ring,
+            Block{base_seed, c * 100'000 + b + 1});
+        const nn::MatU64 want = nn::infer_plain(model, x);
+
+        // Deterministic per-(client, batch) fault roll.
+        u64 s = base_seed ^ (c * 0x9E3779B97F4A7C15ULL) ^
+                ((b + 1) * 0xBF58476D1CE4E5B9ULL);
+        const double roll =
+            static_cast<double>(splitmix(s) % 1'000'000) / 1e6;
+        FaultPlan plan;  // kNone by default
+        if (roll < mix.kill) {
+          plan.kind = FaultPlan::Kind::kCutSend;
+          plan.trigger_offset = offline_sent + splitmix(s) % online_sent;
+          ++rep.faults_kill;
+        } else if (roll < mix.kill + mix.hang) {
+          plan.kind = FaultPlan::Kind::kDelaySend;
+          plan.trigger_offset = offline_sent + splitmix(s) % online_sent;
+          plan.delay_ms = hang_ms;
+          ++rep.faults_hang;
+        } else if (roll < mix.kill + mix.hang + mix.corrupt) {
+          plan.kind = FaultPlan::Kind::kCorruptSend;
+          plan.trigger_offset = splitmix(s) % total_sent;
+          plan.bit_in_byte = static_cast<u32>(splitmix(s) % 8);
+          ++rep.faults_corrupt;
+        }
+
+        const auto t0 = std::chrono::steady_clock::now();
+        bool done = false;
+        int attempts = 0;
+        u64 busy_waits = 0;
+        while (!done) {
+          try {
+            auto sock = SocketChannel::connect(host, port, opts);
+            FaultInjectingChannel fc(*sock, plan);
+            FramedChannel ch(fc);
+            client.run_offline(ch, batch);
+            if (client.resumed()) ++rep.resumes;
+            const auto logits = client.run_online(ch, x);
+            if (logits == want) {
+              ++rep.completed;
+            } else {
+              ++rep.wrong;
+              std::fprintf(stderr,
+                           "[loadgen] client %zu batch %zu: WRONG LOGITS\n",
+                           c, b);
+            }
+            done = true;
+          } catch (const core::ServerBusy& e) {
+            ++rep.busy;
+            if (++busy_waits > 1'000) {  // generous: BUSY means healthy+full
+              ++rep.failed;
+              std::fprintf(stderr,
+                           "[loadgen] client %zu batch %zu: server busy "
+                           "beyond any reasonable wait\n",
+                           c, b);
+              done = true;
+              break;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(
+                e.retry_after_ms() + splitmix(s) % 50));
+          } catch (const std::exception& e) {
+            // ChannelError (cut/hang/reap) or ProtocolError (corrupt frame
+            // detected): drop connection state, keep offline material, and
+            // retry the same batch clean — a resume if material survived.
+            client.reset_session();
+            plan = FaultPlan{};
+            if (++attempts >= max_attempts) {
+              ++rep.failed;
+              std::fprintf(stderr,
+                           "[loadgen] client %zu batch %zu: giving up after "
+                           "%d attempts (%s)\n",
+                           c, b, attempts, e.what());
+              done = true;
+            }
+          }
+        }
+        rep.latencies_ms.push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  // ---- report ------------------------------------------------------------
+  ClientReport total;
+  std::vector<double> lat;
+  for (const auto& r : reports) {
+    total.completed += r.completed;
+    total.failed += r.failed;
+    total.wrong += r.wrong;
+    total.resumes += r.resumes;
+    total.busy += r.busy;
+    total.faults_kill += r.faults_kill;
+    total.faults_hang += r.faults_hang;
+    total.faults_corrupt += r.faults_corrupt;
+    lat.insert(lat.end(), r.latencies_ms.begin(), r.latencies_ms.end());
+  }
+  std::sort(lat.begin(), lat.end());
+  double mean = 0;
+  for (double v : lat) mean += v;
+  if (!lat.empty()) mean /= static_cast<double>(lat.size());
+  const double p50 = percentile(lat, 0.50), p99 = percentile(lat, 0.99);
+  const double lmax = lat.empty() ? 0 : lat.back();
+
+  std::printf(
+      "[loadgen] %llu/%zu batches completed, %llu failed, %llu wrong; "
+      "%llu resumes, %llu busy rejections; faults kill=%llu hang=%llu "
+      "corrupt=%llu\n",
+      static_cast<unsigned long long>(total.completed),
+      n_clients * n_batches, static_cast<unsigned long long>(total.failed),
+      static_cast<unsigned long long>(total.wrong),
+      static_cast<unsigned long long>(total.resumes),
+      static_cast<unsigned long long>(total.busy),
+      static_cast<unsigned long long>(total.faults_kill),
+      static_cast<unsigned long long>(total.faults_hang),
+      static_cast<unsigned long long>(total.faults_corrupt));
+  std::printf("[loadgen] latency ms: p50=%.1f p99=%.1f mean=%.1f max=%.1f\n",
+              p50, p99, mean, lmax);
+
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+    std::fprintf(
+        f,
+        "{\"clients\": %zu, \"batches\": %zu, \"batch\": %zu, "
+        "\"completed\": %llu, \"failed\": %llu, \"wrong_logits\": %llu, "
+        "\"resumes\": %llu, \"busy_rejections\": %llu, "
+        "\"faults\": {\"kill\": %llu, \"hang\": %llu, \"corrupt\": %llu}, "
+        "\"latency_ms\": {\"p50\": %.3f, \"p99\": %.3f, \"mean\": %.3f, "
+        "\"max\": %.3f}}\n",
+        n_clients, n_batches, batch,
+        static_cast<unsigned long long>(total.completed),
+        static_cast<unsigned long long>(total.failed),
+        static_cast<unsigned long long>(total.wrong),
+        static_cast<unsigned long long>(total.resumes),
+        static_cast<unsigned long long>(total.busy),
+        static_cast<unsigned long long>(total.faults_kill),
+        static_cast<unsigned long long>(total.faults_hang),
+        static_cast<unsigned long long>(total.faults_corrupt), p50, p99, mean,
+        lmax);
+    std::fclose(f);
+    std::printf("[loadgen] report written to %s\n", json_path.c_str());
+  }
+
+  const bool all_done = total.completed == n_clients * n_batches;
+  return (total.wrong == 0 && total.failed == 0 && all_done) ? 0 : 1;
+}

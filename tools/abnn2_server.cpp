@@ -1,83 +1,136 @@
 // Model-serving CLI: loads a model file and serves secure prediction batches
-// over framed TCP sessions.
+// over framed TCP sessions, concurrently, under the serve::Supervisor.
 //
-//   abnn2_server <model.mdl> <port> [batches=1]
+//   abnn2_server <model.mdl> <port> [batches]
+//       [--max-sessions N]     concurrent session cap (default 8)
+//       [--recv-timeout-ms N]  per-recv deadline (default 60000;
+//                              env ABNN2_RECV_TIMEOUT_MS, flag wins)
+//       [--watchdog-ms N]      reap sessions with no frame progress in N ms
+//       [--drain-ms N]         in-flight budget for graceful shutdown
+//       [--busy-retry-ms N]    retry-after hint in BUSY rejections
 //
-// Transport failures (client crash, cut connection, corrupted frame) do not
-// kill the server: it logs the error, drops the per-connection session state,
-// and re-accepts. Offline triplet material for an interrupted batch is
-// retained, so a reconnecting client resumes at the online phase instead of
-// paying the offline cost again.
+// [batches] bounds the total batches served across all sessions; 0 (the
+// default) serves until SIGTERM/SIGINT. Either way shutdown is a graceful
+// drain: stop accepting, finish in-flight batches under the drain deadline,
+// log a checkpoint of retained offline material, exit 0.
+//
+// Per-session faults (client crash, cut connection, corrupted frame,
+// watchdog reap) never take down the service: the session is torn down, its
+// completed offline material is retained, and the client resumes at the
+// online phase on reconnect.
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <optional>
+#include <thread>
 
-#include "core/inference.h"
-#include "net/framed_channel.h"
-#include "net/socket_channel.h"
 #include "nn/model_io.h"
 #include "obs/obs.h"
+#include "serve/supervisor.h"
 #include "simd/dispatch.h"
 #include "cli_parse.h"
 
 using namespace abnn2;
 
+namespace {
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
+}  // namespace
+
 int main(int argc, char** argv) {
   obs::init_trace_from_env();
   simd::log_dispatch(argv[0]);  // prints under ABNN2_VERBOSE=1
-  if (argc < 3 || argc > 4) {
-    std::fprintf(stderr, "usage: %s <model.mdl> <port> [batches]\n", argv[0]);
+  cli::ArgParser args(argc, argv,
+                      {"--max-sessions", "--recv-timeout-ms", "--watchdog-ms",
+                       "--drain-ms", "--busy-retry-ms", "--verbose"});
+  if (args.n_positional() < 2 || args.n_positional() > 3) {
+    std::fprintf(stderr,
+                 "usage: %s <model.mdl> <port> [batches] [--max-sessions N] "
+                 "[--recv-timeout-ms N] [--watchdog-ms N] [--drain-ms N] "
+                 "[--busy-retry-ms N] [--verbose 1]\n",
+                 argv[0]);
     return 2;
   }
-  const u16 port = cli::parse_port_or_die(argv[2]);
-  const int batches = argc > 3 ? static_cast<int>(cli::parse_u64_or_die(
-                                     argv[3], "batches", 1, 1'000'000))
-                               : 1;
-  nn::Model model{ss::Ring(1)};
+  const u16 port = cli::parse_port_or_die(args.positional(1).c_str());
+  const u64 batches =
+      args.n_positional() > 2
+          ? cli::parse_u64_or_die(args.positional(2).c_str(), "batches", 0,
+                                  1'000'000)
+          : 0;  // 0 = serve until SIGTERM/SIGINT
+
+  serve::ServeOptions sopts;
+  sopts.port = port;
+  sopts.max_sessions = static_cast<std::size_t>(
+      args.get_u64("--max-sessions", 8, 1, 256));
+  u64 recv_timeout =
+      cli::env_u64("ABNN2_RECV_TIMEOUT_MS", 60'000, 100, 3'600'000);
+  recv_timeout = args.get_u64("--recv-timeout-ms", recv_timeout, 100,
+                              3'600'000);  // flag > env > default
+  sopts.recv_timeout_ms = static_cast<int>(recv_timeout);
+  sopts.watchdog_ms = static_cast<int>(
+      args.get_u64("--watchdog-ms", 30'000, 100, 3'600'000));
+  sopts.drain_deadline_ms =
+      static_cast<int>(args.get_u64("--drain-ms", 10'000, 0, 3'600'000));
+  sopts.busy_retry_ms = args.get_u64("--busy-retry-ms", 200, 1, 60'000);
+  sopts.verbose = args.get_u64("--verbose", 0, 0, 1) != 0;
+
+  serve::ModelRegistry registry;
+  ss::Ring ring(1);
+  std::size_t n_layers = 0, n_weights = 0;
   try {
-    model = nn::load_model(argv[1]);
+    nn::Model model = nn::load_model(args.positional(0));
+    ring = model.ring;
+    n_layers = model.layers.size();
+    n_weights = model.num_weights();
+    registry.add(std::move(model));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }
 
-  core::InferenceConfig cfg(model.ring);
-  core::InferenceServer server(model, cfg);
-  std::printf("[server] model: %zu layers, %zu weights; listening on :%u\n",
-              model.layers.size(), model.num_weights(), port);
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
-  std::optional<SocketListener> listener;
+  std::optional<serve::Supervisor> supervisor;
   try {
-    listener.emplace(port);
+    supervisor.emplace(std::move(registry), core::InferenceConfig(ring),
+                       sopts);
   } catch (const ChannelError& e) {
     std::fprintf(stderr, "error: cannot listen on port %u: %s\n", port,
                  e.what());
     return 2;
   }
-  SocketOptions opts;
-  opts.recv_timeout_ms = 60'000;  // a silent peer is a dead peer
+  std::printf(
+      "[server] model: %zu layers, %zu weights; serving on :%u "
+      "(max %zu sessions, watchdog %d ms, recv timeout %d ms)\n",
+      n_layers, n_weights, supervisor->port(), sopts.max_sessions,
+      sopts.watchdog_ms, sopts.recv_timeout_ms);
+  std::fflush(stdout);
 
-  int served = 0;
-  while (served < batches) {
-    try {
-      auto sock = listener->accept(opts);
-      FramedChannel ch(*sock);
-      while (served < batches) {
-        server.run_offline(ch);
-        server.run_online(ch);
-        ++served;
-        std::printf("[server] batch %d/%d served (%.2f MB sent)\n", served,
-                    batches, static_cast<double>(ch.stats().bytes_sent) / 1e6);
-      }
-    } catch (const ProtocolError& e) {
-      // Corrupt frames / mismatched peers are not retryable on the same
-      // connection; drop it and wait for a well-behaved client.
-      std::fprintf(stderr, "[server] protocol error: %s\n", e.what());
-      server.reset_session();
-    } catch (const ChannelError& e) {
-      std::fprintf(stderr, "[server] connection lost: %s\n", e.what());
-      server.reset_session();
+  u64 last_logged = 0;
+  while (g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    const auto st = supervisor->stats();
+    if (st.batches_served != last_logged) {
+      last_logged = st.batches_served;
+      std::printf("[server] %llu batches served (%llu active, %llu resumed, "
+                  "%llu reaped, %llu busy-rejected)\n",
+                  static_cast<unsigned long long>(st.batches_served),
+                  static_cast<unsigned long long>(st.active_sessions),
+                  static_cast<unsigned long long>(st.resumed),
+                  static_cast<unsigned long long>(st.reaped),
+                  static_cast<unsigned long long>(st.rejected_busy));
+      std::fflush(stdout);
     }
+    if (batches != 0 && st.batches_served >= batches) break;
   }
+
+  if (g_signal != 0)
+    std::fprintf(stderr, "[server] signal %d — draining\n",
+                 static_cast<int>(g_signal));
+  supervisor->drain();  // logs the retained-material checkpoint
+  const auto st = supervisor->stats();
+  std::printf("[server] done: %llu batches served\n",
+              static_cast<unsigned long long>(st.batches_served));
   return 0;
 }

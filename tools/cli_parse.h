@@ -9,7 +9,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <map>
 #include <string>
+#include <vector>
 
 #include "common/defines.h"
 
@@ -38,5 +41,76 @@ inline u64 parse_u64_or_die(const char* arg, const char* what, u64 min,
 inline u16 parse_port_or_die(const char* arg) {
   return static_cast<u16>(parse_u64_or_die(arg, "port", 1, 65535));
 }
+
+/// Numeric environment override, same strictness as parse_u64_or_die but
+/// non-fatal-silent on absence: unset/empty returns `def`, garbage or
+/// out-of-range values are a hard usage error (a typo'd deployment variable
+/// must not silently fall back to the default).
+inline u64 env_u64(const char* name, u64 def, u64 min, u64 max) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return def;
+  return parse_u64_or_die(v, name, min, max);
+}
+
+/// Splits argv into positionals and `--name value` / `--name=value` flags.
+/// Unknown flags are a usage error (exit 2): a misspelled --recv-timout-ms
+/// must not be silently ignored on a server that will then hang for the
+/// default 60 s. Callers declare the accepted flag names up front.
+class ArgParser {
+ public:
+  ArgParser(int argc, char** argv, std::initializer_list<const char*> known) {
+    std::vector<std::string> names(known.begin(), known.end());
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positionals_.push_back(arg);
+        continue;
+      }
+      std::string name = arg, value;
+      bool have_value = false;
+      const auto eq = arg.find('=');
+      if (eq != std::string::npos) {
+        name = arg.substr(0, eq);
+        value = arg.substr(eq + 1);
+        have_value = true;
+      }
+      bool ok = false;
+      for (const auto& k : names) ok = ok || k == name;
+      if (!ok) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", name.c_str());
+        std::exit(2);
+      }
+      if (!have_value) {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "error: flag '%s' needs a value\n",
+                       name.c_str());
+          std::exit(2);
+        }
+        value = argv[++i];
+      }
+      flags_[name] = value;
+    }
+  }
+
+  std::size_t n_positional() const { return positionals_.size(); }
+  const std::string& positional(std::size_t i) const { return positionals_[i]; }
+
+  bool has(const std::string& name) const { return flags_.count(name) != 0; }
+
+  u64 get_u64(const std::string& name, u64 def, u64 min, u64 max) const {
+    const auto it = flags_.find(name);
+    if (it == flags_.end()) return def;
+    return parse_u64_or_die(it->second.c_str(), name.c_str(), min, max);
+  }
+
+  std::string get_str(const std::string& name, const std::string& def) const {
+    const auto it = flags_.find(name);
+    return it == flags_.end() ? def : it->second;
+  }
+
+ private:
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> flags_;
+};
 
 }  // namespace abnn2::cli
